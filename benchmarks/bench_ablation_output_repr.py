@@ -1,0 +1,62 @@
+"""Section 4.1.3 ablation: meta-statistics output vs direct-EDP output.
+
+The paper reports that predicting the rich meta-statistics vector (per-
+level per-tensor energies, utilization, cycles) achieves 32.8x lower MSE
+against ground-truth EDP than a surrogate that regresses EDP directly.
+This benchmark trains both output representations on identical inputs and
+compares EDP-prediction fidelity.
+"""
+
+from conftest import add_report
+from repro.core import TrainingConfig, edp_prediction_mse, generate_dataset, train_surrogate
+from repro.harness import format_table
+
+N_SAMPLES = 12_000
+EPOCHS = 20
+
+
+def _compare(accelerator):
+    results = {}
+    for mode in ("meta", "edp"):
+        dataset = generate_dataset(
+            "cnn-layer", accelerator, N_SAMPLES, n_problems=10, mode=mode, seed=0
+        )
+        surrogate, history = train_surrogate(
+            dataset, TrainingConfig(epochs=EPOCHS), seed=0
+        )
+        results[mode] = (history.final_test_loss, edp_prediction_mse(surrogate, dataset))
+    return results
+
+
+def test_ablation_output_representation(benchmark, accelerator):
+    results = benchmark.pedantic(_compare, args=(accelerator,), rounds=1, iterations=1)
+    meta_mse = results["meta"][1]
+    edp_mse = results["edp"][1]
+    improvement = edp_mse / meta_mse if meta_mse > 0 else float("inf")
+    table = format_table(
+        ("output repr", "test loss", "EDP-prediction MSE (log2)"),
+        [
+            ("meta-statistics (12 values)", f"{results['meta'][0]:.4f}", f"{meta_mse:.3f}"),
+            ("direct EDP (1 value)", f"{results['edp'][0]:.4f}", f"{edp_mse:.3f}"),
+        ],
+        title="Section 4.1.3 ablation: output representation",
+    )
+    table += (
+        f"\n\nmeta-statistics improves EDP-prediction MSE by {improvement:.1f}x"
+        "  [paper: 32.8x]"
+    )
+    table += (
+        "\n\nNote: the paper's 32.8x advantage for meta-statistics was measured"
+        "\nagainst *raw* EDP regression at 10M samples.  Our EDP targets are"
+        "\nalready lower-bound-normalized and log-scaled, which removes the"
+        "\ndynamic-range pathology that sank direct-EDP regression in the paper;"
+        "\nat small sample counts the single-output head can even win (see"
+        "\nEXPERIMENTS.md for the full discussion)."
+    )
+    add_report("Ablation: output representation", table)
+
+    # Both representations must produce usable surrogates (finite, bounded
+    # EDP-prediction error); the paper-scale 32.8x gap is configuration-
+    # dependent, so we assert sanity rather than a direction.
+    assert 0.0 <= meta_mse < 25.0
+    assert 0.0 <= edp_mse < 25.0

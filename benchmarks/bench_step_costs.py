@@ -1,0 +1,77 @@
+"""Section 5.4.2 per-step cost: surrogate queries vs oracle queries.
+
+The paper measures MM at 153.7x / 286.8x / 425.5x faster *per step* than
+SA / GA / RL because those methods pay a Timeloop query per step.  Here we
+time the primitive step of each method against our substrate; these are
+real (not simulated) timings, so they quantify the substitution documented
+in DESIGN.md: our analytical oracle is far cheaper than Timeloop, which is
+why iso-time experiments reintroduce oracle latency virtually.
+
+These tests use pytest-benchmark's real measurement loop (multiple rounds)
+rather than a single pedantic round — per-step costs are microseconds and
+benefit from statistics.
+"""
+
+from conftest import add_report
+from repro.costmodel import CostModel
+from repro.harness import format_table
+from repro.mapspace import MapSpace
+from repro.workloads import problem_by_name
+
+_RESULTS = {}
+
+
+def _problem_and_space(accelerator):
+    problem = problem_by_name("ResNet_Conv4")
+    return problem, MapSpace(problem, accelerator)
+
+
+def test_step_oracle_query(benchmark, accelerator):
+    """One analytical-cost-model evaluation (what SA/GA/RL pay per step)."""
+    problem, space = _problem_and_space(accelerator)
+    model = CostModel(accelerator)
+    mapping = space.sample(0)
+    result = benchmark(model.evaluate_edp, mapping, problem)
+    _RESULTS["oracle query"] = benchmark.stats.stats.mean
+    assert result > 0
+
+
+def test_step_surrogate_gradient(benchmark, accelerator, cnn_mm):
+    """One surrogate forward+backward (what MM pays per step)."""
+    problem, space = _problem_and_space(accelerator)
+    whitened = cnn_mm.surrogate.whiten_mapping(space.sample(0), problem)
+    benchmark(cnn_mm.surrogate.objective_and_gradient, whitened)
+    _RESULTS["surrogate fwd+bwd"] = benchmark.stats.stats.mean
+
+
+def test_step_projection(benchmark, accelerator, cnn_mm):
+    """One decode+project step (shared by MM and RL)."""
+    problem, space = _problem_and_space(accelerator)
+    raw = cnn_mm.surrogate.encoder.encode(space.sample(0), problem)
+    benchmark(cnn_mm.surrogate.encoder.decode, raw, space)
+    _RESULTS["decode+project"] = benchmark.stats.stats.mean
+
+
+def test_step_map_space_sample(benchmark, accelerator):
+    """One valid random sample (restarts and injections)."""
+    _, space = _problem_and_space(accelerator)
+    seeds = iter(range(10_000_000))
+    benchmark(lambda: space.sample(next(seeds)))
+    _RESULTS["map-space sample"] = benchmark.stats.stats.mean
+
+    rows = [
+        (name, f"{seconds * 1e6:,.0f} us")
+        for name, seconds in sorted(_RESULTS.items(), key=lambda kv: kv[1])
+    ]
+    table = format_table(
+        ("primitive step", "mean time"),
+        rows,
+        title="Per-step primitive costs (real, unsimulated)",
+    )
+    table += (
+        "\n\nPaper context: Timeloop oracle queries cost ~10-100 ms, making MM "
+        "153-425x faster per step than oracle-driven methods.  Our from-"
+        "scratch oracle is itself microsecond-scale, so iso-time benchmarks "
+        "charge a simulated 20 ms oracle latency (see DESIGN.md)."
+    )
+    add_report("Per-step costs", table)

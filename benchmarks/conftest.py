@@ -1,0 +1,75 @@
+"""Shared benchmark fixtures: trained surrogates and report collection.
+
+Phase 1 (surrogate training) is expensive relative to any single benchmark,
+so one CNN-layer surrogate and one MTTKRP surrogate are trained per session
+and shared by every figure benchmark — exactly the paper's methodology
+("one surrogate is trained for all CNN-Layer results", section 5.3).
+
+Benchmarks register their paper-style tables via ``add_report``; a
+``pytest_terminal_summary`` hook prints everything at the end of the run so
+the rows survive pytest's output capture and land in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.core import MindMappings, MindMappingsConfig, TrainingConfig
+from repro.costmodel import default_accelerator
+
+#: (title, body) reports accumulated across benchmarks.
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def add_report(title: str, body: str) -> None:
+    """Register a paper-style table/figure rendering for the final summary."""
+    _REPORTS.append((title, body))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction outputs")
+    for title, body in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", title)
+        for line in body.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def accelerator():
+    return default_accelerator()
+
+
+#: Scaled-down Phase 1 budget shared by the figure benchmarks.  The paper's
+#: full recipe (10 M samples, 9-layer MLP, 100 epochs) is one config change:
+#: MindMappingsConfig(dataset_samples=10_000_000,
+#:                    training=TrainingConfig(hidden_layers=PAPER_HIDDEN_LAYERS,
+#:                                            epochs=100))
+PHASE1_SAMPLES = 25_000
+PHASE1_EPOCHS = 30
+
+
+@pytest.fixture(scope="session")
+def cnn_mm(accelerator):
+    """One trained CNN-layer MindMappings instance for the whole session."""
+    config = MindMappingsConfig(
+        dataset_samples=PHASE1_SAMPLES,
+        n_problems=10,
+        training=TrainingConfig(epochs=PHASE1_EPOCHS),
+    )
+    return MindMappings.train("cnn-layer", accelerator, config, seed=0)
+
+
+@pytest.fixture(scope="session")
+def mttkrp_mm(accelerator):
+    """One trained MTTKRP MindMappings instance for the whole session."""
+    config = MindMappingsConfig(
+        dataset_samples=PHASE1_SAMPLES // 2,
+        n_problems=8,
+        training=TrainingConfig(epochs=PHASE1_EPOCHS),
+    )
+    return MindMappings.train("mttkrp", accelerator, config, seed=0)

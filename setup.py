@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Configuration lives in ``pyproject.toml``; this file exists so the package
+can be installed in environments whose tooling predates PEP 660 editable
+installs (e.g. ``python setup.py develop`` when the ``wheel`` package is
+unavailable).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""repro — a full reproduction of *Mind Mappings* (ASPLOS 2021).
+
+Mind Mappings (Hegde et al.) searches the algorithm-accelerator mapping
+space by training a differentiable MLP surrogate of the accelerator cost
+function and running projected gradient descent on it.  This package
+re-implements the method and every substrate it depends on from scratch:
+
+* :mod:`repro.workloads`  — problems as affine loop nests (CNN, MTTKRP, ...),
+* :mod:`repro.mapspace`   — mappings, validity, sampling, projection,
+* :mod:`repro.costmodel`  — a Timeloop-style analytical cost oracle,
+* :mod:`repro.nn`         — a from-scratch autograd/MLP framework,
+* :mod:`repro.core`       — the Mind Mappings two-phase method itself,
+* :mod:`repro.search`     — SA / GA / RL / random / exhaustive baselines,
+* :mod:`repro.harness`    — iso-iteration & iso-time experiment harness.
+
+Quickstart::
+
+    from repro import MindMappings, default_accelerator, problem_by_name
+
+    accelerator = default_accelerator()
+    mm = MindMappings.train("cnn-layer", accelerator, seed=0)
+    problem = problem_by_name("ResNet_Conv4")
+    mapping, stats = mm.find_mapping(problem, iterations=500, seed=1)
+    print(stats.summary())
+"""
+
+from repro.core import (
+    GradientSearcher,
+    MindMappings,
+    MindMappingsConfig,
+    Surrogate,
+    TrainingConfig,
+    generate_dataset,
+    train_surrogate,
+)
+from repro.costmodel import (
+    Accelerator,
+    CostModel,
+    CostStats,
+    algorithmic_minimum,
+    default_accelerator,
+)
+from repro.mapspace import MapSpace, Mapping
+from repro.search import (
+    ExhaustiveSearcher,
+    GeneticSearcher,
+    RLSearcher,
+    RandomSearcher,
+    SearchResult,
+    Searcher,
+    SimulatedAnnealingSearcher,
+)
+from repro.workloads import (
+    Problem,
+    TABLE1_PROBLEMS,
+    make_cnn_layer,
+    make_conv1d,
+    make_gemm,
+    make_mttkrp,
+    problem_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Accelerator",
+    "CostModel",
+    "CostStats",
+    "ExhaustiveSearcher",
+    "GeneticSearcher",
+    "GradientSearcher",
+    "MapSpace",
+    "Mapping",
+    "MindMappings",
+    "MindMappingsConfig",
+    "Problem",
+    "RLSearcher",
+    "RandomSearcher",
+    "SearchResult",
+    "Searcher",
+    "SimulatedAnnealingSearcher",
+    "Surrogate",
+    "TABLE1_PROBLEMS",
+    "TrainingConfig",
+    "algorithmic_minimum",
+    "default_accelerator",
+    "generate_dataset",
+    "make_cnn_layer",
+    "make_conv1d",
+    "make_gemm",
+    "make_mttkrp",
+    "problem_by_name",
+    "train_surrogate",
+]

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: surrogate-based gradient search.
+
+* :mod:`repro.core.encoding` — mapping <-> vector codec (62/40-value
+  representations for CNN-Layer / MTTKRP),
+* :mod:`repro.core.normalize` — input/output whitening,
+* :mod:`repro.core.dataset` — Phase 1 training-set generation,
+* :mod:`repro.core.surrogate` — the differentiable MLP surrogate with
+  input-gradient support,
+* :mod:`repro.core.trainer` — the Phase 1 supervised-training loop,
+* :mod:`repro.core.gradient_search` — Phase 2 projected gradient descent,
+* :mod:`repro.core.pipeline` — the end-to-end :class:`MindMappings` API.
+"""
+
+from repro.core.encoding import EncodingLayout, MappingEncoder
+from repro.core.normalize import Whitener
+from repro.core.dataset import SurrogateDataset, TargetCodec, generate_dataset
+from repro.core.surrogate import DEFAULT_HIDDEN_LAYERS, PAPER_HIDDEN_LAYERS, Surrogate
+from repro.core.trainer import (
+    TrainingConfig,
+    TrainingHistory,
+    edp_prediction_mse,
+    evaluate_loss,
+    train_surrogate,
+)
+from repro.core.gradient_search import GradientSearcher
+from repro.core.analysis import FidelityReport, surrogate_fidelity
+from repro.core.pipeline import MindMappings, MindMappingsConfig
+
+__all__ = [
+    "DEFAULT_HIDDEN_LAYERS",
+    "EncodingLayout",
+    "FidelityReport",
+    "GradientSearcher",
+    "MappingEncoder",
+    "MindMappings",
+    "MindMappingsConfig",
+    "PAPER_HIDDEN_LAYERS",
+    "Surrogate",
+    "SurrogateDataset",
+    "TargetCodec",
+    "TrainingConfig",
+    "TrainingHistory",
+    "Whitener",
+    "edp_prediction_mse",
+    "evaluate_loss",
+    "generate_dataset",
+    "surrogate_fidelity",
+    "train_surrogate",
+]

@@ -1,0 +1,103 @@
+"""Surrogate diagnostics: fidelity, calibration, and tail resolution.
+
+Search quality is bounded by how well the surrogate ranks *good* mappings
+against each other — global correlation alone hides a mushy tail.  These
+helpers quantify exactly that (and power the EXPERIMENTS.md discussion of
+why iso-iteration quality tracks training-set size).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.surrogate import Surrogate
+from repro.costmodel.lower_bound import algorithmic_minimum
+from repro.costmodel.model import CostModel
+from repro.mapspace.space import MapSpace
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.workloads.problem import Problem
+
+
+@dataclass(frozen=True)
+class FidelityReport:
+    """Surrogate-vs-oracle agreement on one problem's map space."""
+
+    problem: str
+    samples: int
+    correlation: float
+    tail_correlation: float
+    tail_fraction: float
+    rank_agreement: float
+    mean_abs_error_log2: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.problem}: corr={self.correlation:.3f}, "
+            f"tail corr (best {self.tail_fraction:.0%})={self.tail_correlation:.3f}, "
+            f"rank agreement={self.rank_agreement:.3f}, "
+            f"|err|={self.mean_abs_error_log2:.2f} log2"
+        )
+
+
+def _spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation without scipy dependency paths."""
+    if np.std(a) == 0 or np.std(b) == 0:
+        return 0.0
+    ra = np.argsort(np.argsort(a)).astype(float)
+    rb = np.argsort(np.argsort(b)).astype(float)
+    return float(np.corrcoef(ra, rb)[0, 1])
+
+
+def surrogate_fidelity(
+    surrogate: Surrogate,
+    problem: Problem,
+    space: MapSpace,
+    cost_model: CostModel,
+    *,
+    samples: int = 200,
+    tail_fraction: float = 0.2,
+    seed: SeedLike = None,
+) -> FidelityReport:
+    """Compare surrogate predictions to oracle truth on fresh samples.
+
+    ``tail_correlation`` restricts to the best ``tail_fraction`` of samples
+    by true cost — the region gradient search must resolve to find optima.
+    """
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError(f"tail_fraction must be in (0, 1], got {tail_fraction}")
+    if samples < 4:
+        raise ValueError(f"need at least 4 samples, got {samples}")
+    rng = ensure_rng(seed)
+    bound = algorithmic_minimum(problem, space.accelerator)
+    mappings = [space.sample(rng) for _ in range(samples)]
+    truth = np.array(
+        [
+            math.log2(cost_model.evaluate_edp(m, problem) / bound.edp)
+            for m in mappings
+        ]
+    )
+    predicted = np.array(
+        [
+            surrogate.predict_log2_norm_edp(surrogate.whiten_mapping(m, problem))[0]
+            for m in mappings
+        ]
+    )
+    order = np.argsort(truth)
+    tail = order[: max(int(samples * tail_fraction), 4)]
+    tail_corr = float(np.corrcoef(truth[tail], predicted[tail])[0, 1])
+    return FidelityReport(
+        problem=problem.name,
+        samples=samples,
+        correlation=float(np.corrcoef(truth, predicted)[0, 1]),
+        tail_correlation=tail_corr,
+        tail_fraction=tail_fraction,
+        rank_agreement=_spearman(truth, predicted),
+        mean_abs_error_log2=float(np.abs(truth - predicted).mean()),
+    )
+
+
+__all__ = ["FidelityReport", "surrogate_fidelity"]

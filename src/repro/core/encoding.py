@@ -1,0 +1,181 @@
+"""Mapping <-> vector encoding for the surrogate (paper sections 4.1.2, 5.5).
+
+Layout of the encoded vector for a problem with ``D`` dimensions and ``T``
+tensors (sections in order)::
+
+    [ pid (D) | tiles (4*D) | loop orders (3*D) | allocations (2*T) ]
+
+* **pid** — log2 of each dimension bound: the problem identifier that lets
+  one surrogate generalize across problems of an algorithm (section 4.1.1).
+* **tiles** — log2 of the (DRAM, L2, spatial, L1) factor of each dimension.
+  Log space makes multiplicative tiling decisions additive, which is the
+  geometry gradient descent needs.
+* **loop orders** — for each temporal level, the rank of each dimension in
+  that level's permutation, normalized to [0, 1].  Decoding argsorts the
+  ranks, so any real-valued vector decodes to a valid permutation.
+* **allocations** — the fraction of banks given to each tensor at L2/L1.
+
+For CNN-Layer (D=7, T=3) the vector is 62 values; for MTTKRP (D=4, T=4) it
+is 40 — matching the paper's reported input widths exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.mapspace.factors import nearest_composition, nearest_factorization
+from repro.mapspace.mapping import ALLOC_LEVELS, Mapping, ORDER_LEVELS
+from repro.mapspace.space import MapSpace
+from repro.utils import log2_safe
+from repro.workloads.problem import Problem
+
+
+@dataclass(frozen=True)
+class EncodingLayout:
+    """Index ranges of each section within the encoded vector."""
+
+    n_dims: int
+    n_tensors: int
+
+    @property
+    def pid_slice(self) -> slice:
+        return slice(0, self.n_dims)
+
+    @property
+    def tile_slice(self) -> slice:
+        start = self.n_dims
+        return slice(start, start + 4 * self.n_dims)
+
+    @property
+    def order_slice(self) -> slice:
+        start = self.n_dims * 5
+        return slice(start, start + 3 * self.n_dims)
+
+    @property
+    def alloc_slice(self) -> slice:
+        start = self.n_dims * 8
+        return slice(start, start + 2 * self.n_tensors)
+
+    @property
+    def length(self) -> int:
+        return self.n_dims * 8 + self.n_tensors * 2
+
+    @property
+    def mapping_slice(self) -> slice:
+        """Everything after the pid: the part gradient search may update."""
+        return slice(self.n_dims, self.length)
+
+
+class MappingEncoder:
+    """Bidirectional mapping/vector codec for one algorithm family.
+
+    One encoder serves every problem of the algorithm (the dimension and
+    tensor orders are fixed by the algorithm), which is what allows a single
+    surrogate to train across problems and interpolate to unseen shapes.
+    """
+
+    def __init__(self, dims: Sequence[str], tensors: Sequence[str]) -> None:
+        if not dims:
+            raise ValueError("encoder needs at least one dimension")
+        if not tensors:
+            raise ValueError("encoder needs at least one tensor")
+        self.dims = tuple(dims)
+        self.tensors = tuple(tensors)
+        self.layout = EncodingLayout(n_dims=len(self.dims), n_tensors=len(self.tensors))
+
+    @classmethod
+    def for_problem(cls, problem: Problem) -> "MappingEncoder":
+        """Encoder keyed to ``problem``'s canonical dim/tensor order."""
+        return cls(problem.dim_names, tuple(t.name for t in problem.tensors))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Total encoded vector length (62 for CNN-Layer, 40 for MTTKRP)."""
+        return self.layout.length
+
+    def encode(self, mapping: Mapping, problem: Problem) -> np.ndarray:
+        """Encode ``mapping`` (for ``problem``) into a raw float vector."""
+        if mapping.dims != self.dims:
+            raise ValueError(f"mapping dims {mapping.dims} != encoder dims {self.dims}")
+        if mapping.tensors != self.tensors:
+            raise ValueError(
+                f"mapping tensors {mapping.tensors} != encoder tensors {self.tensors}"
+            )
+        vector = np.empty(self.length, dtype=np.float64)
+        bounds = problem.bounds
+        vector[self.layout.pid_slice] = [log2_safe(bounds[d]) for d in self.dims]
+        tiles: List[float] = []
+        for dim in self.dims:
+            tiles.extend(log2_safe(f) for f in mapping.factors(dim))
+        vector[self.layout.tile_slice] = tiles
+        orders: List[float] = []
+        denominator = max(len(self.dims) - 1, 1)
+        for level in ORDER_LEVELS:
+            order = mapping.loop_order(level)
+            rank = {dim: position for position, dim in enumerate(order)}
+            orders.extend(rank[dim] / denominator for dim in self.dims)
+        vector[self.layout.order_slice] = orders
+        allocations: List[float] = []
+        for level in ALLOC_LEVELS:
+            banks = mapping.alloc_banks(level)
+            total = sum(banks.values())
+            allocations.extend(banks[t] / total for t in self.tensors)
+        vector[self.layout.alloc_slice] = allocations
+        return vector
+
+    def decode(self, vector: np.ndarray, space: MapSpace) -> Mapping:
+        """Decode a raw vector into the nearest valid mapping of ``space``.
+
+        This is the "round + project" step of projected gradient descent
+        (paper section 4.2): tile factors round to the nearest exact
+        factorization in log space, order ranks argsort into permutations,
+        allocation fractions round to bank compositions, and the result is
+        passed through :meth:`MapSpace.project` for capacity repair.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.length,):
+            raise ValueError(f"vector shape {vector.shape} != ({self.length},)")
+        bounds = space.problem.bounds
+        tile_section = vector[self.layout.tile_slice]
+        tile_factors = []
+        for index, dim in enumerate(self.dims):
+            logs = tile_section[4 * index : 4 * index + 4]
+            target = np.exp2(np.clip(logs, 0.0, 40.0))
+            tile_factors.append(nearest_factorization(bounds[dim], 4, target))
+        order_section = vector[self.layout.order_slice]
+        loop_orders = []
+        for level_index in range(len(ORDER_LEVELS)):
+            ranks = order_section[
+                level_index * len(self.dims) : (level_index + 1) * len(self.dims)
+            ]
+            permutation = tuple(self.dims[i] for i in np.argsort(ranks, kind="stable"))
+            loop_orders.append(permutation)
+        alloc_section = vector[self.layout.alloc_slice]
+        allocation = []
+        for level_index, level in enumerate(ALLOC_LEVELS):
+            fractions = alloc_section[
+                level_index * len(self.tensors) : (level_index + 1) * len(self.tensors)
+            ]
+            total = space.accelerator.banks(level)
+            allocation.append(nearest_composition(total, len(self.tensors), fractions))
+        candidate = Mapping(
+            dims=self.dims,
+            tile_factors=tuple(tile_factors),
+            loop_orders=tuple(loop_orders),
+            tensors=self.tensors,
+            allocation=tuple(allocation),
+        )
+        return space.project(candidate)
+
+    def pid_vector(self, problem: Problem) -> np.ndarray:
+        """Just the pid section for ``problem`` (log2 dimension bounds)."""
+        bounds = problem.bounds
+        return np.array([log2_safe(bounds[d]) for d in self.dims], dtype=np.float64)
+
+
+__all__ = ["EncodingLayout", "MappingEncoder"]

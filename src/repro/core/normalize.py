@@ -1,0 +1,66 @@
+"""Input/output whitening (paper sections 4.1.2-4.1.3).
+
+Every value in the mapping vector and every meta-statistic is normalized to
+mean 0 / standard deviation 1 *with respect to the training set* before it
+reaches the surrogate.  The fitted statistics travel with the surrogate so
+that Phase 2 can whiten fresh candidates identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class Whitener:
+    """Affine standardization ``z = (x - mean) / std`` with frozen stats."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    @classmethod
+    def fit(cls, data: np.ndarray, min_std: float = 1e-8) -> "Whitener":
+        """Fit per-column statistics; constant columns get std 1.
+
+        Constant columns (e.g. an attribute that never varies for this
+        algorithm) would otherwise divide by ~0 and explode both training
+        targets and Phase 2 gradients.
+        """
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"expected 2-D data, got shape {data.shape}")
+        mean = data.mean(axis=0)
+        std = data.std(axis=0)
+        std = np.where(std < min_std, 1.0, std)
+        return cls(mean=mean, std=std)
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Whiten rows (or one row) of raw values."""
+        return (np.asarray(data, dtype=np.float64) - self.mean) / self.std
+
+    def inverse(self, data: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        return np.asarray(data, dtype=np.float64) * self.std + self.mean
+
+    def transform_column(self, value: float, column: int) -> float:
+        return (value - self.mean[column]) / self.std[column]
+
+    def inverse_column(self, value: float, column: int) -> float:
+        return value * self.std[column] + self.mean[column]
+
+    @property
+    def width(self) -> int:
+        return int(self.mean.shape[0])
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {"mean": self.mean.copy(), "std": self.std.copy()}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, np.ndarray]) -> "Whitener":
+        return cls(mean=np.asarray(state["mean"]), std=np.asarray(state["std"]))
+
+
+__all__ = ["Whitener"]

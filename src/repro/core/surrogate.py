@@ -1,0 +1,204 @@
+"""The differentiable surrogate ``f*`` (paper section 4.1).
+
+Wraps the MLP together with the whitening statistics, the mapping encoder,
+and the target codec so callers can move between the three coordinate
+systems (structured mappings, raw vectors, whitened vectors) without
+bookkeeping.  Critically, :meth:`input_gradient` differentiates the
+*predicted log-EDP* with respect to the whitened input vector — the
+gradients Phase 2 descends along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import TargetCodec
+from repro.core.encoding import MappingEncoder
+from repro.core.normalize import Whitener
+from repro.nn import MLP, Tensor, no_grad
+from repro.mapspace.mapping import Mapping
+from repro.mapspace.space import MapSpace
+from repro.utils.rng import SeedLike
+from repro.workloads.problem import Problem
+
+#: The paper's 9-layer surrogate topology (hidden widths; section 5.5).
+PAPER_HIDDEN_LAYERS: Tuple[int, ...] = (64, 256, 1024, 2048, 2048, 1024, 256, 64)
+
+#: Scaled-down default used by tests and the benchmark harness.
+DEFAULT_HIDDEN_LAYERS: Tuple[int, ...] = (64, 256, 256, 128, 64)
+
+
+@dataclass
+class Surrogate:
+    """A trained differentiable approximation of the cost function."""
+
+    network: MLP
+    encoder: MappingEncoder
+    codec: TargetCodec
+    input_whitener: Whitener
+    target_whitener: Whitener
+    algorithm: str
+
+    def __post_init__(self) -> None:
+        if self.network.layer_sizes[0] != self.encoder.length:
+            raise ValueError(
+                f"network input width {self.network.layer_sizes[0]} != "
+                f"encoding length {self.encoder.length}"
+            )
+        if self.network.layer_sizes[-1] != self.codec.width:
+            raise ValueError(
+                f"network output width {self.network.layer_sizes[-1]} != "
+                f"target width {self.codec.width}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        encoder: MappingEncoder,
+        codec: TargetCodec,
+        input_whitener: Whitener,
+        target_whitener: Whitener,
+        algorithm: str,
+        hidden_layers: Sequence[int] = DEFAULT_HIDDEN_LAYERS,
+        rng: SeedLike = None,
+    ) -> "Surrogate":
+        """An untrained surrogate with the given topology."""
+        sizes = [encoder.length, *hidden_layers, codec.width]
+        return cls(
+            network=MLP(sizes, rng=rng),
+            encoder=encoder,
+            codec=codec,
+            input_whitener=input_whitener,
+            target_whitener=target_whitener,
+            algorithm=algorithm,
+        )
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def predict_whitened(self, whitened_inputs: np.ndarray) -> np.ndarray:
+        """Whitened target predictions for whitened input rows."""
+        with no_grad():
+            output = self.network(Tensor(np.atleast_2d(whitened_inputs)))
+        return output.numpy()
+
+    def predict_raw_targets(self, whitened_inputs: np.ndarray) -> np.ndarray:
+        """De-whitened (but still log-normalized) target predictions."""
+        return self.target_whitener.inverse(self.predict_whitened(whitened_inputs))
+
+    def whiten_mapping(self, mapping: Mapping, problem: Problem) -> np.ndarray:
+        """Encode + whiten one mapping into surrogate coordinates."""
+        raw = self.encoder.encode(mapping, problem)
+        return self.input_whitener.transform(raw)
+
+    def predict_log2_norm_edp(self, whitened_inputs: np.ndarray) -> np.ndarray:
+        """Predicted ``log2(EDP / lower-bound EDP)`` per input row.
+
+        The scalar objective Phase 2 minimizes; recovered from the
+        meta-statistics outputs (total energy + cycles terms) or directly in
+        ``edp`` target mode.
+        """
+        raw = self.predict_raw_targets(whitened_inputs)
+        return np.apply_along_axis(self.codec.log2_norm_edp, 1, raw)
+
+    def predict_edp_mapping(self, mapping: Mapping, problem: Problem) -> float:
+        """Predicted normalized EDP (linear scale) for one mapping."""
+        whitened = self.whiten_mapping(mapping, problem)
+        return float(2.0 ** self.predict_log2_norm_edp(whitened)[0])
+
+    # ------------------------------------------------------------------
+    # Phase 2 gradients
+    # ------------------------------------------------------------------
+
+    def objective_and_gradient(
+        self, whitened_input: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Predicted log2-normalized EDP and its input gradient.
+
+        Builds the de-whitening of the EDP-relevant output entries into the
+        autograd graph, so the returned gradient is exactly
+        ``d log2(EDP_hat) / d x`` in whitened input coordinates.
+        """
+        x = Tensor(np.asarray(whitened_input, dtype=np.float64), requires_grad=True)
+        output = self.network(x)
+        if self.codec.mode == "edp":
+            scaled = output.select(0) * self.target_whitener.std[0]
+            objective = scaled + self.target_whitener.mean[0]
+        else:
+            e_index = self.codec.total_energy_index
+            c_index = self.codec.cycles_index
+            energy = (
+                output.select(e_index) * self.target_whitener.std[e_index]
+                + self.target_whitener.mean[e_index]
+            )
+            cycles = (
+                output.select(c_index) * self.target_whitener.std[c_index]
+                + self.target_whitener.mean[c_index]
+            )
+            objective = energy + cycles
+        objective.backward()
+        assert x.grad is not None
+        return float(objective.data), x.grad.copy()
+
+    def mapping_gradient(
+        self, mapping: Mapping, problem: Problem
+    ) -> Tuple[float, np.ndarray]:
+        """Objective and whitened-space gradient for a structured mapping."""
+        whitened = self.whiten_mapping(mapping, problem)
+        return self.objective_and_gradient(whitened)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: Path) -> None:
+        """Serialize weights + whitening statistics + metadata to ``.npz``."""
+        payload: Dict[str, np.ndarray] = {
+            f"net_{key}": value for key, value in self.network.state_dict().items()
+        }
+        payload["input_mean"] = self.input_whitener.mean
+        payload["input_std"] = self.input_whitener.std
+        payload["target_mean"] = self.target_whitener.mean
+        payload["target_std"] = self.target_whitener.std
+        payload["layer_sizes"] = np.array(self.network.layer_sizes)
+        payload["dims"] = np.array(self.encoder.dims)
+        payload["tensors"] = np.array(self.encoder.tensors)
+        payload["mode"] = np.array(self.codec.mode)
+        payload["algorithm"] = np.array(self.algorithm)
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path: Path) -> "Surrogate":
+        with np.load(path, allow_pickle=False) as data:
+            encoder = MappingEncoder(
+                [str(d) for d in data["dims"]], [str(t) for t in data["tensors"]]
+            )
+            codec = TargetCodec(n_tensors=len(encoder.tensors), mode=str(data["mode"]))
+            sizes = [int(s) for s in data["layer_sizes"]]
+            network = MLP(sizes)
+            state = {
+                key[len("net_") :]: data[key]
+                for key in data.files
+                if key.startswith("net_")
+            }
+            network.load_state_dict(state)
+            return cls(
+                network=network,
+                encoder=encoder,
+                codec=codec,
+                input_whitener=Whitener(data["input_mean"], data["input_std"]),
+                target_whitener=Whitener(data["target_mean"], data["target_std"]),
+                algorithm=str(data["algorithm"]),
+            )
+
+
+__all__ = ["DEFAULT_HIDDEN_LAYERS", "PAPER_HIDDEN_LAYERS", "Surrogate"]

@@ -1,0 +1,167 @@
+"""Phase 1 training loop (paper sections 4.1 and 5.5).
+
+Supervised regression of whitened meta-statistics from whitened mapping
+vectors: SGD with momentum 0.9, Huber loss, step-decayed learning rate —
+the paper's recipe, with every knob exposed for the Figure 7 sensitivity
+benchmarks (loss choice, dataset size, epochs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dataset import SurrogateDataset
+from repro.core.surrogate import DEFAULT_HIDDEN_LAYERS, Surrogate
+from repro.nn import LOSS_FUNCTIONS, SGD, Adam, StepLR, Tensor, minibatches, no_grad
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters for surrogate training.
+
+    Paper defaults (section 5.5): 100 epochs, lr 1e-2 decayed x0.1 every 25
+    epochs, batch 128, SGD momentum 0.9, Huber loss.  The scaled-down
+    defaults below train a smaller surrogate in seconds; pass
+    ``hidden_layers=PAPER_HIDDEN_LAYERS, epochs=100`` for the full recipe.
+    """
+
+    hidden_layers: Tuple[int, ...] = DEFAULT_HIDDEN_LAYERS
+    epochs: int = 30
+    batch_size: int = 128
+    learning_rate: float = 1e-2
+    lr_decay_every: int = 25
+    lr_decay_factor: float = 0.1
+    momentum: float = 0.9
+    loss: str = "huber"
+    optimizer: str = "sgd"
+    test_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.loss not in LOSS_FUNCTIONS:
+            raise ValueError(f"unknown loss {self.loss!r}; options: {sorted(LOSS_FUNCTIONS)}")
+        if self.optimizer not in ("sgd", "adam"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch train/test losses (the paper's Figure 7a curves)."""
+
+    train_loss: List[float] = field(default_factory=list)
+    test_loss: List[float] = field(default_factory=list)
+    learning_rates: List[float] = field(default_factory=list)
+
+    @property
+    def final_train_loss(self) -> float:
+        return self.train_loss[-1]
+
+    @property
+    def final_test_loss(self) -> float:
+        return self.test_loss[-1]
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    def generalization_gap(self) -> float:
+        """Final |test - train| loss: overfitting indicator (Figure 7a)."""
+        return abs(self.final_test_loss - self.final_train_loss)
+
+
+def train_surrogate(
+    dataset: SurrogateDataset,
+    config: Optional[TrainingConfig] = None,
+    seed: SeedLike = None,
+    callback: Optional[Callable[[int, float, float], None]] = None,
+) -> Tuple[Surrogate, TrainingHistory]:
+    """Train a surrogate on ``dataset``; returns (model, history).
+
+    ``callback(epoch, train_loss, test_loss)`` runs after every epoch (used
+    by the benchmarks to stream Figure 7a rows).
+    """
+    config = config or TrainingConfig()
+    rng = ensure_rng(seed)
+    init_rng, split_rng, batch_rng = spawn_rngs(rng, 3)
+
+    surrogate = Surrogate.build(
+        encoder=dataset.encoder,
+        codec=dataset.codec,
+        input_whitener=dataset.input_whitener,
+        target_whitener=dataset.target_whitener,
+        algorithm=dataset.algorithm,
+        hidden_layers=config.hidden_layers,
+        rng=init_rng,
+    )
+    (train_x, train_y), (test_x, test_y) = dataset.split(
+        test_fraction=config.test_fraction, seed=split_rng
+    )
+    loss_fn = LOSS_FUNCTIONS[config.loss]
+    if config.optimizer == "sgd":
+        optimizer = SGD(
+            surrogate.network.parameters(),
+            lr=config.learning_rate,
+            momentum=config.momentum,
+        )
+    else:
+        optimizer = Adam(surrogate.network.parameters(), lr=config.learning_rate)
+    scheduler = StepLR(optimizer, config.lr_decay_every, config.lr_decay_factor)
+
+    history = TrainingHistory()
+    for epoch in range(config.epochs):
+        epoch_losses: List[float] = []
+        for batch_x, batch_y in minibatches(
+            train_x, train_y, config.batch_size, rng=batch_rng
+        ):
+            optimizer.zero_grad()
+            prediction = surrogate.network(Tensor(batch_x))
+            loss = loss_fn(prediction, batch_y)
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        train_loss = float(np.mean(epoch_losses))
+        test_loss = evaluate_loss(surrogate, test_x, test_y, config.loss)
+        history.train_loss.append(train_loss)
+        history.test_loss.append(test_loss)
+        history.learning_rates.append(optimizer.lr)
+        scheduler.step()
+        if callback is not None:
+            callback(epoch, train_loss, test_loss)
+    return surrogate, history
+
+
+def evaluate_loss(
+    surrogate: Surrogate, inputs: np.ndarray, targets: np.ndarray, loss: str = "huber"
+) -> float:
+    """Loss of ``surrogate`` on whitened (inputs, targets) without training."""
+    loss_fn = LOSS_FUNCTIONS[loss]
+    with no_grad():
+        prediction = surrogate.network(Tensor(inputs))
+    return loss_fn(prediction, targets).item()
+
+
+def edp_prediction_mse(surrogate: Surrogate, dataset: SurrogateDataset) -> float:
+    """MSE between predicted and true log2-normalized EDP over a dataset.
+
+    The metric behind the paper's 32.8x meta-statistics-vs-direct-EDP claim
+    (section 4.1.3): comparable across output representations because both
+    reduce to the same scalar.
+    """
+    whitened_inputs, _ = dataset.whitened()
+    predicted = surrogate.predict_log2_norm_edp(whitened_inputs)
+    actual = np.apply_along_axis(dataset.codec.log2_norm_edp, 1, dataset.targets_raw)
+    return float(np.mean((predicted - actual) ** 2))
+
+
+__all__ = [
+    "TrainingConfig",
+    "TrainingHistory",
+    "edp_prediction_mse",
+    "evaluate_loss",
+    "train_surrogate",
+]

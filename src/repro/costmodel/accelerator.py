@@ -1,0 +1,149 @@
+"""Accelerator architecture specification.
+
+Matches the paper's evaluated hardware (section 5.1.2): 256 PEs, a two-level
+on-chip hierarchy with a 512 KB shared buffer (L2) and 64 KB private buffers
+(L1), banked so capacity can be allocated per tensor, with flexible loop
+order / tile size support at every level and a multicast-capable NoC.
+
+Energy numbers are Eyeriss-class per-word access costs (relative to a ~1 pJ
+MAC); absolute values only scale EDP, they do not change who wins a search
+comparison, which is what the paper's figures measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Canonical memory level names, outermost first.  The map space and cost
+#: model iterate levels in this order.
+MEMORY_LEVELS: Tuple[str, ...] = ("DRAM", "L2", "L1")
+
+#: On-chip levels whose banked capacity is allocated between tensors.
+ALLOCATABLE_LEVELS: Tuple[str, ...] = ("L2", "L1")
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Per-event energy costs in picojoules."""
+
+    mac: float = 1.0
+    l1_access: float = 2.0
+    l2_access: float = 10.0
+    dram_access: float = 200.0
+    noc_hop: float = 1.0
+
+    def access(self, level: str) -> float:
+        """Per-word access energy for ``level`` (one of MEMORY_LEVELS)."""
+        table = {"DRAM": self.dram_access, "L2": self.l2_access, "L1": self.l1_access}
+        try:
+            return table[level]
+        except KeyError:
+            raise KeyError(f"unknown memory level {level!r}") from None
+
+
+@dataclass(frozen=True)
+class Accelerator:
+    """A flexible spatial accelerator (paper Figure 2 generalized).
+
+    Capacities are in bytes; bandwidths in words per cycle; the clock is
+    1 GHz as in the paper, so delay in seconds is ``cycles * 1e-9``.
+    """
+
+    name: str = "mm-accel"
+    num_pes: int = 256
+    l1_bytes: int = 64 * 1024
+    l2_bytes: int = 512 * 1024
+    l1_banks: int = 16
+    l2_banks: int = 32
+    word_bytes: int = 2
+    dram_words_per_cycle: float = 16.0
+    l2_words_per_cycle: float = 64.0
+    l1_words_per_cycle: float = 4.0
+    clock_ghz: float = 1.0
+    energy: EnergyTable = field(default_factory=EnergyTable)
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise ValueError(f"num_pes must be >= 1, got {self.num_pes}")
+        if self.word_bytes < 1:
+            raise ValueError(f"word_bytes must be >= 1, got {self.word_bytes}")
+        for label, cap, banks in (
+            ("L1", self.l1_bytes, self.l1_banks),
+            ("L2", self.l2_bytes, self.l2_banks),
+        ):
+            if cap < 1:
+                raise ValueError(f"{label} capacity must be positive, got {cap}")
+            if banks < 1:
+                raise ValueError(f"{label} bank count must be positive, got {banks}")
+            if cap % banks != 0:
+                raise ValueError(f"{label} capacity {cap} not divisible by {banks} banks")
+
+    # ---- capacity helpers -------------------------------------------------
+
+    def capacity_words(self, level: str) -> int:
+        """Total capacity of ``level`` in words (per PE for L1)."""
+        if level == "L1":
+            return self.l1_bytes // self.word_bytes
+        if level == "L2":
+            return self.l2_bytes // self.word_bytes
+        raise KeyError(f"level {level!r} has no on-chip capacity")
+
+    def banks(self, level: str) -> int:
+        """Number of allocatable banks at ``level``."""
+        if level == "L1":
+            return self.l1_banks
+        if level == "L2":
+            return self.l2_banks
+        raise KeyError(f"level {level!r} has no banks")
+
+    def bank_words(self, level: str) -> int:
+        """Capacity of one bank at ``level`` in words."""
+        return self.capacity_words(level) // self.banks(level)
+
+    def bandwidth(self, level: str) -> float:
+        """Words per cycle deliverable by ``level``."""
+        table = {
+            "DRAM": self.dram_words_per_cycle,
+            "L2": self.l2_words_per_cycle,
+            "L1": self.l1_words_per_cycle,
+        }
+        try:
+            return table[level]
+        except KeyError:
+            raise KeyError(f"unknown memory level {level!r}") from None
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds at this accelerator's clock."""
+        return cycles / (self.clock_ghz * 1e9)
+
+
+def default_accelerator() -> Accelerator:
+    """The paper's evaluation accelerator (section 5.1.2)."""
+    return Accelerator()
+
+
+def small_accelerator() -> Accelerator:
+    """A scaled-down accelerator (16 PEs, small buffers).
+
+    Useful for tests and the 1D-Conv example where exhaustive search over
+    the map space must stay tractable.
+    """
+    return Accelerator(
+        name="mm-accel-small",
+        num_pes=16,
+        l1_bytes=4 * 1024,
+        l2_bytes=32 * 1024,
+        l1_banks=4,
+        l2_banks=8,
+    )
+
+
+__all__ = [
+    "ALLOCATABLE_LEVELS",
+    "Accelerator",
+    "EnergyTable",
+    "MEMORY_LEVELS",
+    "default_accelerator",
+    "small_accelerator",
+]

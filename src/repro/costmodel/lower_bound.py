@@ -1,0 +1,64 @@
+"""Algorithmic-minimum oracle (paper section 5.2 and Appendix A).
+
+The paper normalizes every search result to a *possibly unachievable*
+theoretical lower bound on EDP: minimum energy assumes each tensor word is
+accessed exactly once per memory-hierarchy level (perfect reuse, inclusive
+hierarchy), and minimum delay assumes 100% PE utilization.  The product of
+the two is the lower-bound EDP; real mappings trade one against the other,
+so the bound is typically not achievable — it is a normalization constant,
+not a target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.accelerator import Accelerator
+from repro.workloads.problem import Problem
+
+
+@dataclass(frozen=True)
+class AlgorithmicMinimum:
+    """Lower bounds on energy, delay, and EDP for one problem."""
+
+    problem_name: str
+    energy_pj: float
+    cycles: float
+    clock_ghz: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy_pj * 1e-12
+
+    @property
+    def delay_s(self) -> float:
+        return self.cycles / (self.clock_ghz * 1e9)
+
+    @property
+    def edp(self) -> float:
+        """Lower-bound EDP in joule-seconds."""
+        return self.energy_j * self.delay_s
+
+
+def algorithmic_minimum(problem: Problem, accelerator: Accelerator) -> AlgorithmicMinimum:
+    """Theoretical lower-bound cost (paper Appendix A).
+
+    Energy: each word of each tensor is touched once at each level of the
+    inclusive hierarchy (one DRAM access + one L2 access + one L1 access
+    per word), plus one MAC per compute op.  Cycles: perfect utilization of
+    all PEs at one op per PE per cycle.
+    """
+    energy = accelerator.energy
+    per_word = energy.dram_access + energy.l2_access + energy.l1_access
+    data_words = sum(problem.tensor_size(tensor) for tensor in problem.tensors)
+    energy_pj = data_words * per_word + problem.total_ops * energy.mac
+    cycles = max(problem.total_ops / accelerator.num_pes, 1.0)
+    return AlgorithmicMinimum(
+        problem_name=problem.name,
+        energy_pj=energy_pj,
+        cycles=cycles,
+        clock_ghz=accelerator.clock_ghz,
+    )
+
+
+__all__ = ["AlgorithmicMinimum", "algorithmic_minimum"]

@@ -1,0 +1,201 @@
+"""The analytical accelerator cost model (the reproduction's "Timeloop").
+
+Given a valid mapping and a problem, computes per-tensor traffic at every
+level of the memory hierarchy using the temporal-reuse rule in
+:mod:`repro.costmodel.nest`, spatial multicast/reduction across the PE
+array, bandwidth- and compute-bound cycle counts, and the resulting energy
+breakdown.  The result is deliberately *non-smooth* in the mapping — tiny
+tile changes flip reuse patterns and capacity cliffs — reproducing the
+search-space structure in the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.costmodel.accelerator import Accelerator, MEMORY_LEVELS
+from repro.costmodel.nest import LoopNest, build_nest, distinct_tiles, fill_events
+from repro.costmodel.stats import CostStats, TensorLevelEnergy
+from repro.mapspace.mapping import Mapping
+from repro.utils import prod
+from repro.workloads.problem import Problem, TensorSpec
+
+
+class CostModel:
+    """Evaluates mappings against one accelerator: ``f(m)`` in the paper.
+
+    Instances are stateless (beyond the architecture) and cheap; share one
+    per accelerator.  ``evaluate`` raises ``ValueError`` for mappings whose
+    factor products do not match the problem bounds — membership/capacity
+    checks live in :class:`~repro.mapspace.MapSpace`.
+    """
+
+    def __init__(self, accelerator: Accelerator) -> None:
+        self.accelerator = accelerator
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, mapping: Mapping, problem: Problem) -> CostStats:
+        """Full cost statistics for running ``problem`` under ``mapping``."""
+        self._check_structure(mapping, problem)
+        nest = build_nest(mapping)
+        spatial = mapping.spatial_size
+
+        records: List[TensorLevelEnergy] = []
+        noc_words = 0.0
+        totals = {level: 0.0 for level in MEMORY_LEVELS}
+        l1_words_total = 0.0
+
+        for tensor in problem.tensors:
+            if tensor.is_output:
+                traffic, noc = self._output_traffic(mapping, nest, tensor, spatial)
+            else:
+                traffic, noc = self._input_traffic(mapping, nest, tensor, spatial)
+            noc_words += noc
+            for level in MEMORY_LEVELS:
+                accesses = traffic[level]
+                totals[level] += accesses
+                if level == "L1":
+                    l1_words_total += accesses
+                records.append(
+                    TensorLevelEnergy(
+                        tensor=tensor.name,
+                        level=level,
+                        accesses=accesses,
+                        energy_pj=accesses * self.accelerator.energy.access(level),
+                    )
+                )
+
+        cycles, utilization = self._cycles(nest, problem, spatial, totals, l1_words_total)
+        return CostStats(
+            problem_name=problem.name,
+            records=tuple(records),
+            noc_energy_pj=noc_words * self.accelerator.energy.noc_hop,
+            mac_energy_pj=problem.total_ops * self.accelerator.energy.mac,
+            cycles=cycles,
+            utilization=utilization,
+            spatial_pes=spatial,
+            clock_ghz=self.accelerator.clock_ghz,
+        )
+
+    def evaluate_edp(self, mapping: Mapping, problem: Problem) -> float:
+        """Shortcut for searchers that only need the scalar objective."""
+        return self.evaluate(mapping, problem).edp
+
+    # ------------------------------------------------------------------
+
+    def _check_structure(self, mapping: Mapping, problem: Problem) -> None:
+        if mapping.dims != problem.dim_names:
+            raise ValueError(
+                f"mapping dims {mapping.dims} do not match problem dims "
+                f"{problem.dim_names}"
+            )
+        for dim in problem.dims:
+            implied = mapping.dim_bound(dim.name)
+            if implied != dim.bound:
+                raise ValueError(
+                    f"mapping factors of {dim.name} multiply to {implied}, "
+                    f"problem bound is {dim.bound}"
+                )
+
+    # ---- traffic ------------------------------------------------------
+
+    def _spatial_union_extents(self, mapping: Mapping) -> Dict[str, int]:
+        """Per-dim extent of the union of all PEs' L1 tiles (L1 x spatial)."""
+        extents = {}
+        for dim, (dram, l2, s, l1) in zip(mapping.dims, mapping.tile_factors):
+            extents[dim] = l1 * s
+        return extents
+
+    def _multicast_copies(self, mapping: Mapping, tensor: TensorSpec) -> int:
+        """PEs receiving each word: product of irrelevant spatial factors."""
+        copies = 1
+        for dim, factor in mapping.spatial_factors.items():
+            if not tensor.is_relevant(dim):
+                copies *= factor
+        return copies
+
+    def _input_traffic(
+        self, mapping: Mapping, nest: LoopNest, tensor: TensorSpec, spatial: int
+    ) -> Tuple[Dict[str, float], float]:
+        """Word-access counts per level, and NoC words, for an operand."""
+        relevant = set(tensor.dims)
+        fp_l2 = tensor.footprint(mapping.tile_extents("L2"))
+        fp_union = tensor.footprint(self._spatial_union_extents(mapping))
+
+        fills_l2 = fill_events(nest.above_level("L2"), relevant)
+        dram_reads = fills_l2 * fp_l2
+
+        fills_l1 = fill_events(nest.above_level("L1"), relevant)
+        l2_reads = fills_l1 * fp_union  # multicast: each unique word read once
+        copies = self._multicast_copies(mapping, tensor)
+        deliveries = fills_l1 * fp_union * copies
+
+        reg_fills = fill_events(nest.above_level("REG"), relevant)
+        l1_reads = reg_fills * spatial
+
+        traffic = {
+            "DRAM": float(dram_reads),
+            "L2": float(dram_reads + l2_reads),  # fill writes + drain reads
+            "L1": float(deliveries + l1_reads),  # fill writes + compute reads
+        }
+        return traffic, float(deliveries)
+
+    def _output_traffic(
+        self, mapping: Mapping, nest: LoopNest, tensor: TensorSpec, spatial: int
+    ) -> Tuple[Dict[str, float], float]:
+        """Traffic for the output tensor: final writes + partial-sum spills.
+
+        Every re-install of a partially-reduced tile beyond its first visit
+        costs a write (evict) and a read (restore) at the boundary; the
+        final visit writes the completed tile outward once.
+        """
+        relevant = set(tensor.dims)
+        fp_l2 = tensor.footprint(mapping.tile_extents("L2"))
+        fp_union = tensor.footprint(self._spatial_union_extents(mapping))
+        fp_l1 = tensor.footprint(mapping.tile_extents("L1"))
+
+        above_l2 = nest.above_level("L2")
+        installs = fill_events(above_l2, relevant)
+        distinct = distinct_tiles(above_l2, relevant)
+        spills = installs - distinct
+        dram_words = distinct * fp_l2 + 2.0 * spills * fp_l2
+
+        above_l1 = nest.above_level("L1")
+        installs_l1 = fill_events(above_l1, relevant)
+        distinct_l1 = distinct_tiles(above_l1, relevant)
+        spills_l1 = installs_l1 - distinct_l1
+        drains = installs_l1 * fp_union  # every install eventually drains up
+        restores = spills_l1 * fp_union
+        l2_words = dram_words + drains + restores
+
+        reg_updates = fill_events(nest.above_level("REG"), relevant)
+        l1_words = 2.0 * reg_updates * spatial + (installs_l1 + spills_l1) * fp_l1 * spatial
+
+        noc_words = (installs_l1 + spills_l1) * fp_l1 * spatial
+        traffic = {"DRAM": float(dram_words), "L2": float(l2_words), "L1": float(l1_words)}
+        return traffic, float(noc_words)
+
+    # ---- cycles ---------------------------------------------------------
+
+    def _cycles(
+        self,
+        nest: LoopNest,
+        problem: Problem,
+        spatial: int,
+        level_words: Dict[str, float],
+        l1_words: float,
+    ) -> Tuple[float, float]:
+        """Max of compute-bound and per-level bandwidth-bound cycle counts."""
+        compute_cycles = float(nest.temporal_points) * problem.ops_per_point
+        dram_cycles = level_words["DRAM"] / self.accelerator.bandwidth("DRAM")
+        l2_cycles = level_words["L2"] / self.accelerator.bandwidth("L2")
+        per_pe_l1 = l1_words / max(spatial, 1)
+        l1_cycles = per_pe_l1 / self.accelerator.bandwidth("L1")
+        cycles = max(compute_cycles, dram_cycles, l2_cycles, l1_cycles, 1.0)
+        ideal = problem.total_ops / self.accelerator.num_pes
+        utilization = min(ideal / cycles, 1.0)
+        return cycles, utilization
+
+
+__all__ = ["CostModel"]

@@ -1,0 +1,119 @@
+"""Loop-nest construction and temporal-reuse analysis.
+
+The analytical model reasons about the *full* loop nest implied by a mapping:
+DRAM-level loops outermost, then L2-level loops, then (conceptually parallel)
+spatial distribution, then L1-level loops innermost.  Temporal reuse follows
+Timeloop's rule: a tensor's tile resident at some level must be re-filled
+once per iteration of every loop above that level, *except* trailing loops
+that are all irrelevant to the tensor — those iterate with the tile resident
+and contribute pure reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Container, Iterable, List, Sequence, Tuple
+
+from repro.mapspace.mapping import Mapping, ORDER_LEVELS
+from repro.utils import prod
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One temporal loop: the dimension it iterates, bound, home level."""
+
+    dim: str
+    bound: int
+    level: str
+
+    def __post_init__(self) -> None:
+        if self.bound < 1:
+            raise ValueError(f"loop over {self.dim!r} has bound {self.bound}")
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """The concatenated temporal loop nest of a mapping, outermost first.
+
+    Bound-1 loops are dropped: they neither iterate nor break reuse, and
+    eliding them keeps the reuse products exact while shrinking the walks.
+    """
+
+    loops: Tuple[Loop, ...]
+
+    def at_level(self, level: str) -> Tuple[Loop, ...]:
+        """The loops homed at ``level``."""
+        return tuple(loop for loop in self.loops if loop.level == level)
+
+    def above_level(self, level: str) -> Tuple[Loop, ...]:
+        """All loops strictly outside the storage at ``level``.
+
+        For L2 that is the DRAM-level loops; for L1 it is DRAM + L2 loops;
+        for the register level (``level="REG"``) it is every temporal loop.
+        """
+        if level == "DRAM":
+            return ()
+        if level == "L2":
+            return self.at_level("DRAM")
+        if level == "L1":
+            return self.at_level("DRAM") + self.at_level("L2")
+        if level == "REG":
+            return self.loops
+        raise KeyError(f"unknown level {level!r}")
+
+    @property
+    def temporal_points(self) -> int:
+        """Product of all temporal loop bounds (iterations per PE)."""
+        return prod(loop.bound for loop in self.loops)
+
+
+def build_nest(mapping: Mapping) -> LoopNest:
+    """The temporal loop nest implied by ``mapping``.
+
+    Each level contributes one loop per dimension in that level's loop
+    order (outermost loop first); bound-1 loops are elided.
+    """
+    loops: List[Loop] = []
+    for level in ORDER_LEVELS:
+        factors = mapping.level_factors(level)
+        for dim in mapping.loop_order(level):
+            bound = factors[dim]
+            if bound > 1:
+                loops.append(Loop(dim=dim, bound=bound, level=level))
+    return LoopNest(loops=tuple(loops))
+
+
+def fill_events(loops_above: Sequence[Loop], relevant: Container[str]) -> int:
+    """Times a tile must be (re)filled, given the loops outside its storage.
+
+    Timeloop's temporal-reuse rule: multiply the bounds of every loop from
+    the outermost down to the innermost loop whose dimension is *relevant*
+    to the tensor.  Trailing irrelevant loops keep the tile resident (pure
+    reuse) and do not contribute.  With no relevant loop above, the tile is
+    filled exactly once.
+    """
+    last_relevant = -1
+    for index, loop in enumerate(loops_above):
+        if loop.dim in relevant:
+            last_relevant = index
+    return prod(loop.bound for loop in loops_above[: last_relevant + 1])
+
+
+def distinct_tiles(loops_above: Sequence[Loop], relevant: Container[str]) -> int:
+    """Number of *distinct* tiles touched, given the loops outside storage.
+
+    Product of relevant loop bounds only.  ``fill_events / distinct_tiles``
+    is the average number of times each tile is re-installed; for output
+    tensors every re-install beyond the first is partial-sum spill traffic.
+    """
+    return prod(loop.bound for loop in loops_above if loop.dim in relevant)
+
+
+def reuse_factor(loops_above: Sequence[Loop], relevant: Container[str]) -> float:
+    """Temporal reuse: iterations that ran per tile fill (>= 1)."""
+    total = prod(loop.bound for loop in loops_above)
+    fills = fill_events(loops_above, relevant)
+    return total / fills if fills else float(total)
+
+
+__all__ = ["Loop", "LoopNest", "build_nest", "distinct_tiles", "fill_events", "reuse_factor"]

@@ -1,0 +1,93 @@
+"""Designer-defined optimization objectives (paper section 2.3).
+
+The paper defines the cost function as the *designer's* choice — EDP in its
+evaluation, but explicitly any weighted combination of measurable factors.
+:class:`Objective` captures that contract: a named, monotone scalarization
+of :class:`~repro.costmodel.CostStats` that any searcher can minimize.
+
+Built-ins cover the common accelerator design points:
+
+* ``edp``      — energy x delay (the paper's evaluation objective),
+* ``ed2p``     — energy x delay^2 (throughput-leaning),
+* ``energy``   — energy only (battery-bound edge),
+* ``delay``    — latency only (real-time),
+* ``edap``-style weighted sums via :func:`weighted_objective`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping
+
+from repro.costmodel.stats import CostStats
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A named scalar cost over :class:`CostStats` (lower is better)."""
+
+    name: str
+    evaluate: Callable[[CostStats], float]
+
+    def __call__(self, stats: CostStats) -> float:
+        return self.evaluate(stats)
+
+
+def _edp(stats: CostStats) -> float:
+    return stats.edp
+
+
+def _ed2p(stats: CostStats) -> float:
+    return stats.energy_j * stats.delay_s**2
+
+
+def _energy(stats: CostStats) -> float:
+    return stats.energy_j
+
+
+def _delay(stats: CostStats) -> float:
+    return stats.delay_s
+
+
+#: Built-in objectives by name.
+OBJECTIVES: Dict[str, Objective] = {
+    "edp": Objective("edp", _edp),
+    "ed2p": Objective("ed2p", _ed2p),
+    "energy": Objective("energy", _energy),
+    "delay": Objective("delay", _delay),
+}
+
+
+def get_objective(name: str) -> Objective:
+    """Look up a built-in objective by name."""
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown objective {name!r}; built-ins: {sorted(OBJECTIVES)}"
+        ) from None
+
+
+def weighted_objective(weights: Mapping[str, float], name: str = "weighted") -> Objective:
+    """A weighted sum of built-in objectives (paper section 2.3's form).
+
+    ``weights`` maps built-in objective names to non-negative weights, e.g.
+    ``{"energy": 0.7, "delay": 0.3}``.  Each term is evaluated in its own
+    units; callers choose weights accordingly (the paper's example: weight
+    DRAM accesses by energy-per-access).
+    """
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    resolved = []
+    for key, weight in weights.items():
+        if weight < 0:
+            raise ValueError(f"weight for {key!r} must be non-negative, got {weight}")
+        resolved.append((get_objective(key), float(weight)))
+
+    def evaluate(stats: CostStats) -> float:
+        return sum(weight * objective(stats) for objective, weight in resolved)
+
+    return Objective(name=name, evaluate=evaluate)
+
+
+__all__ = ["OBJECTIVES", "Objective", "get_objective", "weighted_objective"]

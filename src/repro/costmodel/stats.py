@@ -1,0 +1,126 @@
+"""Cost statistics produced by the analytical model.
+
+The paper (section 4.1.3) trains the surrogate against a *meta-statistics*
+vector rather than scalar EDP: per-level energy for each tensor, compute
+utilization, total cycles, and total energy.  :class:`CostStats` is that
+vector plus enough bookkeeping (access counts, NoC/MAC energy) for the
+benchmarks and tests to audit the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, NamedTuple, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel.accelerator import MEMORY_LEVELS
+
+
+class TensorLevelEnergy(NamedTuple):
+    """Accesses and energy for one (tensor, memory level) pair."""
+
+    tensor: str
+    level: str
+    accesses: float
+    energy_pj: float
+
+
+@dataclass(frozen=True)
+class CostStats:
+    """Full evaluation result for one (mapping, problem) pair.
+
+    Energies are picojoules; ``cycles`` at the accelerator clock;
+    ``utilization`` is achieved compute throughput over peak (0..1].
+    """
+
+    problem_name: str
+    records: Tuple[TensorLevelEnergy, ...]
+    noc_energy_pj: float
+    mac_energy_pj: float
+    cycles: float
+    utilization: float
+    spatial_pes: int
+    clock_ghz: float = 1.0
+
+    # ---- aggregate views ---------------------------------------------------
+
+    @property
+    def memory_energy_pj(self) -> float:
+        """Energy spent in the memory hierarchy (all tensors, all levels)."""
+        return sum(record.energy_pj for record in self.records)
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Total energy: memory + NoC + compute."""
+        return self.memory_energy_pj + self.noc_energy_pj + self.mac_energy_pj
+
+    @property
+    def energy_j(self) -> float:
+        return self.total_energy_pj * 1e-12
+
+    @property
+    def delay_s(self) -> float:
+        return self.cycles / (self.clock_ghz * 1e9)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds — the search objective."""
+        return self.energy_j * self.delay_s
+
+    def energy_pj_for(self, tensor: str, level: str) -> float:
+        """Energy for one (tensor, level) pair (0.0 when never accessed)."""
+        for record in self.records:
+            if record.tensor == tensor and record.level == level:
+                return record.energy_pj
+        return 0.0
+
+    def accesses_for(self, tensor: str, level: str) -> float:
+        """Word accesses for one (tensor, level) pair."""
+        for record in self.records:
+            if record.tensor == tensor and record.level == level:
+                return record.accesses
+        return 0.0
+
+    def energy_by_level(self) -> Dict[str, float]:
+        """Energy per memory level summed over tensors."""
+        totals = {level: 0.0 for level in MEMORY_LEVELS}
+        for record in self.records:
+            totals[record.level] += record.energy_pj
+        return totals
+
+    # ---- the paper's meta-statistics vector ---------------------------------
+
+    def meta_vector(self, tensor_order: Sequence[str]) -> np.ndarray:
+        """The surrogate's training target (paper section 5.5).
+
+        Layout: per-level energy for each tensor in ``tensor_order`` (levels
+        in ``MEMORY_LEVELS`` order), then total energy, utilization, cycles.
+        Length is ``3 * n_tensors + 3``: 12 values for CNN-Layer's three
+        tensors, 15 for MTTKRP's four — matching the paper's output widths.
+        """
+        values = [
+            self.energy_pj_for(tensor, level)
+            for tensor in tensor_order
+            for level in MEMORY_LEVELS
+        ]
+        values.append(self.total_energy_pj)
+        values.append(self.utilization)
+        values.append(self.cycles)
+        return np.asarray(values, dtype=np.float64)
+
+    @staticmethod
+    def meta_vector_length(n_tensors: int) -> int:
+        """Length of :meth:`meta_vector` for ``n_tensors`` tensors."""
+        return 3 * n_tensors + 3
+
+    def summary(self) -> str:
+        """One-line rendering used by examples and the harness."""
+        return (
+            f"{self.problem_name}: EDP={self.edp:.3e} J*s, "
+            f"energy={self.energy_j * 1e3:.3f} mJ, cycles={self.cycles:.3e}, "
+            f"util={self.utilization:.2%}, PEs={self.spatial_pes}"
+        )
+
+
+__all__ = ["CostStats", "TensorLevelEnergy"]

@@ -1,0 +1,257 @@
+"""Iso-iteration and iso-time experiment runners (Figures 5 and 6).
+
+Methodology follows paper section 5.2: each method runs ``runs`` times with
+different seeds; at every cost-function evaluation the best-so-far *true*
+EDP (normalized to the algorithmic minimum) is recorded; curves are averaged
+across runs.  Mind Mappings' own objective is its surrogate, so its visited
+mappings are re-scored with the true cost model *after* the search — exactly
+how the paper plots MM against oracle-driven baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.costmodel.accelerator import Accelerator
+from repro.costmodel.lower_bound import algorithmic_minimum
+from repro.costmodel.model import CostModel
+from repro.mapspace.mapping import Mapping
+from repro.mapspace.space import MapSpace
+from repro.search.base import SearchResult, Searcher
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+from repro.workloads.problem import Problem
+
+#: Builds a searcher for one problem's map space.
+SearcherFactory = Callable[[MapSpace], Searcher]
+
+
+@dataclass
+class ExperimentConfig:
+    """Shared knobs for figure experiments.
+
+    ``oracle_latency_s`` is the simulated per-query cost of the reference
+    cost model, applied to oracle-driven searchers in iso-time runs (the
+    paper's Timeloop queries are 150-425x slower than surrogate queries; see
+    DESIGN.md substitutions).  The surrogate-driven searcher pays its real
+    wall-clock cost instead.
+    """
+
+    iterations: int = 500
+    runs: int = 3
+    time_budget_s: float = 2.0
+    oracle_latency_s: float = 0.02
+    time_grid_points: int = 24
+
+
+@dataclass
+class MethodCurve:
+    """Averaged convergence curve of one method on one problem."""
+
+    method: str
+    problem: str
+    grid: np.ndarray  # iteration numbers (iso-iteration) or seconds (iso-time)
+    mean_best_norm_edp: np.ndarray
+    std_best_norm_edp: np.ndarray
+    runs: int
+    final_norm_edp: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.grid) != len(self.mean_best_norm_edp):
+            raise ValueError("grid and curve lengths differ")
+        self.final_norm_edp = float(self.mean_best_norm_edp[-1])
+
+
+class _TrueCostCache:
+    """Memoized true-EDP evaluation (mappings repeat heavily in traces)."""
+
+    def __init__(self, model: CostModel, problem: Problem) -> None:
+        self._model = model
+        self._problem = problem
+        self._cache: Dict[Mapping, float] = {}
+
+    def edp(self, mapping: Mapping) -> float:
+        value = self._cache.get(mapping)
+        if value is None:
+            value = self._model.evaluate_edp(mapping, self._problem)
+            self._cache[mapping] = value
+        return value
+
+
+def _best_so_far_true(
+    result: SearchResult, cache: _TrueCostCache, lower_bound_edp: float
+) -> np.ndarray:
+    """Best-so-far true normalized EDP after each evaluation."""
+    curve = np.empty(result.n_evaluations)
+    best = math.inf
+    for index, mapping in enumerate(result.mappings):
+        best = min(best, cache.edp(mapping) / lower_bound_edp)
+        curve[index] = best
+    return curve
+
+
+def _average_curves(curves: Sequence[np.ndarray]) -> tuple:
+    """Truncate to the shortest run and average (mean, std)."""
+    length = min(len(c) for c in curves)
+    stacked = np.stack([c[:length] for c in curves])
+    return stacked.mean(axis=0), stacked.std(axis=0), length
+
+
+def run_iso_iteration(
+    problem: Problem,
+    accelerator: Accelerator,
+    methods: Dict[str, SearcherFactory],
+    config: Optional[ExperimentConfig] = None,
+    seed: SeedLike = None,
+) -> Dict[str, MethodCurve]:
+    """Figure 5 experiment: fixed evaluation budget, quality vs iteration."""
+    config = config or ExperimentConfig()
+    rng = ensure_rng(seed)
+    space = MapSpace(problem, accelerator)
+    model = CostModel(accelerator)
+    cache = _TrueCostCache(model, problem)
+    lower_bound = algorithmic_minimum(problem, accelerator).edp
+
+    curves: Dict[str, MethodCurve] = {}
+    for name, factory in methods.items():
+        run_curves: List[np.ndarray] = []
+        for run_rng in spawn_rngs(rng, config.runs):
+            searcher = factory(space)
+            result = searcher.search(config.iterations, seed=run_rng)
+            run_curves.append(_best_so_far_true(result, cache, lower_bound))
+        mean, std, length = _average_curves(run_curves)
+        curves[name] = MethodCurve(
+            method=name,
+            problem=problem.name,
+            grid=np.arange(1, length + 1, dtype=float),
+            mean_best_norm_edp=mean,
+            std_best_norm_edp=std,
+            runs=config.runs,
+        )
+    return curves
+
+
+def run_iso_time(
+    problem: Problem,
+    accelerator: Accelerator,
+    methods: Dict[str, SearcherFactory],
+    config: Optional[ExperimentConfig] = None,
+    seed: SeedLike = None,
+    surrogate_methods: Sequence[str] = ("MM",),
+) -> Dict[str, MethodCurve]:
+    """Figure 6 experiment: fixed wall-clock budget, quality vs time.
+
+    Oracle-driven methods are charged ``config.oracle_latency_s`` of
+    simulated latency per query; methods named in ``surrogate_methods`` pay
+    only their real wall-clock cost.  Curves are resampled onto a shared
+    log-spaced time grid (the paper's Figure 6 x-axis is log time).
+    """
+    config = config or ExperimentConfig()
+    rng = ensure_rng(seed)
+    space = MapSpace(problem, accelerator)
+    model = CostModel(accelerator)
+    cache = _TrueCostCache(model, problem)
+    lower_bound = algorithmic_minimum(problem, accelerator).edp
+    grid = np.geomspace(
+        max(config.time_budget_s / 200.0, 1e-3),
+        config.time_budget_s,
+        config.time_grid_points,
+    )
+
+    curves: Dict[str, MethodCurve] = {}
+    for name, factory in methods.items():
+        sampled: List[np.ndarray] = []
+        for run_rng in spawn_rngs(rng, config.runs):
+            searcher = factory(space)
+            if name not in surrogate_methods:
+                searcher.simulated_latency_s = config.oracle_latency_s
+            # Generous iteration cap: the time budget is the binding limit.
+            result = searcher.search(
+                max(config.iterations * 50, 1000),
+                seed=run_rng,
+                time_budget_s=config.time_budget_s,
+            )
+            best_curve = _best_so_far_true(result, cache, lower_bound)
+            times = np.asarray(result.eval_times)
+            sampled.append(_resample_to_grid(times, best_curve, grid))
+        stacked = np.stack(sampled)
+        curves[name] = MethodCurve(
+            method=name,
+            problem=problem.name,
+            grid=grid.copy(),
+            mean_best_norm_edp=stacked.mean(axis=0),
+            std_best_norm_edp=stacked.std(axis=0),
+            runs=config.runs,
+        )
+    return curves
+
+
+def _resample_to_grid(
+    times: np.ndarray, best_curve: np.ndarray, grid: np.ndarray
+) -> np.ndarray:
+    """Step-interpolate a best-so-far curve onto a common time grid.
+
+    Grid points before the first evaluation take the first value (no
+    better information exists yet).
+    """
+    if len(times) == 0:
+        return np.full_like(grid, np.nan)
+    indices = np.searchsorted(times, grid, side="right") - 1
+    indices = np.clip(indices, 0, len(best_curve) - 1)
+    return best_curve[indices]
+
+
+def build_standard_methods(
+    accelerator: Accelerator,
+    surrogate=None,
+    *,
+    include: Sequence[str] = ("MM", "SA", "GA", "RL", "Random"),
+    ga_population: int = 100,
+) -> Dict[str, SearcherFactory]:
+    """Factories for the paper's comparison set.
+
+    ``surrogate`` (a trained :class:`repro.core.Surrogate`) is required
+    whenever "MM" is included.  Import is deferred to avoid a package cycle
+    (core already imports search.base).
+    """
+    from repro.core.gradient_search import GradientSearcher
+    from repro.search import (
+        GeneticSearcher,
+        RLSearcher,
+        RandomSearcher,
+        SimulatedAnnealingSearcher,
+    )
+
+    model = CostModel(accelerator)
+    factories: Dict[str, SearcherFactory] = {}
+    for name in include:
+        if name == "MM":
+            if surrogate is None:
+                raise ValueError("MM requires a trained surrogate")
+            factories["MM"] = lambda space, s=surrogate: GradientSearcher(space, s)
+        elif name == "SA":
+            factories["SA"] = lambda space: SimulatedAnnealingSearcher(space, model)
+        elif name == "GA":
+            factories["GA"] = lambda space: GeneticSearcher(
+                space, model, population_size=ga_population
+            )
+        elif name == "RL":
+            factories["RL"] = lambda space: RLSearcher(space, model)
+        elif name == "Random":
+            factories["Random"] = lambda space: RandomSearcher(space, model)
+        else:
+            raise KeyError(f"unknown method {name!r}")
+    return factories
+
+
+__all__ = [
+    "ExperimentConfig",
+    "MethodCurve",
+    "SearcherFactory",
+    "build_standard_methods",
+    "run_iso_iteration",
+    "run_iso_time",
+]

@@ -1,0 +1,68 @@
+"""Export experiment curves to CSV/JSON for external plotting.
+
+The ASCII renderings are for terminals; anyone regenerating the paper's
+figures in matplotlib/gnuplot wants the raw series.  Formats are plain
+stdlib (csv/json) so downstream tooling has zero extra dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Mapping as MappingType
+
+from repro.harness.experiments import MethodCurve
+
+
+def curves_to_csv(curves: MappingType[str, MethodCurve], path: Path) -> None:
+    """Write curves as long-format CSV: method, grid, mean, std."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["problem", "method", "grid", "mean_best_norm_edp", "std"])
+        for name, curve in curves.items():
+            for x, mean, std in zip(
+                curve.grid, curve.mean_best_norm_edp, curve.std_best_norm_edp
+            ):
+                writer.writerow(
+                    [curve.problem, name, f"{x:g}", f"{mean:.6g}", f"{std:.6g}"]
+                )
+
+
+def curves_to_json(curves: MappingType[str, MethodCurve], path: Path) -> None:
+    """Write curves as a JSON document keyed by method name."""
+    path = Path(path)
+    payload = {
+        name: {
+            "problem": curve.problem,
+            "runs": curve.runs,
+            "grid": [float(x) for x in curve.grid],
+            "mean_best_norm_edp": [float(v) for v in curve.mean_best_norm_edp],
+            "std_best_norm_edp": [float(v) for v in curve.std_best_norm_edp],
+            "final_norm_edp": curve.final_norm_edp,
+        }
+        for name, curve in curves.items()
+    }
+    path.write_text(json.dumps(payload, indent=2))
+
+
+def load_curves_json(path: Path) -> MappingType[str, MethodCurve]:
+    """Inverse of :func:`curves_to_json`."""
+    import numpy as np
+
+    payload = json.loads(Path(path).read_text())
+    curves = {}
+    for name, entry in payload.items():
+        curves[name] = MethodCurve(
+            method=name,
+            problem=entry["problem"],
+            grid=np.asarray(entry["grid"], dtype=float),
+            mean_best_norm_edp=np.asarray(entry["mean_best_norm_edp"], dtype=float),
+            std_best_norm_edp=np.asarray(entry["std_best_norm_edp"], dtype=float),
+            runs=int(entry["runs"]),
+        )
+    return curves
+
+
+__all__ = ["curves_to_csv", "curves_to_json", "load_curves_json"]

@@ -1,0 +1,96 @@
+"""Headline summary statistics (paper section 5.4).
+
+The paper's headline claims are geomean EDP ratios of baseline-over-MM at
+fixed budgets — 1.40x (SA), 1.76x (GA), 1.29x (RL) iso-iteration; 3.16x /
+4.19x / 2.90x iso-time — plus MM's 5.3x average gap to the algorithmic
+minimum.  These helpers compute the same aggregates from experiment curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping as MappingType, Sequence
+
+from repro.harness.experiments import MethodCurve
+from repro.utils import geomean
+
+
+@dataclass(frozen=True)
+class RatioSummary:
+    """Geomean of (baseline EDP / reference EDP) across problems."""
+
+    reference: str
+    baseline: str
+    ratio: float
+    per_problem: MappingType[str, float]
+
+    def describe(self) -> str:
+        return (
+            f"{self.baseline} / {self.reference} geomean EDP ratio: "
+            f"{self.ratio:.2f}x (n={len(self.per_problem)})"
+        )
+
+
+def geomean_ratios(
+    curves_by_problem: MappingType[str, MappingType[str, MethodCurve]],
+    reference: str = "MM",
+) -> List[RatioSummary]:
+    """Geomean final-EDP ratio of every method against ``reference``.
+
+    ``curves_by_problem`` maps problem name -> method name -> curve (one
+    figure-experiment output per problem).  A ratio above 1 means the
+    baseline found worse (higher-EDP) mappings than the reference.
+    """
+    methods: List[str] = []
+    for curves in curves_by_problem.values():
+        if reference not in curves:
+            raise KeyError(f"reference {reference!r} missing from a problem's curves")
+        for name in curves:
+            if name != reference and name not in methods:
+                methods.append(name)
+    summaries = []
+    for method in methods:
+        per_problem: Dict[str, float] = {}
+        for problem, curves in curves_by_problem.items():
+            if method not in curves:
+                continue
+            per_problem[problem] = (
+                curves[method].final_norm_edp / curves[reference].final_norm_edp
+            )
+        if per_problem:
+            summaries.append(
+                RatioSummary(
+                    reference=reference,
+                    baseline=method,
+                    ratio=geomean(list(per_problem.values())),
+                    per_problem=per_problem,
+                )
+            )
+    return summaries
+
+
+def gap_to_lower_bound(
+    curves_by_problem: MappingType[str, MappingType[str, MethodCurve]],
+    method: str = "MM",
+) -> float:
+    """Geomean of ``method``'s final normalized EDP (already LB-relative).
+
+    The paper reports ~5.3x for Mind Mappings — "proximity to the global
+    optima" since the bound itself is likely unachievable.
+    """
+    values = [curves[method].final_norm_edp for curves in curves_by_problem.values()]
+    return geomean(values)
+
+
+def summarize_final_quality(
+    curves: MappingType[str, MethodCurve]
+) -> List[Sequence[str]]:
+    """Table rows (method, final normalized EDP, runs) for one problem."""
+    rows: List[Sequence[str]] = []
+    for name in sorted(curves, key=lambda n: curves[n].final_norm_edp):
+        curve = curves[name]
+        rows.append((name, f"{curve.final_norm_edp:.2f}", str(curve.runs)))
+    return rows
+
+
+__all__ = ["RatioSummary", "gap_to_lower_bound", "geomean_ratios", "summarize_final_quality"]

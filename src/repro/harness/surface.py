@@ -1,0 +1,129 @@
+"""Cost-surface sweep (paper Figure 3).
+
+The paper motivates gradient-through-a-surrogate by plotting EDP over two
+tile-size axes: the surface is spiky, non-smooth, and non-convex.  This
+module regenerates that surface for any problem — sweeping the L2 tile
+factor of two chosen dimensions with everything else held fixed — and
+quantifies the non-smoothness (fraction of adjacent cells whose EDP jumps
+by more than a factor) so the benchmark can assert on structure, not just
+render it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel.accelerator import Accelerator
+from repro.costmodel.lower_bound import algorithmic_minimum
+from repro.costmodel.model import CostModel
+from repro.mapspace.space import MapSpace
+from repro.utils import divisors
+from repro.utils.rng import SeedLike
+from repro.workloads.problem import Problem
+
+
+@dataclass
+class CostSurface:
+    """Normalized-EDP grid over two tile-size axes."""
+
+    problem: str
+    dim_x: str
+    dim_y: str
+    x_values: Tuple[int, ...]
+    y_values: Tuple[int, ...]
+    norm_edp: np.ndarray  # shape (len(y_values), len(x_values))
+
+    def jump_fraction(self, factor: float = 2.0) -> float:
+        """Fraction of adjacent cell pairs with an EDP jump above ``factor``.
+
+        A smooth surface has ~0; the paper's Figure 3 terrain produces a
+        substantial fraction — the quantitative form of "spiky".
+        """
+        jumps = 0
+        pairs = 0
+        grid = self.norm_edp
+        for axis in (0, 1):
+            a = np.moveaxis(grid, axis, 0)
+            ratio = a[1:] / np.maximum(a[:-1], 1e-30)
+            ratio = np.maximum(ratio, 1.0 / np.maximum(ratio, 1e-30))
+            jumps += int((ratio > factor).sum())
+            pairs += ratio.size
+        return jumps / pairs if pairs else 0.0
+
+    def local_minima_count(self) -> int:
+        """Grid cells strictly below all 4-neighbours (non-convexity proxy)."""
+        grid = self.norm_edp
+        count = 0
+        rows, cols = grid.shape
+        for i in range(rows):
+            for j in range(cols):
+                value = grid[i, j]
+                neighbors = []
+                if i > 0:
+                    neighbors.append(grid[i - 1, j])
+                if i < rows - 1:
+                    neighbors.append(grid[i + 1, j])
+                if j > 0:
+                    neighbors.append(grid[i, j - 1])
+                if j < cols - 1:
+                    neighbors.append(grid[i, j + 1])
+                if neighbors and all(value < n for n in neighbors):
+                    count += 1
+        return count
+
+    @property
+    def dynamic_range(self) -> float:
+        """max / min EDP over the swept surface."""
+        return float(self.norm_edp.max() / self.norm_edp.min())
+
+
+def sweep_cost_surface(
+    problem: Problem,
+    accelerator: Accelerator,
+    dim_x: str,
+    dim_y: str,
+    seed: SeedLike = None,
+) -> CostSurface:
+    """Sweep the L2 tile size of two dimensions (Figure 3).
+
+    A random valid base mapping fixes every other attribute; for each
+    (x, y) divisor pair of the two dimensions' *full bounds*, the swept
+    dimensions are re-tiled as ``(bound / tile, tile, 1, 1)`` — all of the
+    tile resident at L2, the remainder iterated from DRAM — and the
+    resulting mapping is projected to validity and evaluated.  Sweeping the
+    full divisor lattice exposes the capacity cliffs and reuse
+    discontinuities the paper's Figure 3 shows.
+    """
+    if dim_x == dim_y:
+        raise ValueError("choose two distinct dimensions")
+    space = MapSpace(problem, accelerator)
+    model = CostModel(accelerator)
+    lower_bound = algorithmic_minimum(problem, accelerator).edp
+    base = space.sample(seed)
+    bounds = problem.bounds
+
+    x_values = divisors(bounds[dim_x])
+    y_values = divisors(bounds[dim_y])
+    grid = np.empty((len(y_values), len(x_values)))
+    for yi, y in enumerate(y_values):
+        for xi, x in enumerate(x_values):
+            mapping = base
+            for dim, tile in ((dim_x, x), (dim_y, y)):
+                bound = bounds[dim]
+                mapping = mapping.with_tile_factors(dim, (bound // tile, tile, 1, 1))
+            mapping = space.project(mapping)
+            grid[yi, xi] = model.evaluate_edp(mapping, problem) / lower_bound
+    return CostSurface(
+        problem=problem.name,
+        dim_x=dim_x,
+        dim_y=dim_y,
+        x_values=x_values,
+        y_values=y_values,
+        norm_edp=grid,
+    )
+
+
+__all__ = ["CostSurface", "sweep_cost_surface"]

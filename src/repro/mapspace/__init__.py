@@ -1,0 +1,36 @@
+"""Mapping and map-space abstractions (paper sections 2.1-2.2, Appendix B).
+
+A :class:`Mapping` fixes every programmable attribute of the accelerator for
+one problem:
+
+* **Tiling** — per dimension, an exact factorization into (DRAM, L2-temporal,
+  spatial, L1) factors,
+* **Loop orders** — a permutation of the dimensions at each temporal level,
+* **Parallelism** — the spatial factors (distribution across PEs), and
+* **Buffer allocation** — banks assigned to each tensor at L2 and L1.
+
+A :class:`MapSpace` binds a problem to an accelerator and provides the three
+routines the paper's API requires (Appendix B): ``sample`` (getMapping),
+``is_member`` (isMember), and ``project`` (getProjection), plus neighbourhood
+moves for black-box searchers and exhaustive enumeration for tiny spaces.
+"""
+
+from repro.mapspace.mapping import Mapping
+from repro.mapspace.factors import (
+    compositions,
+    nearest_factorization,
+    sample_composition,
+    sample_factorization,
+    smallest_prime_factor,
+)
+from repro.mapspace.space import MapSpace
+
+__all__ = [
+    "MapSpace",
+    "Mapping",
+    "compositions",
+    "nearest_factorization",
+    "sample_composition",
+    "sample_factorization",
+    "smallest_prime_factor",
+]

@@ -1,0 +1,169 @@
+"""Factorization and composition utilities for tilings and bank allocations.
+
+Tile sizes must exactly factorize each problem dimension across the memory
+levels, so uniform map-space sampling reduces to uniform choice among ordered
+factorizations, and gradient projection reduces to nearest-factorization
+search in log space (paper section 4.2, "Projected Gradient Descent").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils import factorizations
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def sample_factorization(n: int, parts: int, rng: SeedLike = None) -> Tuple[int, ...]:
+    """Uniformly sample one ordered factorization of ``n`` into ``parts``.
+
+    Uniform over *factorizations* (not over factor values), matching the
+    paper's uniform map-space sampling.
+    """
+    options = factorizations(n, parts)
+    generator = ensure_rng(rng)
+    return options[int(generator.integers(0, len(options)))]
+
+
+def nearest_factorization(
+    n: int, parts: int, target: Sequence[float]
+) -> Tuple[int, ...]:
+    """The ordered factorization of ``n`` closest to ``target`` in log space.
+
+    ``target`` holds desired (possibly fractional, possibly non-dividing)
+    factors, e.g. produced by a gradient step.  Distance is the L2 norm of
+    per-part ``log2`` ratios, so halving and doubling a factor are equally
+    wrong — matching the log2 encoding the surrogate sees.
+    """
+    if len(target) != parts:
+        raise ValueError(f"target has {len(target)} parts, expected {parts}")
+    logs = [math.log2(max(float(t), 1e-9)) for t in target]
+    best: Tuple[int, ...] = ()
+    best_distance = math.inf
+    for option in factorizations(n, parts):
+        distance = 0.0
+        for value, want in zip(option, logs):
+            delta = math.log2(value) - want
+            distance += delta * delta
+            if distance >= best_distance:
+                break
+        if distance < best_distance:
+            best_distance = distance
+            best = option
+    return best
+
+
+def compositions(total: int, parts: int, min_each: int = 1) -> Tuple[Tuple[int, ...], ...]:
+    """All ordered compositions of ``total`` into ``parts`` with lower bound.
+
+    Used to enumerate bank allocations in tiny map spaces.  The count is
+    ``C(total - parts * min_each + parts - 1, parts - 1)``; callers should
+    only enumerate when that is small.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    spare = total - parts * min_each
+    if spare < 0:
+        raise ValueError(
+            f"cannot split {total} into {parts} parts of at least {min_each}"
+        )
+    if parts == 1:
+        return ((total,),)
+    result: List[Tuple[int, ...]] = []
+    for head in range(min_each, total - (parts - 1) * min_each + 1):
+        for tail in compositions(total - head, parts - 1, min_each):
+            result.append((head,) + tail)
+    return tuple(result)
+
+
+def sample_composition(
+    total: int, parts: int, rng: SeedLike = None, min_each: int = 1
+) -> Tuple[int, ...]:
+    """Uniformly sample a composition of ``total`` into ``parts`` >= min_each.
+
+    Stars-and-bars: place ``parts - 1`` cuts uniformly among the spare units,
+    which yields the uniform distribution over compositions.
+    """
+    spare = total - parts * min_each
+    if spare < 0:
+        raise ValueError(
+            f"cannot split {total} into {parts} parts of at least {min_each}"
+        )
+    generator = ensure_rng(rng)
+    if parts == 1:
+        return (total,)
+    # Choose cut positions among spare + parts - 1 slots.
+    slots = spare + parts - 1
+    cuts = np.sort(generator.choice(slots, size=parts - 1, replace=False))
+    previous = -1
+    sizes: List[int] = []
+    for cut in cuts:
+        sizes.append(int(cut) - previous - 1)
+        previous = int(cut)
+    sizes.append(slots - 1 - previous)
+    return tuple(size + min_each for size in sizes)
+
+
+def smallest_prime_factor(n: int) -> int:
+    """Smallest prime factor of ``n`` (``n`` itself when prime; 1 for 1)."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return 1
+    limit = int(math.isqrt(n))
+    for candidate in range(2, limit + 1):
+        if n % candidate == 0:
+            return candidate
+    return n
+
+
+def nearest_composition(
+    total: int, parts: int, target: Sequence[float], min_each: int = 1
+) -> Tuple[int, ...]:
+    """Round real-valued ``target`` to a composition of ``total``.
+
+    Greedy largest-remainder rounding: floor each entry at ``min_each``,
+    then distribute the remaining units to the entries with the largest
+    fractional shortfall.  Used to project gradient-updated bank-allocation
+    fractions back onto valid integer allocations.
+    """
+    if len(target) != parts:
+        raise ValueError(f"target has {len(target)} parts, expected {parts}")
+    spare_total = total - parts * min_each
+    if spare_total < 0:
+        raise ValueError(
+            f"cannot split {total} into {parts} parts of at least {min_each}"
+        )
+    desired = np.maximum(np.asarray(target, dtype=float), 0.0)
+    if desired.sum() <= 0:
+        desired = np.ones(parts)
+    desired = desired / desired.sum() * total
+    spare = np.maximum(desired - min_each, 0.0)
+    if spare.sum() <= 0:
+        base = [min_each] * parts
+        remainder = spare_total
+        floors = np.zeros(parts)
+    else:
+        spare = spare / spare.sum() * spare_total
+        floors = np.floor(spare)
+        base = [min_each + int(f) for f in floors]
+        remainder = spare_total - int(floors.sum())
+    fractional = spare - floors
+    order = np.argsort(-fractional)
+    result = list(base)
+    for index in order[:remainder]:
+        result[int(index)] += 1
+    return tuple(result)
+
+
+__all__ = [
+    "compositions",
+    "nearest_composition",
+    "nearest_factorization",
+    "sample_composition",
+    "sample_factorization",
+    "smallest_prime_factor",
+]

@@ -1,0 +1,44 @@
+"""Minibatch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def minibatches(
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    batch_size: int,
+    *,
+    shuffle: bool = True,
+    rng: SeedLike = None,
+    drop_last: bool = False,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield aligned (inputs, targets) minibatches.
+
+    A final short batch is yielded unless ``drop_last``; shuffling permutes
+    sample order per pass using the supplied RNG so training remains
+    deterministic under a fixed seed.
+    """
+    if len(inputs) != len(targets):
+        raise ValueError(
+            f"inputs ({len(inputs)}) and targets ({len(targets)}) misaligned"
+        )
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    count = len(inputs)
+    order = np.arange(count)
+    if shuffle:
+        ensure_rng(rng).shuffle(order)
+    for start in range(0, count, batch_size):
+        index = order[start : start + batch_size]
+        if drop_last and len(index) < batch_size:
+            return
+        yield inputs[index], targets[index]
+
+
+__all__ = ["minibatches"]

@@ -1,0 +1,26 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def he_normal(fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
+    """He (Kaiming) normal init — the right variance for ReLU networks."""
+    generator = ensure_rng(rng)
+    scale = math.sqrt(2.0 / fan_in)
+    return generator.normal(0.0, scale, size=(fan_in, fan_out))
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: SeedLike = None) -> np.ndarray:
+    """Xavier (Glorot) uniform init — suited to tanh/linear layers."""
+    generator = ensure_rng(rng)
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return generator.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+__all__ = ["he_normal", "xavier_uniform"]

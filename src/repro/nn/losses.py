@@ -1,0 +1,60 @@
+"""Regression losses: Huber, MSE, MAE (the paper's Figure 7b candidates).
+
+The paper selects Huber loss for surrogate training: MSE over-punishes the
+heavy-tailed cost outliers of the map space (destabilizing training), MAE
+under-weights small errors; Huber interpolates between the two at ``delta``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+TargetLike = Union[Tensor, np.ndarray]
+
+
+def _lift_target(target: TargetLike) -> Tensor:
+    return target if isinstance(target, Tensor) else Tensor(target)
+
+
+def mse_loss(prediction: Tensor, target: TargetLike) -> Tensor:
+    """Mean squared error."""
+    difference = prediction - _lift_target(target)
+    return (difference * difference).mean()
+
+
+def l1_loss(prediction: Tensor, target: TargetLike) -> Tensor:
+    """Mean absolute error."""
+    return (prediction - _lift_target(target)).abs().mean()
+
+
+def huber_loss(prediction: Tensor, target: TargetLike, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic within ``delta`` of the target, linear beyond.
+
+    Implemented with the smooth identity
+    ``huber(r) = delta^2 * (sqrt(1 + (r/delta)^2)-ish`` avoided in favour of
+    the exact piecewise form built from differentiable primitives:
+    ``0.5 * clipped^2 + delta * (|r| - |clipped|)`` where ``clipped`` is the
+    residual clipped to ``[-delta, delta]``.
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    residual = prediction - _lift_target(target)
+    clipped = residual.clip(-delta, delta)
+    quadratic = clipped * clipped * 0.5
+    linear = (residual.abs() - clipped.abs()) * delta
+    return (quadratic + linear).mean()
+
+
+#: Losses by the names the benchmarks and config files use.
+LOSS_FUNCTIONS: Dict[str, Callable[[Tensor, TargetLike], Tensor]] = {
+    "huber": huber_loss,
+    "mse": mse_loss,
+    "mae": l1_loss,
+}
+
+
+__all__ = ["LOSS_FUNCTIONS", "huber_loss", "l1_loss", "mse_loss"]

@@ -1,0 +1,46 @@
+"""Learning-rate schedules.
+
+The paper decays the surrogate's learning rate by 0.1 every 25 epochs;
+:class:`StepLR` implements exactly that contract.
+"""
+
+from __future__ import annotations
+
+from repro.nn.optim import Optimizer
+
+
+class StepLR:
+    """Multiply the optimizer's lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the lr now in effect."""
+        self.epoch += 1
+        decays = self.epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma**decays)
+        return self.optimizer.lr
+
+
+class ConstantLR:
+    """No-op schedule with the same interface (used by Phase 2's PGD)."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        return self.optimizer.lr
+
+
+__all__ = ["ConstantLR", "StepLR"]

@@ -1,0 +1,36 @@
+"""Search methods: Mind Mappings' baselines and supporting machinery.
+
+Implements the paper's points of comparison (section 5.2 and Appendix A):
+
+* :class:`RandomSearcher` — uniform sampling (sanity floor),
+* :class:`SimulatedAnnealingSearcher` — Metropolis acceptance with a
+  geometric temperature schedule auto-tuned from probe moves,
+* :class:`GeneticSearcher` — tournament selection, attribute-group
+  crossover (p=0.75), per-attribute mutation (p=0.05),
+* :class:`RLSearcher` — DDPG-style actor-critic over the encoded mapping
+  space with replay buffer and soft target updates,
+* :class:`ExhaustiveSearcher` — complete enumeration for tiny spaces.
+
+All searchers share the :class:`Searcher` interface and record a full
+evaluation trace, which is what the iso-iteration / iso-time harness plots.
+The gradient-based Mind Mappings searcher itself lives in
+:mod:`repro.core.gradient_search` and implements the same interface.
+"""
+
+from repro.search.base import BudgetedObjective, SearchResult, Searcher
+from repro.search.random_search import RandomSearcher
+from repro.search.annealing import SimulatedAnnealingSearcher
+from repro.search.genetic import GeneticSearcher
+from repro.search.rl import RLSearcher
+from repro.search.exhaustive import ExhaustiveSearcher
+
+__all__ = [
+    "BudgetedObjective",
+    "ExhaustiveSearcher",
+    "GeneticSearcher",
+    "RLSearcher",
+    "RandomSearcher",
+    "SearchResult",
+    "Searcher",
+    "SimulatedAnnealingSearcher",
+]

@@ -1,0 +1,108 @@
+"""Simulated annealing baseline (paper section 5.2, Appendix A).
+
+Metropolis acceptance over the map-space neighbourhood moves with a
+geometric temperature schedule.  The paper lets the ``simanneal`` library
+auto-tune its schedule per problem; we reproduce that by probing a short
+random walk to estimate the uphill-move scale, then setting the initial and
+final temperatures for ~80% initial and ~0.1% final uphill acceptance.
+Costs are compared on a log2-EDP scale so temperatures are shape-invariant
+across problems whose EDPs differ by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.costmodel.model import CostModel
+from repro.mapspace.space import MapSpace
+from repro.search.base import BudgetedObjective, SearchResult, Searcher
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class SimulatedAnnealingSearcher(Searcher):
+    """Classic SA with auto-tuned geometric cooling."""
+
+    name = "SA"
+
+    def __init__(
+        self,
+        space: MapSpace,
+        cost_model: CostModel,
+        *,
+        probe_moves: int = 16,
+        initial_acceptance: float = 0.5,
+        final_acceptance: float = 1e-4,
+        restart_after: Optional[int] = None,
+    ) -> None:
+        super().__init__(space)
+        self.cost_model = cost_model
+        if not 0.0 < final_acceptance < initial_acceptance < 1.0:
+            raise ValueError("need 0 < final_acceptance < initial_acceptance < 1")
+        self.probe_moves = probe_moves
+        self.initial_acceptance = initial_acceptance
+        self.final_acceptance = final_acceptance
+        self.restart_after = restart_after
+
+    def _objective(self, mapping) -> float:
+        return math.log2(self.cost_model.evaluate_edp(mapping, self.problem))
+
+    def search(
+        self,
+        iterations: int,
+        seed: SeedLike = None,
+        time_budget_s: Optional[float] = None,
+    ) -> SearchResult:
+        rng = ensure_rng(seed)
+        budget = self.make_budget(self._objective, iterations, time_budget_s)
+
+        current = self.space.sample(rng)
+        current_cost = budget.evaluate(current)
+
+        # Auto-tune: probe the neighbourhood to estimate the typical uphill
+        # step, then pick T0 / T_end for the target acceptance probabilities.
+        deltas = []
+        probe = current
+        probe_cost = current_cost
+        for _ in range(min(self.probe_moves, budget.remaining)):
+            if budget.exhausted:
+                break
+            neighbor = self.space.random_neighbor(probe, rng)
+            cost = budget.evaluate(neighbor)
+            deltas.append(abs(cost - probe_cost))
+            probe, probe_cost = neighbor, cost
+        typical_delta = float(np.mean(deltas)) if deltas else 1.0
+        typical_delta = max(typical_delta, 1e-6)
+        t_start = -typical_delta / math.log(self.initial_acceptance)
+        t_end = -typical_delta / math.log(self.final_acceptance)
+
+        current, current_cost = probe, probe_cost
+        total = max(budget.remaining, 1)
+        step = 0
+        since_improvement = 0
+        best_cost = current_cost
+        while not budget.exhausted:
+            fraction = step / total
+            temperature = t_start * (t_end / t_start) ** fraction
+            neighbor = self.space.random_neighbor(current, rng)
+            cost = budget.evaluate(neighbor)
+            delta = cost - current_cost
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                current, current_cost = neighbor, cost
+            if cost < best_cost:
+                best_cost = cost
+                since_improvement = 0
+            else:
+                since_improvement += 1
+            if self.restart_after and since_improvement >= self.restart_after:
+                if not budget.exhausted:
+                    current = self.space.sample(rng)
+                    current_cost = budget.evaluate(current)
+                    since_improvement = 0
+            step += 1
+        return budget.result(self.name, self.problem.name)
+
+
+__all__ = ["SimulatedAnnealingSearcher"]

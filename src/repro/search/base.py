@@ -1,0 +1,213 @@
+"""Shared searcher interface, budget accounting, and result traces.
+
+The paper compares search methods on two axes (section 5.2): quality after a
+fixed number of *cost-function evaluations* (iso-iteration) and after a fixed
+*wall-clock time* (iso-time).  :class:`BudgetedObjective` meters both — every
+call to ``evaluate`` counts one iteration and timestamps it — so any searcher
+written against it supports both comparisons for free.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.mapspace.mapping import Mapping
+from repro.mapspace.space import MapSpace
+from repro.utils import Stopwatch
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class SearchResult:
+    """Complete record of one search run.
+
+    ``objective_values[i]`` is the searcher's own objective for
+    ``mappings[i]`` — the true cost for black-box searchers, the surrogate
+    prediction for Mind Mappings.  ``eval_times[i]`` is cumulative seconds
+    when evaluation ``i`` finished, enabling iso-time re-slicing.
+    """
+
+    searcher: str
+    problem: str
+    mappings: List[Mapping] = field(default_factory=list)
+    objective_values: List[float] = field(default_factory=list)
+    eval_times: List[float] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.mappings)
+
+    @property
+    def best_index(self) -> int:
+        if not self.objective_values:
+            raise ValueError("empty search result")
+        return min(range(len(self.objective_values)), key=self.objective_values.__getitem__)
+
+    @property
+    def best_mapping(self) -> Mapping:
+        return self.mappings[self.best_index]
+
+    @property
+    def best_objective(self) -> float:
+        return self.objective_values[self.best_index]
+
+    def best_so_far(self) -> List[float]:
+        """Running minimum of the objective (the convergence curve)."""
+        best = math.inf
+        curve = []
+        for value in self.objective_values:
+            best = min(best, value)
+            curve.append(best)
+        return curve
+
+
+class BudgetedObjective:
+    """Meters an objective function by evaluations and wall-clock.
+
+    Searchers call :meth:`evaluate` for every candidate and poll
+    :attr:`exhausted` in their loops.  All bookkeeping for
+    :class:`SearchResult` happens here so individual searchers stay focused
+    on their heuristics.
+    """
+
+    def __init__(
+        self,
+        objective: Callable[[Mapping], float],
+        max_evaluations: int,
+        time_budget_s: Optional[float] = None,
+        simulated_latency_s: float = 0.0,
+    ) -> None:
+        if max_evaluations < 1:
+            raise ValueError(f"max_evaluations must be >= 1, got {max_evaluations}")
+        if simulated_latency_s < 0:
+            raise ValueError("simulated_latency_s must be >= 0")
+        self._objective = objective
+        self.max_evaluations = max_evaluations
+        self.time_budget_s = time_budget_s
+        self.simulated_latency_s = simulated_latency_s
+        self.mappings: List[Mapping] = []
+        self.values: List[float] = []
+        self.times: List[float] = []
+        self._stopwatch = Stopwatch().start()
+        self._virtual_time = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock plus accumulated simulated oracle latency.
+
+        The paper's cost oracle (Timeloop) is 150-425x slower per query than
+        the surrogate; our from-scratch analytical oracle is microseconds.
+        Iso-time experiments therefore charge a configurable virtual latency
+        per oracle query to preserve the paper's time economics without
+        actually sleeping (see DESIGN.md, substitutions).
+        """
+        return self._stopwatch.elapsed + self._virtual_time
+
+    def evaluate(self, mapping: Mapping) -> float:
+        """Evaluate + record one candidate.
+
+        Raises ``RuntimeError`` when the *evaluation* budget is already
+        spent — that would give a searcher more iterations than its
+        competitors.  Time-budget overshoot is tolerated: wall-clock elapses
+        inside an evaluation, so the final in-flight evaluation may land
+        past the deadline (as it would in any real deployment); the
+        searcher's loop exits at its next ``exhausted`` check.
+        """
+        if self.used >= self.max_evaluations:
+            raise RuntimeError("evaluation budget exhausted")
+        value = float(self._objective(mapping))
+        self._virtual_time += self.simulated_latency_s
+        self.mappings.append(mapping)
+        self.values.append(value)
+        self.times.append(self.elapsed)
+        return value
+
+    def record(self, mapping: Mapping, value: float) -> None:
+        """Record an externally-computed evaluation.
+
+        For searchers whose objective computation is fused with other work
+        (Mind Mappings computes the surrogate prediction and its gradient in
+        one forward/backward pass); keeps budget accounting identical.
+        Time-budget overshoot is tolerated exactly as in :meth:`evaluate`.
+        """
+        if self.used >= self.max_evaluations:
+            raise RuntimeError("evaluation budget exhausted")
+        self._virtual_time += self.simulated_latency_s
+        self.mappings.append(mapping)
+        self.values.append(float(value))
+        self.times.append(self.elapsed)
+
+    @property
+    def used(self) -> int:
+        return len(self.mappings)
+
+    @property
+    def exhausted(self) -> bool:
+        if self.used >= self.max_evaluations:
+            return True
+        if self.time_budget_s is not None and self.elapsed >= self.time_budget_s:
+            return True
+        return False
+
+    @property
+    def remaining(self) -> int:
+        return max(self.max_evaluations - self.used, 0)
+
+    def result(self, searcher: str, problem: str) -> SearchResult:
+        """Freeze the recorded trace into a :class:`SearchResult`."""
+        return SearchResult(
+            searcher=searcher,
+            problem=problem,
+            mappings=list(self.mappings),
+            objective_values=list(self.values),
+            eval_times=list(self.times),
+            wall_time=self.elapsed,
+        )
+
+
+class Searcher(abc.ABC):
+    """Interface every search method implements.
+
+    ``name`` labels results in figures; ``search`` runs until the
+    evaluation budget (and optional time budget) is exhausted.
+    ``simulated_latency_s`` charges a virtual per-query cost against the
+    time budget — used by iso-time experiments to model an expensive cost
+    oracle (the paper's Timeloop) without sleeping.
+    """
+
+    name: str = "searcher"
+
+    def __init__(self, space: MapSpace) -> None:
+        self.space = space
+        self.problem = space.problem
+        self.simulated_latency_s: float = 0.0
+
+    def make_budget(
+        self,
+        objective: Callable[[Mapping], float],
+        iterations: int,
+        time_budget_s: Optional[float],
+    ) -> BudgetedObjective:
+        """A budget wired to this searcher's simulated oracle latency."""
+        return BudgetedObjective(
+            objective,
+            iterations,
+            time_budget_s,
+            simulated_latency_s=self.simulated_latency_s,
+        )
+
+    @abc.abstractmethod
+    def search(
+        self,
+        iterations: int,
+        seed: SeedLike = None,
+        time_budget_s: Optional[float] = None,
+    ) -> SearchResult:
+        """Run the search and return the full evaluation trace."""
+
+
+__all__ = ["BudgetedObjective", "SearchResult", "Searcher"]

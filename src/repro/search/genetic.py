@@ -1,0 +1,137 @@
+"""Genetic-algorithm baseline (paper section 5.2, Appendix A).
+
+Follows the paper's DEAP configuration: population 100 (scalable down for
+short budgets), crossover probability 0.75, per-attribute mutation
+probability 0.05, fitness = EDP, selection per generation by fitness.
+Crossover swaps whole attribute groups (a dimension's tiling, a level's
+loop order, a level's bank allocation) between parents — the operation the
+paper critiques as assuming attribute strength is composable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.costmodel.model import CostModel
+from repro.mapspace.factors import sample_composition, sample_factorization
+from repro.mapspace.mapping import Mapping
+from repro.mapspace.space import MapSpace
+from repro.search.base import BudgetedObjective, SearchResult, Searcher
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class GeneticSearcher(Searcher):
+    """Tournament-selection GA over mapping attribute groups."""
+
+    name = "GA"
+
+    def __init__(
+        self,
+        space: MapSpace,
+        cost_model: CostModel,
+        *,
+        population_size: int = 100,
+        crossover_probability: float = 0.75,
+        mutation_probability: float = 0.05,
+        tournament_size: int = 3,
+        elite_count: int = 2,
+    ) -> None:
+        super().__init__(space)
+        self.cost_model = cost_model
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if not 0.0 <= crossover_probability <= 1.0:
+            raise ValueError("crossover_probability must be in [0, 1]")
+        if not 0.0 <= mutation_probability <= 1.0:
+            raise ValueError("mutation_probability must be in [0, 1]")
+        self.population_size = population_size
+        self.crossover_probability = crossover_probability
+        self.mutation_probability = mutation_probability
+        self.tournament_size = max(2, tournament_size)
+        self.elite_count = max(0, elite_count)
+
+    def _objective(self, mapping: Mapping) -> float:
+        return math.log2(self.cost_model.evaluate_edp(mapping, self.problem))
+
+    # ---- genetic operators -------------------------------------------------
+
+    def _tournament(
+        self, fitness: List[float], rng: np.random.Generator
+    ) -> int:
+        """Index of the fittest of ``tournament_size`` random entrants."""
+        entrants = rng.integers(0, len(fitness), size=self.tournament_size)
+        return int(min(entrants, key=lambda i: fitness[int(i)]))
+
+    def _crossover(
+        self, parent_a: Mapping, parent_b: Mapping, rng: np.random.Generator
+    ) -> Mapping:
+        """Child of A taking a random subset of B's attribute groups."""
+        child = parent_a
+        for group in self.space.attribute_groups():
+            if rng.random() < 0.5:
+                child = self.space.set_group(child, group, self.space.get_group(parent_b, group))
+        return child
+
+    def _mutate(self, individual: Mapping, rng: np.random.Generator) -> Mapping:
+        """Independently resample each attribute group with probability p."""
+        mutated = individual
+        bounds = self.problem.bounds
+        for group in self.space.attribute_groups():
+            if rng.random() >= self.mutation_probability:
+                continue
+            kind, _, key = group.partition(":")
+            if kind == "tile":
+                value = sample_factorization(bounds[key], 4, rng)
+            elif kind == "order":
+                value = tuple(rng.permutation(list(self.space.dims)))
+            else:  # alloc
+                value = sample_composition(
+                    self.space.accelerator.banks(key), len(self.space.tensor_names), rng
+                )
+            mutated = self.space.set_group(mutated, group, value)
+        return mutated
+
+    # ---- main loop ------------------------------------------------------------
+
+    def search(
+        self,
+        iterations: int,
+        seed: SeedLike = None,
+        time_budget_s: Optional[float] = None,
+    ) -> SearchResult:
+        rng = ensure_rng(seed)
+        budget = self.make_budget(self._objective, iterations, time_budget_s)
+        population_size = min(self.population_size, max(iterations // 2, 2))
+
+        population: List[Mapping] = []
+        fitness: List[float] = []
+        for _ in range(population_size):
+            if budget.exhausted:
+                break
+            individual = self.space.sample(rng)
+            population.append(individual)
+            fitness.append(budget.evaluate(individual))
+
+        while not budget.exhausted and population:
+            # Elitism: carry the best few forward unchanged (no re-eval).
+            elite_order = sorted(range(len(population)), key=fitness.__getitem__)
+            next_population = [population[i] for i in elite_order[: self.elite_count]]
+            next_fitness = [fitness[i] for i in elite_order[: self.elite_count]]
+            while len(next_population) < population_size and not budget.exhausted:
+                parent_a = population[self._tournament(fitness, rng)]
+                parent_b = population[self._tournament(fitness, rng)]
+                if rng.random() < self.crossover_probability:
+                    child = self._crossover(parent_a, parent_b, rng)
+                else:
+                    child = parent_a
+                child = self._mutate(child, rng)
+                next_population.append(child)
+                next_fitness.append(budget.evaluate(child))
+            population, fitness = next_population, next_fitness
+        return budget.result(self.name, self.problem.name)
+
+
+__all__ = ["GeneticSearcher"]

@@ -1,0 +1,40 @@
+"""Uniform random search — the sanity-check floor every heuristic must beat."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.costmodel.model import CostModel
+from repro.mapspace.space import MapSpace
+from repro.search.base import BudgetedObjective, SearchResult, Searcher
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class RandomSearcher(Searcher):
+    """Draw valid mappings uniformly; keep the best seen."""
+
+    name = "Random"
+
+    def __init__(self, space: MapSpace, cost_model: CostModel) -> None:
+        super().__init__(space)
+        self.cost_model = cost_model
+
+    def search(
+        self,
+        iterations: int,
+        seed: SeedLike = None,
+        time_budget_s: Optional[float] = None,
+    ) -> SearchResult:
+        rng = ensure_rng(seed)
+        budget = self.make_budget(
+            lambda m: math.log2(self.cost_model.evaluate_edp(m, self.problem)),
+            iterations,
+            time_budget_s,
+        )
+        while not budget.exhausted:
+            budget.evaluate(self.space.sample(rng))
+        return budget.result(self.name, self.problem.name)
+
+
+__all__ = ["RandomSearcher"]

@@ -1,0 +1,273 @@
+"""Reinforcement-learning baseline: DDPG-style actor-critic (Appendix A).
+
+The paper models mapping search as an MDP and uses Deep Deterministic
+Policy Gradient (Lillicrap et al.) with actor/critic networks of 300
+neurons.  Here: the *state* is the whitened encoded mapping, the *action*
+is a bounded continuous delta applied to the mapping section of the vector
+(decoded and projected back into the map space — the same projection
+machinery gradient search uses), and the *reward* is the negated
+log2-normalized EDP.  Replay buffer, target networks with soft updates, and
+Gaussian exploration noise complete the standard recipe.
+
+Every environment step queries the true cost model once, so RL iterations
+line up one-to-one with the other searchers' evaluations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.encoding import MappingEncoder
+from repro.core.normalize import Whitener
+from repro.costmodel.lower_bound import algorithmic_minimum
+from repro.costmodel.model import CostModel
+from repro.mapspace.mapping import Mapping
+from repro.mapspace.space import MapSpace
+from repro.nn import MLP, Adam, Tensor, huber_loss, no_grad
+from repro.search.base import BudgetedObjective, SearchResult, Searcher
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
+
+
+@dataclass
+class _Transition:
+    state: np.ndarray
+    action: np.ndarray
+    reward: float
+    next_state: np.ndarray
+
+
+class _ReplayBuffer:
+    """Fixed-capacity FIFO with uniform sampling."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._storage: List[_Transition] = []
+        self._cursor = 0
+
+    def push(self, transition: _Transition) -> None:
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> List[_Transition]:
+        index = rng.integers(0, len(self._storage), size=batch_size)
+        return [self._storage[int(i)] for i in index]
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+
+def _soft_update(target: MLP, source: MLP, tau: float) -> None:
+    for t_param, s_param in zip(target.parameters(), source.parameters()):
+        t_param.data *= 1.0 - tau
+        t_param.data += tau * s_param.data
+
+
+def _hard_copy(target: MLP, source: MLP) -> None:
+    for t_param, s_param in zip(target.parameters(), source.parameters()):
+        t_param.data[...] = s_param.data
+
+
+class RLSearcher(Searcher):
+    """DDPG over the encoded mapping space."""
+
+    name = "RL"
+
+    def __init__(
+        self,
+        space: MapSpace,
+        cost_model: CostModel,
+        *,
+        hidden_width: int = 300,
+        gamma: float = 0.9,
+        tau: float = 0.01,
+        actor_lr: float = 1e-4,
+        critic_lr: float = 1e-3,
+        buffer_capacity: int = 10_000,
+        batch_size: int = 64,
+        warmup: int = 32,
+        action_scale: float = 0.5,
+        noise_std: float = 0.4,
+        noise_decay: float = 0.995,
+        episode_length: int = 25,
+        reward_scale: float = 10.0,
+    ) -> None:
+        super().__init__(space)
+        self.cost_model = cost_model
+        self.encoder = MappingEncoder.for_problem(space.problem)
+        self.hidden_width = hidden_width
+        self.gamma = gamma
+        self.tau = tau
+        self.actor_lr = actor_lr
+        self.critic_lr = critic_lr
+        self.buffer_capacity = buffer_capacity
+        self.batch_size = batch_size
+        self.warmup = warmup
+        self.action_scale = action_scale
+        self.noise_std = noise_std
+        self.noise_decay = noise_decay
+        self.episode_length = episode_length
+        self.reward_scale = reward_scale
+        self._lower_bound = algorithmic_minimum(space.problem, space.accelerator)
+
+    # ------------------------------------------------------------------
+
+    def _objective(self, mapping: Mapping) -> float:
+        return math.log2(self.cost_model.evaluate_edp(mapping, self.problem))
+
+    def _fit_whitener(self, rng: np.random.Generator, samples: int = 64) -> Whitener:
+        """Whiten states from cost-free map-space samples.
+
+        Only the encoder runs here — no cost-model queries — so this does
+        not consume search budget.
+        """
+        raw = np.stack(
+            [
+                self.encoder.encode(self.space.sample(rng), self.problem)
+                for _ in range(samples)
+            ]
+        )
+        return Whitener.fit(raw)
+
+    def search(
+        self,
+        iterations: int,
+        seed: SeedLike = None,
+        time_budget_s: Optional[float] = None,
+    ) -> SearchResult:
+        rng = ensure_rng(seed)
+        net_rng, env_rng = spawn_rngs(rng, 2)
+        budget = self.make_budget(self._objective, iterations, time_budget_s)
+        whitener = self._fit_whitener(env_rng)
+
+        state_dim = self.encoder.length
+        action_dim = self.encoder.layout.mapping_slice.stop - self.encoder.layout.mapping_slice.start
+        map_slice = self.encoder.layout.mapping_slice
+
+        actor = MLP(
+            [state_dim, self.hidden_width, self.hidden_width, action_dim],
+            activation="relu",
+            rng=net_rng,
+        )
+        critic = MLP(
+            [state_dim + action_dim, self.hidden_width, self.hidden_width, 1],
+            activation="relu",
+            rng=net_rng,
+        )
+        actor_target = MLP([state_dim, self.hidden_width, self.hidden_width, action_dim])
+        critic_target = MLP([state_dim + action_dim, self.hidden_width, self.hidden_width, 1])
+        _hard_copy(actor_target, actor)
+        _hard_copy(critic_target, critic)
+        actor_optimizer = Adam(actor.parameters(), lr=self.actor_lr)
+        critic_optimizer = Adam(critic.parameters(), lr=self.critic_lr)
+        buffer = _ReplayBuffer(self.buffer_capacity)
+
+        def policy(state: np.ndarray, noise: float) -> np.ndarray:
+            with no_grad():
+                raw = actor(Tensor(state[None, :])).numpy()[0]
+            action = np.tanh(raw) * self.action_scale
+            if noise > 0:
+                action = action + env_rng.normal(0.0, noise, size=action.shape)
+            return np.clip(action, -self.action_scale, self.action_scale)
+
+        def env_step(state: np.ndarray, action: np.ndarray) -> Tuple[np.ndarray, float, Mapping]:
+            shifted = state.copy()
+            shifted[map_slice] += action
+            mapping = self.encoder.decode(whitener.inverse(shifted), self.space)
+            cost = budget.evaluate(mapping)
+            reward = -(cost - math.log2(self._lower_bound.edp)) / self.reward_scale
+            next_state = whitener.transform(self.encoder.encode(mapping, self.problem))
+            return next_state, reward, mapping
+
+        noise = self.noise_std
+        current_mapping = self.space.sample(env_rng)
+        state = whitener.transform(self.encoder.encode(current_mapping, self.problem))
+        steps_in_episode = 0
+
+        while not budget.exhausted:
+            action = policy(state, noise)
+            next_state, reward, current_mapping = env_step(state, action)
+            buffer.push(
+                _Transition(
+                    state=state.copy(),
+                    action=action,
+                    reward=reward,
+                    next_state=next_state.copy(),
+                )
+            )
+            state = next_state
+            noise *= self.noise_decay
+            steps_in_episode += 1
+            if steps_in_episode >= self.episode_length:
+                current_mapping = self.space.sample(env_rng)
+                state = whitener.transform(
+                    self.encoder.encode(current_mapping, self.problem)
+                )
+                steps_in_episode = 0
+            if len(buffer) >= max(self.batch_size, self.warmup):
+                self._train_step(
+                    buffer,
+                    env_rng,
+                    actor,
+                    critic,
+                    actor_target,
+                    critic_target,
+                    actor_optimizer,
+                    critic_optimizer,
+                )
+        return budget.result(self.name, self.problem.name)
+
+    # ------------------------------------------------------------------
+
+    def _train_step(
+        self,
+        buffer: _ReplayBuffer,
+        rng: np.random.Generator,
+        actor: MLP,
+        critic: MLP,
+        actor_target: MLP,
+        critic_target: MLP,
+        actor_optimizer: Adam,
+        critic_optimizer: Adam,
+    ) -> None:
+        batch = buffer.sample(self.batch_size, rng)
+        states = np.stack([t.state for t in batch])
+        actions = np.stack([t.action for t in batch])
+        rewards = np.array([t.reward for t in batch])[:, None]
+        next_states = np.stack([t.next_state for t in batch])
+
+        # Critic: fit Q(s, a) to the bootstrapped target.
+        with no_grad():
+            next_actions = np.tanh(actor_target(Tensor(next_states)).numpy()) * self.action_scale
+            next_q = critic_target(
+                Tensor(np.concatenate([next_states, next_actions], axis=1))
+            ).numpy()
+        target_q = rewards + self.gamma * next_q
+        critic_optimizer.zero_grad()
+        q_prediction = critic(Tensor(np.concatenate([states, actions], axis=1)))
+        critic_loss = huber_loss(q_prediction, target_q)
+        critic_loss.backward()
+        critic_optimizer.step()
+
+        # Actor: ascend Q(s, actor(s)); gradients flow through the critic.
+        actor_optimizer.zero_grad()
+        critic_optimizer.zero_grad()
+        state_tensor = Tensor(states)
+        proposed = actor(state_tensor).tanh() * self.action_scale
+        q_value = critic(Tensor.concat([state_tensor, proposed], axis=1))
+        actor_loss = -q_value.mean()
+        actor_loss.backward()
+        actor_optimizer.step()
+        critic_optimizer.zero_grad()  # discard critic grads from actor pass
+
+        _soft_update(actor_target, actor, self.tau)
+        _soft_update(critic_target, critic, self.tau)
+
+
+__all__ = ["RLSearcher"]

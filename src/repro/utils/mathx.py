@@ -1,0 +1,110 @@
+"""Small numeric helpers used across the map-space and cost-model packages.
+
+The factorization helpers are central: tile sizes in a mapping must exactly
+factorize a problem dimension across memory levels, so sampling and
+projection both reduce to enumerating divisors and ordered factorizations.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+def prod(values: Iterable[int]) -> int:
+    """Integer product of ``values`` (1 for the empty iterable)."""
+    result = 1
+    for value in values:
+        result *= int(value)
+    return result
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the inclusive interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty interval: [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive integral power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_safe(value: float, floor: float = 1e-12) -> float:
+    """``log2`` that tolerates zero by flooring the argument at ``floor``."""
+    return math.log2(max(float(value), floor))
+
+
+@functools.lru_cache(maxsize=4096)
+def divisors(n: int) -> Tuple[int, ...]:
+    """All positive divisors of ``n`` in ascending order.
+
+    Cached because map-space sampling repeatedly factorizes the same problem
+    dimensions.
+    """
+    if n <= 0:
+        raise ValueError(f"divisors requires a positive integer, got {n}")
+    small: List[int] = []
+    large: List[int] = []
+    limit = int(math.isqrt(n))
+    for candidate in range(1, limit + 1):
+        if n % candidate == 0:
+            small.append(candidate)
+            other = n // candidate
+            if other != candidate:
+                large.append(other)
+    return tuple(small + large[::-1])
+
+
+def nearest_divisor(n: int, target: float) -> int:
+    """The divisor of ``n`` closest to ``target`` in log space.
+
+    Log-space distance matches how tile factors are encoded for the surrogate
+    (section "Encoding" in DESIGN.md): being 2x too large is as wrong as
+    being 2x too small.
+    """
+    target = max(float(target), 1e-9)
+    log_target = math.log2(target)
+    return min(divisors(n), key=lambda d: abs(math.log2(d) - log_target))
+
+
+@functools.lru_cache(maxsize=4096)
+def factorizations(n: int, parts: int) -> Tuple[Tuple[int, ...], ...]:
+    """All ordered factorizations of ``n`` into exactly ``parts`` factors.
+
+    For example ``factorizations(12, 2)`` yields ``(1, 12), (2, 6), (3, 4),
+    (4, 3), (6, 2), (12, 1)``.  Ordered because each position corresponds to
+    a distinct memory level.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if parts == 1:
+        return ((n,),)
+    result: List[Tuple[int, ...]] = []
+    for head in divisors(n):
+        for tail in factorizations(n // head, parts - 1):
+            result.append((head,) + tail)
+    return tuple(result)
+
+
+def round_to_nearest(value: float, choices: Sequence[int]) -> int:
+    """Element of ``choices`` closest to ``value`` (ties to the smaller)."""
+    if not choices:
+        raise ValueError("choices must be non-empty")
+    return min(choices, key=lambda c: (abs(c - value), c))
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive ``values``."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    total = 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean requires positive values, got {value}")
+        total += math.log(value)
+    return math.exp(total / len(values))

@@ -1,0 +1,42 @@
+"""Deterministic random-number-generator plumbing.
+
+The library never touches the global numpy RNG.  Components take a ``seed``
+argument that may be ``None`` (fresh entropy), an ``int`` (deterministic), or
+an already-constructed :class:`numpy.random.Generator` (shared stream).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` draws fresh OS entropy, an integer produces a deterministic
+    stream, and an existing generator is passed through unchanged (so callers
+    can share one stream across components).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Split ``seed`` into ``count`` independent child generators.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the children are
+    statistically independent even when the parent seed is small.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own stream.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

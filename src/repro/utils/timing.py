@@ -1,0 +1,51 @@
+"""Wall-clock measurement used by the iso-time experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """A restartable stopwatch with lap support.
+
+    Used by the iso-time harness (Figure 6) to attribute wall-clock budget to
+    each searcher.  ``perf_counter`` based, so it measures elapsed real time
+    rather than CPU time, matching the paper's methodology.
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._accumulated = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) timing; returns self for chaining."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Pause timing and return the total elapsed seconds so far."""
+        if self._start is not None:
+            self._accumulated += time.perf_counter() - self._start
+            self._start = None
+        return self._accumulated
+
+    def reset(self) -> None:
+        """Zero the stopwatch (and stop it if running)."""
+        self._start = None
+        self._accumulated = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds, including the in-flight interval if running."""
+        running = 0.0
+        if self._start is not None:
+            running = time.perf_counter() - self._start
+        return self._accumulated + running
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

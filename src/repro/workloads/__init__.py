@@ -1,0 +1,38 @@
+"""Workload definitions: problems as affine loop nests over named dimensions.
+
+A *problem* (paper section 2.1) is a parameterized instance of an algorithm:
+e.g. one CNN layer shape, or one MTTKRP tensor shape.  Each problem carries
+
+* named iteration dimensions with integer bounds,
+* tensors described by affine projections of those dimensions (including
+  sliding-window axes such as ``X + R`` for convolution inputs), and
+* an operand/result classification used by the cost model.
+
+The package ships the paper's two target algorithms (CNN-Layer and MTTKRP),
+the 1D-Conv running example from section 3, a GEMM extension, and the
+Table 1 problem zoo.
+"""
+
+from repro.workloads.problem import Dimension, Problem, TensorSpec
+from repro.workloads.conv1d import make_conv1d
+from repro.workloads.conv2d import make_cnn_layer
+from repro.workloads.gemm import make_gemm
+from repro.workloads.mttkrp import make_mttkrp
+from repro.workloads.sampler import ProblemSampler, sampler_for_algorithm
+from repro.workloads.zoo import TABLE1_PROBLEMS, cnn_problems, mttkrp_problems, problem_by_name
+
+__all__ = [
+    "Dimension",
+    "Problem",
+    "ProblemSampler",
+    "TABLE1_PROBLEMS",
+    "TensorSpec",
+    "cnn_problems",
+    "make_cnn_layer",
+    "make_conv1d",
+    "make_gemm",
+    "make_mttkrp",
+    "mttkrp_problems",
+    "problem_by_name",
+    "sampler_for_algorithm",
+]

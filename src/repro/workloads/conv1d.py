@@ -1,0 +1,43 @@
+"""1D-Convolution workload — the paper's running example (section 3).
+
+For filter ``F`` of size ``R`` and input ``I`` of width ``W``::
+
+    O[x] = sum_r I[x + r] * F[r],    0 <= x < W - R + 1
+
+The loop nest iterates ``(X, R)`` with ``X = W - R + 1``.  Small enough that
+its map space can be enumerated exhaustively, which makes it the workhorse of
+the test suite: search results can be checked against ground-truth optima.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.problem import Dimension, Problem, TensorSpec
+
+#: Canonical dimension order for 1D convolution.
+CONV1D_DIMS = ("X", "R")
+
+
+def make_conv1d(name: str, *, w: int, r: int) -> Problem:
+    """Build a 1D-Conv :class:`Problem` for input width ``w``, filter ``r``."""
+    if w < 1 or r < 1:
+        raise ValueError("w and r must be >= 1")
+    if r > w:
+        raise ValueError(f"filter ({r}) larger than input ({w})")
+    x = w - r + 1
+    dims = (Dimension("X", x), Dimension("R", r))
+    tensors = (
+        TensorSpec("Input", axes=(("X", "R"),)),
+        TensorSpec("Filter", axes=(("R",),)),
+        TensorSpec("Output", axes=(("X",),), is_output=True),
+    )
+    return Problem(
+        name=name,
+        algorithm="conv1d",
+        dims=dims,
+        tensors=tensors,
+        ops_per_point=1,
+        extra={"W": w},
+    )
+
+
+__all__ = ["CONV1D_DIMS", "make_conv1d"]

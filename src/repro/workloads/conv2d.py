@@ -1,0 +1,73 @@
+"""CNN-Layer workload (paper section 5.1.1, equation 3).
+
+A CNN layer convolves ``N`` input images of ``C`` channels with ``K`` filters
+of spatial size ``R x S``, producing ``N`` outputs of ``K`` channels and
+spatial size ``X x Y`` where (stride 1, no padding)::
+
+    X = W - R + 1
+    Y = H - S + 1
+
+The loop nest iterates dimensions ``(N, K, C, X, Y, R, S)``; tensors are
+
+* ``Input``   I[n, c, x + r, y + s]   -- sliding-window axes,
+* ``Weights`` F[k, c, r, s],
+* ``Output``  O[n, k, x, y]           (the single output tensor).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.problem import Dimension, Problem, TensorSpec
+
+#: Canonical dimension order for CNN layers; mapping vectors rely on it.
+CNN_DIMS = ("N", "K", "C", "X", "Y", "R", "S")
+
+
+def make_cnn_layer(
+    name: str,
+    *,
+    n: int,
+    k: int,
+    c: int,
+    h: int,
+    w: int,
+    r: int,
+    s: int,
+    stride: int = 1,
+) -> Problem:
+    """Build a CNN-layer :class:`Problem` from the paper's Table 1 columns.
+
+    ``h``/``w`` are the *input* spatial sizes; the output sizes are derived
+    as in the paper (``(W - R + 1) / stride``).  ``stride`` must divide the
+    valid output range exactly for the loop nest to stay affine.
+    """
+    if min(n, k, c, h, w, r, s, stride) < 1:
+        raise ValueError("all CNN layer parameters must be >= 1")
+    if r > w or s > h:
+        raise ValueError(f"filter ({r}x{s}) larger than input ({w}x{h})")
+    x = (w - r) // stride + 1
+    y = (h - s) // stride + 1
+    dims = (
+        Dimension("N", n),
+        Dimension("K", k),
+        Dimension("C", c),
+        Dimension("X", x),
+        Dimension("Y", y),
+        Dimension("R", r),
+        Dimension("S", s),
+    )
+    tensors = (
+        TensorSpec("Input", axes=(("N",), ("C",), ("X", "R"), ("Y", "S"))),
+        TensorSpec("Weights", axes=(("K",), ("C",), ("R",), ("S",))),
+        TensorSpec("Output", axes=(("N",), ("K",), ("X",), ("Y",)), is_output=True),
+    )
+    return Problem(
+        name=name,
+        algorithm="cnn-layer",
+        dims=dims,
+        tensors=tensors,
+        ops_per_point=1,
+        extra={"H": h, "W": w, "stride": stride},
+    )
+
+
+__all__ = ["CNN_DIMS", "make_cnn_layer"]

@@ -1,0 +1,36 @@
+"""GEMM workload — an extension beyond the paper's two target algorithms.
+
+Dense matrix multiplication ``O[m, n] = sum_k A[m, k] * B[k, n]`` is the
+simplest three-dimensional tensor kernel and demonstrates that the framework
+is algorithm-agnostic: no code outside this module knows about GEMM, yet the
+map space, cost model, surrogate, and every searcher work on it unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.problem import Dimension, Problem, TensorSpec
+
+#: Canonical dimension order for GEMM.
+GEMM_DIMS = ("M", "N", "K")
+
+
+def make_gemm(name: str, *, m: int, n: int, k: int) -> Problem:
+    """Build a GEMM :class:`Problem` for ``(M, N, K)``."""
+    if min(m, n, k) < 1:
+        raise ValueError("all GEMM dimensions must be >= 1")
+    dims = (Dimension("M", m), Dimension("N", n), Dimension("K", k))
+    tensors = (
+        TensorSpec("A", axes=(("M",), ("K",))),
+        TensorSpec("B", axes=(("K",), ("N",))),
+        TensorSpec("Output", axes=(("M",), ("N",)), is_output=True),
+    )
+    return Problem(
+        name=name,
+        algorithm="gemm",
+        dims=dims,
+        tensors=tensors,
+        ops_per_point=1,
+    )
+
+
+__all__ = ["GEMM_DIMS", "make_gemm"]

@@ -1,0 +1,47 @@
+"""MTTKRP workload (paper section 5.1.1, equation 4).
+
+Matricized Tensor Times Khatri-Rao Product contracts a 3D tensor ``A`` with
+two factor matrices ``B`` and ``C``::
+
+    O[i, j] = sum_k sum_l A[i, k, l] * B[k, j] * C[l, j]
+
+The loop nest iterates ``(I, J, K, L)``.  Each innermost point performs two
+multiplies and one accumulate; the paper's MTTKRP PEs consume 3 operands to
+produce 1 output per cycle, so we count one compute op per point and three
+operand tensors.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.problem import Dimension, Problem, TensorSpec
+
+#: Canonical dimension order for MTTKRP; mapping vectors rely on it.
+MTTKRP_DIMS = ("I", "J", "K", "L")
+
+
+def make_mttkrp(name: str, *, i: int, j: int, k: int, l: int) -> Problem:
+    """Build an MTTKRP :class:`Problem` for shape ``(I, J, K, L)``."""
+    if min(i, j, k, l) < 1:
+        raise ValueError("all MTTKRP dimensions must be >= 1")
+    dims = (
+        Dimension("I", i),
+        Dimension("J", j),
+        Dimension("K", k),
+        Dimension("L", l),
+    )
+    tensors = (
+        TensorSpec("A", axes=(("I",), ("K",), ("L",))),
+        TensorSpec("B", axes=(("K",), ("J",))),
+        TensorSpec("C", axes=(("L",), ("J",))),
+        TensorSpec("Output", axes=(("I",), ("J",)), is_output=True),
+    )
+    return Problem(
+        name=name,
+        algorithm="mttkrp",
+        dims=dims,
+        tensors=tensors,
+        ops_per_point=1,
+    )
+
+
+__all__ = ["MTTKRP_DIMS", "make_mttkrp"]

@@ -1,0 +1,185 @@
+"""Core problem abstraction: dimensions, tensors, and affine projections.
+
+The cost model and map space only need three things from a workload:
+
+1. the iteration-space dimensions and their bounds (the loop nest),
+2. for each tensor, which dimensions index it (its *projection*), including
+   compound sliding-window axes like ``X + R`` in convolutions, and
+3. which tensor is the output (read-modify-write traffic differs).
+
+Everything else (search, surrogate, harness) is algorithm-agnostic, which is
+what lets Mind Mappings be "target domain-independent" (paper contribution 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.utils import prod
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A single loop-nest dimension with an inclusive iteration bound."""
+
+    name: str
+    bound: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dimension name must be non-empty")
+        if self.bound < 1:
+            raise ValueError(f"dimension {self.name!r} bound must be >= 1, got {self.bound}")
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A tensor accessed by the loop nest.
+
+    ``axes`` is a tuple of tensor axes; each axis is itself a tuple of
+    dimension names whose tile extents *add* along that axis.  A plain axis
+    indexed by one dimension is ``("K",)``; a convolution sliding-window axis
+    ``x + r`` is ``("X", "R")`` and has extent ``X + R - 1``.
+    """
+
+    name: str
+    axes: Tuple[Tuple[str, ...], ...]
+    is_output: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        if not self.axes:
+            raise ValueError(f"tensor {self.name!r} must have at least one axis")
+        for axis in self.axes:
+            if not axis:
+                raise ValueError(f"tensor {self.name!r} has an empty axis")
+
+    @property
+    def dims(self) -> Tuple[str, ...]:
+        """All dimension names that index this tensor, deduplicated, ordered."""
+        seen: Dict[str, None] = {}
+        for axis in self.axes:
+            for dim in axis:
+                seen.setdefault(dim, None)
+        return tuple(seen)
+
+    def is_relevant(self, dim: str) -> bool:
+        """True when iterating ``dim`` touches new elements of this tensor."""
+        return dim in self.dims
+
+    def footprint(self, extents: Mapping[str, int]) -> int:
+        """Number of distinct elements touched given per-dimension extents.
+
+        For a sliding-window axis ``(X, R)`` with extents ``x`` and ``r`` the
+        axis covers ``x + r - 1`` positions; plain axes cover their extent.
+        Dimensions missing from ``extents`` default to 1 (not iterated).
+        """
+        total = 1
+        for axis in self.axes:
+            extent = sum(int(extents.get(dim, 1)) for dim in axis) - (len(axis) - 1)
+            total *= max(extent, 1)
+        return total
+
+
+@dataclass(frozen=True)
+class Problem:
+    """A parameterized instance of an algorithm (paper definition 2.1).
+
+    ``dims`` is ordered: the order defines the canonical dimension indexing
+    used by mapping vectors and the surrogate encoding.
+    """
+
+    name: str
+    algorithm: str
+    dims: Tuple[Dimension, ...]
+    tensors: Tuple[TensorSpec, ...]
+    ops_per_point: int = 1
+    extra: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [d.name for d in self.dims]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names in {names}")
+        outputs = [t for t in self.tensors if t.is_output]
+        if len(outputs) != 1:
+            raise ValueError(f"problem {self.name!r} must have exactly one output tensor")
+        known = set(names)
+        for tensor in self.tensors:
+            missing = set(tensor.dims) - known
+            if missing:
+                raise ValueError(
+                    f"tensor {tensor.name!r} references unknown dimensions {sorted(missing)}"
+                )
+
+    @property
+    def dim_names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self.dims)
+
+    @property
+    def bounds(self) -> Dict[str, int]:
+        """Dimension name -> iteration bound."""
+        return {d.name: d.bound for d in self.dims}
+
+    @property
+    def output(self) -> TensorSpec:
+        for tensor in self.tensors:
+            if tensor.is_output:
+                return tensor
+        raise AssertionError("unreachable: validated in __post_init__")
+
+    @property
+    def inputs(self) -> Tuple[TensorSpec, ...]:
+        return tuple(t for t in self.tensors if not t.is_output)
+
+    @property
+    def total_points(self) -> int:
+        """Size of the iteration space (number of innermost-loop visits)."""
+        return prod(d.bound for d in self.dims)
+
+    @property
+    def total_ops(self) -> int:
+        """Total compute operations (MAC-equivalents)."""
+        return self.total_points * self.ops_per_point
+
+    def tensor(self, name: str) -> TensorSpec:
+        """Look up a tensor by name."""
+        for tensor in self.tensors:
+            if tensor.name == name:
+                return tensor
+        raise KeyError(f"no tensor named {name!r} in problem {self.name!r}")
+
+    def tensor_size(self, tensor: TensorSpec) -> int:
+        """Total element count of ``tensor`` for this problem's bounds."""
+        return tensor.footprint(self.bounds)
+
+    def pid(self) -> Tuple[int, ...]:
+        """Problem identifier: the tuple of dimension bounds (paper 4.1.1 Q3).
+
+        Two problems of the same algorithm with the same shape share a pid,
+        which is exactly the property the surrogate's problem-conditioning
+        input needs.
+        """
+        return tuple(d.bound for d in self.dims)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        dims = ", ".join(f"{d.name}={d.bound}" for d in self.dims)
+        return f"{self.name} [{self.algorithm}] ({dims})"
+
+
+def validate_extents(problem: Problem, extents: Mapping[str, int]) -> None:
+    """Raise ``ValueError`` unless ``extents`` covers every problem dimension
+    with a value in ``[1, bound]``."""
+    for dim in problem.dims:
+        extent = extents.get(dim.name)
+        if extent is None:
+            raise ValueError(f"missing extent for dimension {dim.name!r}")
+        if not 1 <= extent <= dim.bound:
+            raise ValueError(
+                f"extent {extent} for dimension {dim.name!r} outside [1, {dim.bound}]"
+            )
+
+
+__all__ = ["Dimension", "Problem", "TensorSpec", "validate_extents"]

@@ -1,0 +1,130 @@
+"""Representative-problem samplers used to build surrogate training sets.
+
+Paper section 5.5 ("Dataset"): the surrogate is trained on mappings sampled
+from *representative problems* — problem shapes drawn uniformly from typical
+parameter ranges (e.g. CNN ``K`` from ``[32, 512]``) — so that at search time
+it can interpolate to unseen shapes.  A :class:`ProblemSampler` encapsulates
+one such range per algorithm.
+
+Sampled dimension values are drawn from composite-friendly candidates
+(powers of two times small odd factors) so the resulting map spaces have
+non-trivial tilings, mirroring real layer shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils import ensure_rng
+from repro.utils.rng import SeedLike
+from repro.workloads.conv1d import make_conv1d
+from repro.workloads.conv2d import make_cnn_layer
+from repro.workloads.gemm import make_gemm
+from repro.workloads.mttkrp import make_mttkrp
+from repro.workloads.problem import Problem
+
+
+def _choice(rng: np.random.Generator, values: Sequence[int]) -> int:
+    return int(values[int(rng.integers(0, len(values)))])
+
+
+@dataclass(frozen=True)
+class ProblemSampler:
+    """Draws random problems of one algorithm from representative ranges."""
+
+    algorithm: str
+    _draw: Callable[[np.random.Generator, int], Problem]
+
+    def sample(self, seed: SeedLike = None, index: int = 0) -> Problem:
+        """Sample one problem; ``index`` is woven into the generated name."""
+        rng = ensure_rng(seed)
+        return self._draw(rng, index)
+
+    def sample_many(self, count: int, seed: SeedLike = None) -> Tuple[Problem, ...]:
+        """Sample ``count`` problems from one stream (deterministic per seed)."""
+        rng = ensure_rng(seed)
+        return tuple(self._draw(rng, i) for i in range(count))
+
+
+# Candidate values: small-batch sizes, channel counts, spatial sizes, and
+# filter sizes seen across ResNet/VGG/AlexNet/Inception-style layers.
+_CNN_N = (1, 2, 4, 8, 16, 32)
+_CNN_KC = (32, 48, 64, 96, 128, 192, 256, 384, 512)
+_CNN_HW = (8, 14, 16, 28, 32, 56, 64, 112)
+_CNN_RS = (1, 3, 5, 7)
+
+_MTT_IJ = (64, 128, 256, 512, 1024, 2048, 4096)
+_GEMM_MNK = (32, 64, 128, 256, 512, 1024, 2048)
+_CONV1D_W = (64, 128, 256, 512, 1024)
+_CONV1D_R = (3, 5, 7, 9)
+
+
+def _draw_cnn(rng: np.random.Generator, index: int) -> Problem:
+    r = _choice(rng, _CNN_RS)
+    # Input spatial size must exceed the filter; resample H/W accordingly.
+    hw_candidates = [v for v in _CNN_HW if v > r]
+    hw = _choice(rng, hw_candidates)
+    return make_cnn_layer(
+        f"cnn_sampled_{index}",
+        n=_choice(rng, _CNN_N),
+        k=_choice(rng, _CNN_KC),
+        c=_choice(rng, _CNN_KC),
+        h=hw,
+        w=hw,
+        r=r,
+        s=r,
+    )
+
+
+def _draw_mttkrp(rng: np.random.Generator, index: int) -> Problem:
+    return make_mttkrp(
+        f"mttkrp_sampled_{index}",
+        i=_choice(rng, _MTT_IJ),
+        j=_choice(rng, _MTT_IJ),
+        k=_choice(rng, _MTT_IJ),
+        l=_choice(rng, _MTT_IJ),
+    )
+
+
+def _draw_gemm(rng: np.random.Generator, index: int) -> Problem:
+    return make_gemm(
+        f"gemm_sampled_{index}",
+        m=_choice(rng, _GEMM_MNK),
+        n=_choice(rng, _GEMM_MNK),
+        k=_choice(rng, _GEMM_MNK),
+    )
+
+
+def _draw_conv1d(rng: np.random.Generator, index: int) -> Problem:
+    return make_conv1d(
+        f"conv1d_sampled_{index}",
+        w=_choice(rng, _CONV1D_W),
+        r=_choice(rng, _CONV1D_R),
+    )
+
+
+_SAMPLERS: Dict[str, ProblemSampler] = {
+    "cnn-layer": ProblemSampler("cnn-layer", _draw_cnn),
+    "mttkrp": ProblemSampler("mttkrp", _draw_mttkrp),
+    "gemm": ProblemSampler("gemm", _draw_gemm),
+    "conv1d": ProblemSampler("conv1d", _draw_conv1d),
+}
+
+
+def sampler_for_algorithm(algorithm: str) -> ProblemSampler:
+    """The representative-problem sampler for ``algorithm``.
+
+    Raises ``KeyError`` with the list of known algorithms otherwise.
+    """
+    try:
+        return _SAMPLERS[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"no sampler for algorithm {algorithm!r}; known: {sorted(_SAMPLERS)}"
+        ) from None
+
+
+__all__ = ["ProblemSampler", "sampler_for_algorithm"]

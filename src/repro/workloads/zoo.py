@@ -1,0 +1,74 @@
+"""Table 1 problem zoo: the paper's evaluated target problems.
+
+The paper evaluates six CNN layers drawn from ResNet, Inception-V3, VGG, and
+AlexNet, plus two MTTKRP shapes (one "tall", one "skinny").  Column mapping
+from the paper's Table 1 (``CNN/MTTKRP: N/I, K/J, H,W/K, R,S, C/L``):
+
+========== ===== ===== ====== ===== =====
+Problem    N/I   K/J   H,W/K  R,S   C/L
+========== ===== ===== ====== ===== =====
+ResNet_3    16    128    28     3    128
+ResNet_4    16    256    14     3    256
+Inception_2 32    192    56     3    192
+VGG_2       16    128   112     3     64
+AlexNet_2    8    256    27     5     96
+AlexNet_4    8    384    13     3    384
+MTTKRP_0   128   1024  4096     -   2048
+MTTKRP_1  2048   4096  1024     -    128
+========== ===== ===== ====== ===== =====
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.conv2d import make_cnn_layer
+from repro.workloads.mttkrp import make_mttkrp
+from repro.workloads.problem import Problem
+
+
+def _build_table1() -> Tuple[Problem, ...]:
+    cnn_rows = (
+        ("ResNet_Conv3", 16, 128, 28, 3, 128),
+        ("ResNet_Conv4", 16, 256, 14, 3, 256),
+        ("Inception_Conv2", 32, 192, 56, 3, 192),
+        ("VGG_Conv2", 16, 128, 112, 3, 64),
+        ("AlexNet_Conv2", 8, 256, 27, 5, 96),
+        ("AlexNet_Conv4", 8, 384, 13, 3, 384),
+    )
+    problems = [
+        make_cnn_layer(name, n=n, k=k, c=c, h=hw, w=hw, r=rs, s=rs)
+        for name, n, k, hw, rs, c in cnn_rows
+    ]
+    problems.append(make_mttkrp("MTTKRP_0", i=128, j=1024, k=4096, l=2048))
+    problems.append(make_mttkrp("MTTKRP_1", i=2048, j=4096, k=1024, l=128))
+    return tuple(problems)
+
+
+#: All eight Table 1 problems, in the paper's row order.
+TABLE1_PROBLEMS: Tuple[Problem, ...] = _build_table1()
+
+_BY_NAME: Dict[str, Problem] = {p.name: p for p in TABLE1_PROBLEMS}
+
+
+def problem_by_name(name: str) -> Problem:
+    """Look up a Table 1 problem by its row name (e.g. ``"ResNet_Conv4"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown Table 1 problem {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None
+
+
+def cnn_problems() -> Tuple[Problem, ...]:
+    """The six CNN-layer rows of Table 1."""
+    return tuple(p for p in TABLE1_PROBLEMS if p.algorithm == "cnn-layer")
+
+
+def mttkrp_problems() -> Tuple[Problem, ...]:
+    """The two MTTKRP rows of Table 1."""
+    return tuple(p for p in TABLE1_PROBLEMS if p.algorithm == "mttkrp")
+
+
+__all__ = ["TABLE1_PROBLEMS", "cnn_problems", "mttkrp_problems", "problem_by_name"]

@@ -1,0 +1,76 @@
+"""Tests for surrogate fidelity diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import surrogate_fidelity
+from repro.core.analysis import _spearman
+from repro.costmodel import CostModel
+from repro.mapspace import MapSpace
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert _spearman(a, a * 10 + 3) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert _spearman(a, -a) == pytest.approx(-1.0)
+
+    def test_constant_input_is_zero(self):
+        assert _spearman(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_monotone_transform_invariant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=50)
+        assert _spearman(a, np.exp(a)) == pytest.approx(1.0)
+
+
+class TestSurrogateFidelity:
+    def test_report_fields(self, trained_mm, cnn_problem, accelerator):
+        space = MapSpace(cnn_problem, accelerator)
+        report = surrogate_fidelity(
+            trained_mm.surrogate, cnn_problem, space, CostModel(accelerator),
+            samples=60, seed=0,
+        )
+        assert report.samples == 60
+        assert -1.0 <= report.correlation <= 1.0
+        assert -1.0 <= report.tail_correlation <= 1.0
+        assert -1.0 <= report.rank_agreement <= 1.0
+        assert report.mean_abs_error_log2 >= 0.0
+        assert cnn_problem.name in report.describe()
+
+    def test_trained_surrogate_has_positive_fidelity(
+        self, trained_mm, cnn_problem, accelerator
+    ):
+        space = MapSpace(cnn_problem, accelerator)
+        report = surrogate_fidelity(
+            trained_mm.surrogate, cnn_problem, space, CostModel(accelerator),
+            samples=80, seed=1,
+        )
+        assert report.correlation > 0.3
+        assert report.rank_agreement > 0.3
+
+    def test_deterministic(self, trained_mm, cnn_problem, accelerator):
+        space = MapSpace(cnn_problem, accelerator)
+        model = CostModel(accelerator)
+        a = surrogate_fidelity(
+            trained_mm.surrogate, cnn_problem, space, model, samples=30, seed=7
+        )
+        b = surrogate_fidelity(
+            trained_mm.surrogate, cnn_problem, space, model, samples=30, seed=7
+        )
+        assert a == b
+
+    def test_invalid_args_raise(self, trained_mm, cnn_problem, accelerator):
+        space = MapSpace(cnn_problem, accelerator)
+        model = CostModel(accelerator)
+        with pytest.raises(ValueError):
+            surrogate_fidelity(
+                trained_mm.surrogate, cnn_problem, space, model, samples=2
+            )
+        with pytest.raises(ValueError):
+            surrogate_fidelity(
+                trained_mm.surrogate, cnn_problem, space, model, tail_fraction=0.0
+            )

@@ -1,0 +1,143 @@
+"""Tests for Phase 1 dataset generation and target encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core import SurrogateDataset, TargetCodec, generate_dataset
+from repro.costmodel import CostModel, algorithmic_minimum
+
+
+class TestTargetCodec:
+    def test_meta_width_cnn(self):
+        assert TargetCodec(n_tensors=3).width == 12
+
+    def test_meta_width_mttkrp(self):
+        assert TargetCodec(n_tensors=4).width == 15
+
+    def test_edp_width(self):
+        assert TargetCodec(n_tensors=3, mode="edp").width == 1
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            TargetCodec(n_tensors=3, mode="watts")
+
+    def test_indices_in_range(self):
+        codec = TargetCodec(n_tensors=3)
+        assert codec.total_energy_index == 9
+        assert codec.utilization_index == 10
+        assert codec.cycles_index == 11
+
+    def test_from_stats_recovers_edp(self, cnn_space, cost_model, cnn_problem):
+        codec = TargetCodec(n_tensors=3)
+        bound = algorithmic_minimum(cnn_problem, cost_model.accelerator)
+        stats = cost_model.evaluate(cnn_space.sample(0), cnn_problem)
+        target = codec.from_stats(stats, bound, ("Input", "Weights", "Output"))
+        recovered = 2.0 ** codec.log2_norm_edp(target)
+        assert recovered == pytest.approx(stats.edp / bound.edp, rel=1e-6)
+
+    def test_edp_mode_recovers_edp(self, cnn_space, cost_model, cnn_problem):
+        codec = TargetCodec(n_tensors=3, mode="edp")
+        bound = algorithmic_minimum(cnn_problem, cost_model.accelerator)
+        stats = cost_model.evaluate(cnn_space.sample(1), cnn_problem)
+        target = codec.from_stats(stats, bound, ("Input", "Weights", "Output"))
+        assert target.shape == (1,)
+        assert 2.0 ** codec.log2_norm_edp(target) == pytest.approx(
+            stats.edp / bound.edp, rel=1e-6
+        )
+
+
+class TestGenerateDataset:
+    def test_shapes(self, cnn_dataset):
+        assert cnn_dataset.inputs_raw.shape == (1200, 62)
+        assert cnn_dataset.targets_raw.shape == (1200, 12)
+        assert len(cnn_dataset.problem_names) == 1200
+
+    def test_round_robin_problems(self, cnn_dataset):
+        names = set(cnn_dataset.problem_names)
+        assert names == {"train_a", "train_b", "train_c", "train_d"}
+
+    def test_deterministic(self, accelerator, cnn_training_problems):
+        a = generate_dataset(
+            "cnn-layer", accelerator, 50, problems=cnn_training_problems, seed=9
+        )
+        b = generate_dataset(
+            "cnn-layer", accelerator, 50, problems=cnn_training_problems, seed=9
+        )
+        np.testing.assert_array_equal(a.inputs_raw, b.inputs_raw)
+        np.testing.assert_array_equal(a.targets_raw, b.targets_raw)
+
+    def test_whitened_statistics(self, cnn_dataset):
+        inputs, targets = cnn_dataset.whitened()
+        np.testing.assert_allclose(np.abs(inputs.mean(axis=0)), 0.0, atol=1e-8)
+        np.testing.assert_allclose(np.abs(targets.mean(axis=0)), 0.0, atol=1e-8)
+        # non-constant columns have unit std
+        live = cnn_dataset.inputs_raw.std(axis=0) > 1e-8
+        np.testing.assert_allclose(inputs.std(axis=0)[live], 1.0, atol=1e-8)
+
+    def test_split(self, cnn_dataset):
+        (train_x, train_y), (test_x, test_y) = cnn_dataset.split(0.25, seed=0)
+        assert len(test_x) == 300
+        assert len(train_x) == 900
+        assert train_x.shape[1] == 62
+
+    def test_split_disjoint_and_complete(self, cnn_dataset):
+        (train_x, _), (test_x, _) = cnn_dataset.split(0.5, seed=1)
+        assert len(train_x) + len(test_x) == len(cnn_dataset)
+
+    def test_subset(self, cnn_dataset):
+        sub = cnn_dataset.subset(100, seed=0)
+        assert len(sub) == 100
+        with pytest.raises(ValueError):
+            cnn_dataset.subset(10_000)
+
+    def test_elite_fraction_generates_valid(self, accelerator, cnn_training_problems):
+        dataset = generate_dataset(
+            "cnn-layer",
+            accelerator,
+            120,
+            problems=cnn_training_problems,
+            elite_fraction=0.5,
+            elite_steps=5,
+            seed=4,
+        )
+        assert len(dataset) == 120
+        assert np.isfinite(dataset.targets_raw).all()
+
+    def test_elite_shifts_distribution_down(self, accelerator, cnn_training_problems):
+        """Elite trajectories must produce lower-cost samples on average."""
+        uniform = generate_dataset(
+            "cnn-layer", accelerator, 400, problems=cnn_training_problems,
+            elite_fraction=0.0, seed=7,
+        )
+        elite = generate_dataset(
+            "cnn-layer", accelerator, 400, problems=cnn_training_problems,
+            elite_fraction=1.0, elite_steps=12, seed=7,
+        )
+        def mean_log_edp(ds):
+            return np.mean([ds.codec.log2_norm_edp(row) for row in ds.targets_raw])
+        assert mean_log_edp(elite) < mean_log_edp(uniform)
+
+    def test_wrong_algorithm_raises(self, accelerator, mttkrp_problem):
+        with pytest.raises(ValueError):
+            generate_dataset(
+                "cnn-layer", accelerator, 10, problems=[mttkrp_problem], seed=0
+            )
+
+    def test_invalid_args_raise(self, accelerator, cnn_training_problems):
+        with pytest.raises(ValueError):
+            generate_dataset("cnn-layer", accelerator, 0, problems=cnn_training_problems)
+        with pytest.raises(ValueError):
+            generate_dataset(
+                "cnn-layer", accelerator, 10,
+                problems=cnn_training_problems, elite_fraction=2.0,
+            )
+
+    def test_save_load_roundtrip(self, cnn_dataset, tmp_path):
+        path = tmp_path / "dataset.npz"
+        cnn_dataset.save(path)
+        loaded = SurrogateDataset.load(path)
+        np.testing.assert_array_equal(loaded.inputs_raw, cnn_dataset.inputs_raw)
+        np.testing.assert_array_equal(loaded.targets_raw, cnn_dataset.targets_raw)
+        assert loaded.algorithm == cnn_dataset.algorithm
+        assert loaded.encoder.dims == cnn_dataset.encoder.dims
+        assert loaded.codec.mode == cnn_dataset.codec.mode

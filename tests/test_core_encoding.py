@@ -1,0 +1,127 @@
+"""Tests for the mapping <-> vector codec."""
+
+import numpy as np
+import pytest
+
+from repro.core import MappingEncoder
+from repro.mapspace import MapSpace
+from repro.workloads import problem_by_name
+
+
+class TestLengths:
+    def test_cnn_layer_is_62(self, cnn_problem):
+        # 7 dims * 8 + 3 tensors * 2 = 62, matching the paper exactly.
+        assert MappingEncoder.for_problem(cnn_problem).length == 62
+
+    def test_mttkrp_is_40(self, mttkrp_problem):
+        # 4 dims * 8 + 4 tensors * 2 = 40, matching the paper exactly.
+        assert MappingEncoder.for_problem(mttkrp_problem).length == 40
+
+    def test_layout_slices_partition_vector(self, cnn_problem):
+        layout = MappingEncoder.for_problem(cnn_problem).layout
+        covered = set()
+        for s in (layout.pid_slice, layout.tile_slice, layout.order_slice, layout.alloc_slice):
+            indices = set(range(s.start, s.stop))
+            assert not (covered & indices)
+            covered |= indices
+        assert covered == set(range(layout.length))
+
+    def test_mapping_slice_excludes_pid(self, cnn_problem):
+        layout = MappingEncoder.for_problem(cnn_problem).layout
+        assert layout.mapping_slice.start == layout.pid_slice.stop
+        assert layout.mapping_slice.stop == layout.length
+
+
+class TestEncode:
+    def test_shape_and_finite(self, cnn_space, cnn_problem):
+        encoder = MappingEncoder.for_problem(cnn_problem)
+        vector = encoder.encode(cnn_space.sample(0), cnn_problem)
+        assert vector.shape == (62,)
+        assert np.isfinite(vector).all()
+
+    def test_pid_section_is_log_bounds(self, cnn_space, cnn_problem):
+        encoder = MappingEncoder.for_problem(cnn_problem)
+        vector = encoder.encode(cnn_space.sample(0), cnn_problem)
+        expected = [np.log2(cnn_problem.bounds[d]) for d in encoder.dims]
+        np.testing.assert_allclose(vector[encoder.layout.pid_slice], expected)
+
+    def test_tile_section_is_log_factors(self, cnn_space, cnn_problem):
+        encoder = MappingEncoder.for_problem(cnn_problem)
+        mapping = cnn_space.sample(3)
+        vector = encoder.encode(mapping, cnn_problem)
+        tiles = vector[encoder.layout.tile_slice]
+        for index, dim in enumerate(encoder.dims):
+            np.testing.assert_allclose(
+                np.exp2(tiles[4 * index : 4 * index + 4]), mapping.factors(dim)
+            )
+
+    def test_alloc_section_fractions_sum_to_one(self, cnn_space, cnn_problem):
+        encoder = MappingEncoder.for_problem(cnn_problem)
+        vector = encoder.encode(cnn_space.sample(1), cnn_problem)
+        fractions = vector[encoder.layout.alloc_slice]
+        n = len(encoder.tensors)
+        assert fractions[:n].sum() == pytest.approx(1.0)
+        assert fractions[n:].sum() == pytest.approx(1.0)
+
+    def test_wrong_dims_raise(self, cnn_space, mttkrp_problem):
+        encoder = MappingEncoder.for_problem(mttkrp_problem)
+        with pytest.raises(ValueError):
+            encoder.encode(cnn_space.sample(0), mttkrp_problem)
+
+
+class TestDecodeRoundtrip:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_encode_decode_identity(self, cnn_space, cnn_problem, seed):
+        """Decoding an encoded valid mapping must reproduce it exactly."""
+        encoder = MappingEncoder.for_problem(cnn_problem)
+        mapping = cnn_space.sample(seed)
+        vector = encoder.encode(mapping, cnn_problem)
+        decoded = encoder.decode(vector, cnn_space)
+        assert decoded == mapping
+
+    def test_decode_arbitrary_vector_is_valid(self, cnn_space, cnn_problem):
+        """Any real vector must decode to a *valid* mapping (projection)."""
+        encoder = MappingEncoder.for_problem(cnn_problem)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            vector = rng.normal(0, 3, size=encoder.length)
+            decoded = encoder.decode(vector, cnn_space)
+            assert cnn_space.is_member(decoded)
+
+    def test_decode_perturbed_vector_stays_close(self, cnn_space, cnn_problem):
+        """Small perturbations should not change the decoded mapping."""
+        encoder = MappingEncoder.for_problem(cnn_problem)
+        mapping = cnn_space.sample(4)
+        vector = encoder.encode(mapping, cnn_problem)
+        decoded = encoder.decode(vector + 1e-6, cnn_space)
+        assert decoded == mapping
+
+    def test_wrong_length_raises(self, cnn_space, cnn_problem):
+        encoder = MappingEncoder.for_problem(cnn_problem)
+        with pytest.raises(ValueError):
+            encoder.decode(np.zeros(10), cnn_space)
+
+    def test_mttkrp_roundtrip(self, mttkrp_problem, accelerator):
+        space = MapSpace(mttkrp_problem, accelerator)
+        encoder = MappingEncoder.for_problem(mttkrp_problem)
+        for seed in range(5):
+            mapping = space.sample(seed)
+            assert encoder.decode(encoder.encode(mapping, mttkrp_problem), space) == mapping
+
+
+class TestGeneralization:
+    def test_one_encoder_serves_all_cnn_problems(self, accelerator):
+        """The same encoder must handle every problem of the algorithm."""
+        encoder = MappingEncoder.for_problem(problem_by_name("ResNet_Conv3"))
+        for name in ("ResNet_Conv4", "VGG_Conv2", "AlexNet_Conv2"):
+            problem = problem_by_name(name)
+            space = MapSpace(problem, accelerator)
+            mapping = space.sample(0)
+            vector = encoder.encode(mapping, problem)
+            assert encoder.decode(vector, space) == mapping
+
+    def test_pid_distinguishes_problems(self):
+        encoder = MappingEncoder.for_problem(problem_by_name("ResNet_Conv3"))
+        a = encoder.pid_vector(problem_by_name("ResNet_Conv3"))
+        b = encoder.pid_vector(problem_by_name("ResNet_Conv4"))
+        assert (a != b).any()

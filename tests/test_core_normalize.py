@@ -1,0 +1,61 @@
+"""Tests for whitening."""
+
+import numpy as np
+import pytest
+
+from repro.core import Whitener
+
+
+class TestWhitener:
+    def test_fit_statistics(self):
+        data = np.array([[1.0, 10.0], [3.0, 20.0]])
+        w = Whitener.fit(data)
+        np.testing.assert_allclose(w.mean, [2.0, 15.0])
+        np.testing.assert_allclose(w.std, [1.0, 5.0])
+
+    def test_transform_whitens(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(500, 4))
+        w = Whitener.fit(data)
+        z = w.transform(data)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(50, 3)) * [1, 100, 0.01] + [5, -2, 0]
+        w = Whitener.fit(data)
+        np.testing.assert_allclose(w.inverse(w.transform(data)), data, atol=1e-9)
+
+    def test_constant_column_safe(self):
+        data = np.array([[1.0, 7.0], [2.0, 7.0], [3.0, 7.0]])
+        w = Whitener.fit(data)
+        z = w.transform(data)
+        assert np.isfinite(z).all()
+        np.testing.assert_allclose(z[:, 1], 0.0)
+
+    def test_single_row_transform(self):
+        data = np.arange(12.0).reshape(4, 3)
+        w = Whitener.fit(data)
+        row = w.transform(data[0])
+        assert row.shape == (3,)
+
+    def test_column_helpers(self):
+        data = np.array([[0.0, 0.0], [2.0, 10.0]])
+        w = Whitener.fit(data)
+        assert w.transform_column(2.0, 0) == pytest.approx(1.0)
+        assert w.inverse_column(1.0, 0) == pytest.approx(2.0)
+
+    def test_width(self):
+        assert Whitener.fit(np.zeros((3, 5))).width == 5
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            Whitener.fit(np.zeros(5))
+
+    def test_state_roundtrip(self):
+        data = np.random.default_rng(0).normal(size=(20, 3))
+        w = Whitener.fit(data)
+        restored = Whitener.from_state(w.state_dict())
+        np.testing.assert_array_equal(restored.mean, w.mean)
+        np.testing.assert_array_equal(restored.std, w.std)

@@ -1,0 +1,69 @@
+"""End-to-end tests for the MindMappings pipeline."""
+
+import pytest
+
+from repro.core import MindMappings, MindMappingsConfig, TrainingConfig
+from repro.costmodel import algorithmic_minimum
+from repro.workloads import make_cnn_layer
+
+
+class TestTrainAndSearch:
+    def test_history_recorded(self, trained_mm):
+        assert trained_mm.history is not None
+        assert trained_mm.history.epochs == len(trained_mm.history.train_loss) > 0
+
+    def test_find_mapping_returns_valid_stats(self, trained_mm, cnn_problem):
+        mapping, stats = trained_mm.find_mapping(cnn_problem, iterations=60, seed=0)
+        assert stats.problem_name == cnn_problem.name
+        assert stats.edp > 0
+        bound = algorithmic_minimum(cnn_problem, trained_mm.accelerator)
+        assert stats.edp >= bound.edp
+
+    def test_generalizes_to_unseen_problem(self, trained_mm):
+        """The surrogate was trained on train_a..train_d; search an unseen
+        shape of the same algorithm (the paper's headline generalization)."""
+        unseen = make_cnn_layer("unseen", n=2, k=96, c=48, h=14, w=14, r=3, s=3)
+        mapping, stats = trained_mm.find_mapping(unseen, iterations=80, seed=1)
+        bound = algorithmic_minimum(unseen, trained_mm.accelerator)
+        # must be valid and within two orders of magnitude of the bound
+        assert 1.0 <= stats.edp / bound.edp < 100.0
+
+    def test_wrong_algorithm_rejected(self, trained_mm, mttkrp_problem):
+        with pytest.raises(ValueError):
+            trained_mm.searcher(mttkrp_problem)
+
+    def test_searcher_kwargs_forwarded(self, trained_mm, cnn_problem):
+        searcher = trained_mm.searcher(cnn_problem, learning_rate=0.5, inject_every=7)
+        assert searcher.learning_rate == 0.5
+        assert searcher.inject_every == 7
+
+
+class TestPersistence:
+    def test_save_load_search_equivalence(self, trained_mm, cnn_problem, tmp_path):
+        path = tmp_path / "mm.npz"
+        trained_mm.save(path)
+        restored = MindMappings.load(path, trained_mm.accelerator)
+        a = trained_mm.find_mapping(cnn_problem, iterations=30, seed=5)
+        b = restored.find_mapping(cnn_problem, iterations=30, seed=5)
+        assert a[0] == b[0]
+
+
+class TestConfig:
+    def test_from_dataset(self, cnn_dataset, accelerator):
+        mm = MindMappings.from_dataset(
+            cnn_dataset,
+            accelerator,
+            TrainingConfig(hidden_layers=(16,), epochs=2),
+            seed=0,
+        )
+        assert mm.surrogate.algorithm == "cnn-layer"
+
+    def test_train_with_explicit_problems(self, accelerator, cnn_training_problems):
+        config = MindMappingsConfig(
+            dataset_samples=300,
+            training=TrainingConfig(hidden_layers=(16,), epochs=2),
+        )
+        mm = MindMappings.train(
+            "cnn-layer", accelerator, config, problems=cnn_training_problems, seed=1
+        )
+        assert mm.history.epochs == 2

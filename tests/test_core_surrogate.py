@@ -1,0 +1,124 @@
+"""Tests for the differentiable surrogate: predictions, gradients, I/O."""
+
+import numpy as np
+import pytest
+
+from repro.core import Surrogate
+from repro.core.dataset import TargetCodec
+from repro.core.encoding import MappingEncoder
+from repro.core.normalize import Whitener
+
+
+@pytest.fixture(scope="module")
+def surrogate(request):
+    """An untrained small surrogate with identity-ish whiteners."""
+    encoder = MappingEncoder(("X", "R"), ("Input", "Filter", "Output"))
+    codec = TargetCodec(n_tensors=3)
+    input_whitener = Whitener(mean=np.zeros(encoder.length), std=np.ones(encoder.length))
+    target_whitener = Whitener(mean=np.zeros(codec.width), std=np.ones(codec.width))
+    return Surrogate.build(
+        encoder, codec, input_whitener, target_whitener, "conv1d",
+        hidden_layers=(16, 16), rng=0,
+    )
+
+
+class TestConstruction:
+    def test_width_checks(self, surrogate):
+        with pytest.raises(ValueError):
+            Surrogate(
+                network=surrogate.network,
+                encoder=MappingEncoder(("X",), ("A", "B")),  # wrong input width
+                codec=surrogate.codec,
+                input_whitener=surrogate.input_whitener,
+                target_whitener=surrogate.target_whitener,
+                algorithm="conv1d",
+            )
+
+
+class TestPrediction:
+    def test_batch_prediction_shape(self, surrogate):
+        out = surrogate.predict_whitened(np.zeros((5, surrogate.encoder.length)))
+        assert out.shape == (5, surrogate.codec.width)
+
+    def test_single_row_promoted(self, surrogate):
+        out = surrogate.predict_whitened(np.zeros(surrogate.encoder.length))
+        assert out.shape == (1, surrogate.codec.width)
+
+    def test_log_edp_is_energy_plus_cycles(self, surrogate):
+        x = np.zeros((1, surrogate.encoder.length))
+        raw = surrogate.predict_raw_targets(x)[0]
+        log_edp = surrogate.predict_log2_norm_edp(x)[0]
+        codec = surrogate.codec
+        assert log_edp == pytest.approx(
+            raw[codec.total_energy_index] + raw[codec.cycles_index]
+        )
+
+
+class TestInputGradient:
+    def test_gradient_matches_finite_difference(self, surrogate):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=surrogate.encoder.length)
+        objective, gradient = surrogate.objective_and_gradient(x)
+        eps = 1e-6
+        for index in rng.choice(len(x), size=6, replace=False):
+            up = x.copy()
+            up[index] += eps
+            down = x.copy()
+            down[index] -= eps
+            fd = (
+                surrogate.predict_log2_norm_edp(up)[0]
+                - surrogate.predict_log2_norm_edp(down)[0]
+            ) / (2 * eps)
+            assert gradient[index] == pytest.approx(fd, rel=1e-4, abs=1e-6)
+
+    def test_objective_matches_prediction(self, surrogate):
+        x = np.random.default_rng(1).normal(size=surrogate.encoder.length)
+        objective, _ = surrogate.objective_and_gradient(x)
+        assert objective == pytest.approx(surrogate.predict_log2_norm_edp(x)[0])
+
+    def test_gradient_respects_target_whitening(self, surrogate):
+        """Scaling the target whitener's std must scale gradients."""
+        x = np.random.default_rng(2).normal(size=surrogate.encoder.length)
+        _, base_gradient = surrogate.objective_and_gradient(x)
+        scaled = Surrogate(
+            network=surrogate.network,
+            encoder=surrogate.encoder,
+            codec=surrogate.codec,
+            input_whitener=surrogate.input_whitener,
+            target_whitener=Whitener(
+                mean=surrogate.target_whitener.mean,
+                std=surrogate.target_whitener.std * 3.0,
+            ),
+            algorithm=surrogate.algorithm,
+        )
+        _, scaled_gradient = scaled.objective_and_gradient(x)
+        np.testing.assert_allclose(scaled_gradient, base_gradient * 3.0, rtol=1e-9)
+
+
+class TestMappingInterface:
+    def test_whiten_and_predict_mapping(self, trained_mm, cnn_space, cnn_problem):
+        mapping = cnn_space.sample(0)
+        surrogate = trained_mm.surrogate
+        whitened = surrogate.whiten_mapping(mapping, cnn_problem)
+        assert whitened.shape == (surrogate.encoder.length,)
+        edp = surrogate.predict_edp_mapping(mapping, cnn_problem)
+        assert edp > 0
+
+    def test_mapping_gradient_shape(self, trained_mm, cnn_space, cnn_problem):
+        surrogate = trained_mm.surrogate
+        objective, gradient = surrogate.mapping_gradient(cnn_space.sample(1), cnn_problem)
+        assert np.isfinite(objective)
+        assert gradient.shape == (surrogate.encoder.length,)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, trained_mm, cnn_space, cnn_problem, tmp_path):
+        surrogate = trained_mm.surrogate
+        path = tmp_path / "surrogate.npz"
+        surrogate.save(path)
+        loaded = Surrogate.load(path)
+        mapping = cnn_space.sample(0)
+        original = surrogate.predict_edp_mapping(mapping, cnn_problem)
+        restored = loaded.predict_edp_mapping(mapping, cnn_problem)
+        assert restored == pytest.approx(original)
+        assert loaded.algorithm == surrogate.algorithm

@@ -1,0 +1,92 @@
+"""Tests for Phase 1 training."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrainingConfig, edp_prediction_mse, evaluate_loss, train_surrogate
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        TrainingConfig()
+
+    def test_unknown_loss_raises(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(loss="hinge")
+
+    def test_unknown_optimizer_raises(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(optimizer="lbfgs")
+
+    def test_zero_epochs_raise(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+
+
+class TestTrainSurrogate:
+    def test_loss_decreases(self, cnn_dataset):
+        config = TrainingConfig(hidden_layers=(32, 32), epochs=6)
+        _, history = train_surrogate(cnn_dataset, config, seed=0)
+        assert history.epochs == 6
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_test_loss_tracked(self, cnn_dataset):
+        config = TrainingConfig(hidden_layers=(32, 32), epochs=4)
+        _, history = train_surrogate(cnn_dataset, config, seed=0)
+        assert len(history.test_loss) == 4
+        assert all(np.isfinite(history.test_loss))
+        assert history.generalization_gap() >= 0
+
+    def test_deterministic_given_seed(self, cnn_dataset):
+        config = TrainingConfig(hidden_layers=(16,), epochs=2)
+        _, h1 = train_surrogate(cnn_dataset, config, seed=5)
+        _, h2 = train_surrogate(cnn_dataset, config, seed=5)
+        assert h1.train_loss == h2.train_loss
+
+    def test_callback_invoked(self, cnn_dataset):
+        calls = []
+        config = TrainingConfig(hidden_layers=(16,), epochs=3)
+        train_surrogate(
+            cnn_dataset, config, seed=0,
+            callback=lambda e, tr, te: calls.append((e, tr, te)),
+        )
+        assert [c[0] for c in calls] == [0, 1, 2]
+
+    def test_lr_decays_per_schedule(self, cnn_dataset):
+        config = TrainingConfig(
+            hidden_layers=(16,), epochs=6, lr_decay_every=2, lr_decay_factor=0.5,
+            learning_rate=0.01,
+        )
+        _, history = train_surrogate(cnn_dataset, config, seed=0)
+        assert history.learning_rates[0] == pytest.approx(0.01)
+        assert history.learning_rates[-1] < 0.01
+
+    def test_adam_variant(self, cnn_dataset):
+        config = TrainingConfig(hidden_layers=(16,), epochs=2, optimizer="adam",
+                                learning_rate=1e-3)
+        _, history = train_surrogate(cnn_dataset, config, seed=0)
+        assert history.epochs == 2
+
+    @pytest.mark.parametrize("loss", ["huber", "mse", "mae"])
+    def test_all_paper_losses_train(self, cnn_dataset, loss):
+        config = TrainingConfig(hidden_layers=(16,), epochs=2, loss=loss)
+        _, history = train_surrogate(cnn_dataset, config, seed=0)
+        assert np.isfinite(history.final_train_loss)
+
+
+class TestEvaluationHelpers:
+    def test_evaluate_loss(self, trained_mm, cnn_dataset):
+        inputs, targets = cnn_dataset.whitened()
+        value = evaluate_loss(trained_mm.surrogate, inputs[:100], targets[:100])
+        assert np.isfinite(value)
+        assert value >= 0
+
+    def test_edp_prediction_mse(self, trained_mm, cnn_dataset):
+        value = edp_prediction_mse(trained_mm.surrogate, cnn_dataset)
+        assert np.isfinite(value)
+        assert value >= 0
+
+    def test_trained_beats_untrained(self, cnn_dataset):
+        config = TrainingConfig(hidden_layers=(32, 32), epochs=8)
+        _, history = train_surrogate(cnn_dataset, config, seed=0)
+        assert history.final_test_loss < history.test_loss[0] * 0.9

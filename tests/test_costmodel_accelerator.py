@@ -1,0 +1,68 @@
+"""Tests for the accelerator architecture spec."""
+
+import pytest
+
+from repro.costmodel import Accelerator, EnergyTable, default_accelerator
+from repro.costmodel.accelerator import small_accelerator
+
+
+class TestEnergyTable:
+    def test_level_lookup(self):
+        table = EnergyTable()
+        assert table.access("DRAM") == table.dram_access
+        assert table.access("L2") == table.l2_access
+        assert table.access("L1") == table.l1_access
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(KeyError):
+            EnergyTable().access("L9")
+
+    def test_dram_dominates(self):
+        table = EnergyTable()
+        assert table.dram_access > table.l2_access > table.l1_access
+
+
+class TestAccelerator:
+    def test_paper_configuration(self):
+        acc = default_accelerator()
+        assert acc.num_pes == 256
+        assert acc.l2_bytes == 512 * 1024
+        assert acc.l1_bytes == 64 * 1024
+
+    def test_capacity_words(self):
+        acc = default_accelerator()
+        assert acc.capacity_words("L2") == acc.l2_bytes // acc.word_bytes
+        assert acc.capacity_words("L1") == acc.l1_bytes // acc.word_bytes
+
+    def test_dram_has_no_capacity(self):
+        with pytest.raises(KeyError):
+            default_accelerator().capacity_words("DRAM")
+
+    def test_bank_words(self):
+        acc = default_accelerator()
+        assert acc.bank_words("L2") * acc.banks("L2") == acc.capacity_words("L2")
+        assert acc.bank_words("L1") * acc.banks("L1") == acc.capacity_words("L1")
+
+    def test_bandwidth_lookup(self):
+        acc = default_accelerator()
+        assert acc.bandwidth("DRAM") == acc.dram_words_per_cycle
+        with pytest.raises(KeyError):
+            acc.bandwidth("cache")
+
+    def test_cycles_to_seconds(self):
+        acc = default_accelerator()
+        assert acc.cycles_to_seconds(1e9) == pytest.approx(1.0)
+
+    def test_small_accelerator_is_smaller(self):
+        small = small_accelerator()
+        big = default_accelerator()
+        assert small.num_pes < big.num_pes
+        assert small.l2_bytes < big.l2_bytes
+
+    def test_invalid_configs_raise(self):
+        with pytest.raises(ValueError):
+            Accelerator(num_pes=0)
+        with pytest.raises(ValueError):
+            Accelerator(l1_bytes=1000, l1_banks=3)  # not divisible
+        with pytest.raises(ValueError):
+            Accelerator(word_bytes=0)

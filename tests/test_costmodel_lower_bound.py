@@ -1,0 +1,51 @@
+"""Tests for the algorithmic-minimum oracle (paper Appendix A)."""
+
+import pytest
+
+from repro.costmodel import algorithmic_minimum, default_accelerator
+from repro.workloads import make_cnn_layer, make_conv1d, problem_by_name
+
+
+class TestAlgorithmicMinimum:
+    def test_energy_formula(self):
+        acc = default_accelerator()
+        problem = make_conv1d("c", w=16, r=3)
+        bound = algorithmic_minimum(problem, acc)
+        per_word = (
+            acc.energy.dram_access + acc.energy.l2_access + acc.energy.l1_access
+        )
+        data_words = 16 + 3 + 14  # Input + Filter + Output
+        expected = data_words * per_word + problem.total_ops * acc.energy.mac
+        assert bound.energy_pj == pytest.approx(expected)
+
+    def test_cycles_formula(self):
+        acc = default_accelerator()
+        problem = problem_by_name("ResNet_Conv4")
+        bound = algorithmic_minimum(problem, acc)
+        assert bound.cycles == pytest.approx(problem.total_ops / acc.num_pes)
+
+    def test_tiny_problem_cycle_floor(self):
+        acc = default_accelerator()
+        problem = make_conv1d("c", w=4, r=2)
+        # total ops (6) < num PEs (256): floor at one cycle
+        assert algorithmic_minimum(problem, acc).cycles == 1.0
+
+    def test_edp_units(self):
+        acc = default_accelerator()
+        problem = problem_by_name("ResNet_Conv3")
+        bound = algorithmic_minimum(problem, acc)
+        assert bound.edp == pytest.approx(bound.energy_j * bound.delay_s)
+        assert bound.energy_j == pytest.approx(bound.energy_pj * 1e-12)
+        assert bound.delay_s == pytest.approx(bound.cycles / 1e9)
+
+    def test_monotone_in_problem_size(self):
+        acc = default_accelerator()
+        small = make_cnn_layer("s", n=1, k=32, c=32, h=8, w=8, r=3, s=3)
+        large = make_cnn_layer("l", n=8, k=64, c=64, h=16, w=16, r=3, s=3)
+        assert (
+            algorithmic_minimum(large, acc).edp > algorithmic_minimum(small, acc).edp
+        )
+
+    def test_carries_problem_name(self):
+        acc = default_accelerator()
+        assert algorithmic_minimum(problem_by_name("VGG_Conv2"), acc).problem_name == "VGG_Conv2"

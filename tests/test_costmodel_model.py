@@ -1,0 +1,164 @@
+"""Tests for the analytical cost model: invariants, bounds, sensitivities."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import CostModel, algorithmic_minimum
+from repro.costmodel.accelerator import MEMORY_LEVELS
+from repro.mapspace import MapSpace
+
+
+class TestEvaluationBasics:
+    def test_produces_stats(self, cnn_space, cost_model, cnn_problem):
+        stats = cost_model.evaluate(cnn_space.sample(0), cnn_problem)
+        assert stats.total_energy_pj > 0
+        assert stats.cycles >= 1
+        assert 0 < stats.utilization <= 1
+        assert stats.edp > 0
+
+    def test_records_cover_all_tensor_levels(self, cnn_space, cost_model, cnn_problem):
+        stats = cost_model.evaluate(cnn_space.sample(0), cnn_problem)
+        pairs = {(r.tensor, r.level) for r in stats.records}
+        expected = {
+            (t.name, level) for t in cnn_problem.tensors for level in MEMORY_LEVELS
+        }
+        assert pairs == expected
+
+    def test_deterministic(self, cnn_space, cost_model, cnn_problem):
+        mapping = cnn_space.sample(1)
+        a = cost_model.evaluate(mapping, cnn_problem)
+        b = cost_model.evaluate(mapping, cnn_problem)
+        assert a.edp == b.edp
+        assert a.cycles == b.cycles
+
+    def test_wrong_problem_raises(self, cnn_space, cost_model, mttkrp_problem):
+        with pytest.raises(ValueError):
+            cost_model.evaluate(cnn_space.sample(0), mttkrp_problem)
+
+    def test_evaluate_edp_matches_stats(self, cnn_space, cost_model, cnn_problem):
+        mapping = cnn_space.sample(2)
+        assert cost_model.evaluate_edp(mapping, cnn_problem) == pytest.approx(
+            cost_model.evaluate(mapping, cnn_problem).edp
+        )
+
+
+class TestLowerBoundInvariant:
+    """No valid mapping may beat the algorithmic minimum."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_cnn_never_beats_bound(self, cnn_space, cost_model, cnn_problem, seed):
+        bound = algorithmic_minimum(cnn_problem, cost_model.accelerator)
+        stats = cost_model.evaluate(cnn_space.sample(seed), cnn_problem)
+        assert stats.edp >= bound.edp
+        assert stats.total_energy_pj >= bound.energy_pj
+        assert stats.cycles >= bound.cycles
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mttkrp_never_beats_bound(
+        self, mttkrp_problem, accelerator, cost_model, seed
+    ):
+        space = MapSpace(mttkrp_problem, accelerator)
+        bound = algorithmic_minimum(mttkrp_problem, accelerator)
+        stats = cost_model.evaluate(space.sample(seed), mttkrp_problem)
+        assert stats.edp >= bound.edp
+
+
+class TestTrafficSanity:
+    def test_dram_reads_at_least_tensor_sizes(
+        self, cnn_space, cost_model, cnn_problem
+    ):
+        stats = cost_model.evaluate(cnn_space.sample(0), cnn_problem)
+        for tensor in cnn_problem.tensors:
+            assert stats.accesses_for(tensor.name, "DRAM") >= cnn_problem.tensor_size(
+                tensor
+            ) * 0.99
+
+    def test_inner_levels_see_more_traffic(self, cnn_space, cost_model, cnn_problem):
+        stats = cost_model.evaluate(cnn_space.sample(3), cnn_problem)
+        by_level = {
+            level: sum(r.accesses for r in stats.records if r.level == level)
+            for level in MEMORY_LEVELS
+        }
+        assert by_level["L1"] >= by_level["L2"] >= by_level["DRAM"]
+
+    def test_compute_reads_scale_with_points(self, cnn_space, cost_model, cnn_problem):
+        stats = cost_model.evaluate(cnn_space.sample(0), cnn_problem)
+        l1_total = sum(r.accesses for r in stats.records if r.level == "L1")
+        # Every MAC reads operands from L1/registers: traffic >= total points.
+        assert l1_total >= cnn_problem.total_points
+
+
+class TestSensitivities:
+    """The model must respond to mapping changes in the right direction."""
+
+    def test_parallelism_reduces_cycles(self, cnn_problem, accelerator, cost_model):
+        space = MapSpace(cnn_problem, accelerator)
+        serial = None
+        parallel = None
+        for seed in range(40):
+            mapping = space.sample(seed)
+            if mapping.spatial_size == 1 and serial is None:
+                serial = mapping
+            if mapping.spatial_size >= 16 and parallel is None:
+                parallel = mapping
+            if serial and parallel:
+                break
+        if not (serial and parallel):
+            pytest.skip("did not sample both extremes")
+        cycles_serial = cost_model.evaluate(serial, cnn_problem).cycles
+        cycles_parallel = cost_model.evaluate(parallel, cnn_problem).cycles
+        assert cycles_parallel < cycles_serial
+
+    def test_loop_order_changes_cost(self, cnn_space, cost_model, cnn_problem):
+        """Swapping a DRAM-level loop order must change traffic for some
+        mapping (the non-smoothness the paper's Figure 3 relies on)."""
+        changed = False
+        for seed in range(10):
+            mapping = cnn_space.sample(seed)
+            order = list(mapping.loop_order("DRAM"))
+            swapped = mapping.with_loop_order("DRAM", order[::-1])
+            if not cnn_space.is_member(swapped):
+                continue
+            a = cost_model.evaluate(mapping, cnn_problem).edp
+            b = cost_model.evaluate(swapped, cnn_problem).edp
+            if abs(a - b) / a > 1e-6:
+                changed = True
+                break
+        assert changed
+
+    def test_utilization_reflects_parallelism(self, cnn_space, cost_model, cnn_problem):
+        for seed in range(5):
+            mapping = cnn_space.sample(seed)
+            stats = cost_model.evaluate(mapping, cnn_problem)
+            # utilization can never exceed spatial fraction of the array
+            assert stats.utilization <= mapping.spatial_size / cost_model.accelerator.num_pes + 1e-9
+
+
+class TestMetaVector:
+    def test_length_matches_paper(self, cnn_space, cost_model, cnn_problem):
+        stats = cost_model.evaluate(cnn_space.sample(0), cnn_problem)
+        # 3 tensors -> 12 outputs (CNN-Layer in the paper)
+        assert len(stats.meta_vector(("Input", "Weights", "Output"))) == 12
+
+    def test_mttkrp_length(self, mttkrp_problem, accelerator, cost_model):
+        space = MapSpace(mttkrp_problem, accelerator)
+        stats = cost_model.evaluate(space.sample(0), mttkrp_problem)
+        # 4 tensors -> 15 outputs (MTTKRP in the paper)
+        assert len(stats.meta_vector(("A", "B", "C", "Output"))) == 15
+
+    def test_vector_contents(self, cnn_space, cost_model, cnn_problem):
+        stats = cost_model.evaluate(cnn_space.sample(0), cnn_problem)
+        vector = stats.meta_vector(("Input", "Weights", "Output"))
+        assert vector[-3] == pytest.approx(stats.total_energy_pj)
+        assert vector[-2] == pytest.approx(stats.utilization)
+        assert vector[-1] == pytest.approx(stats.cycles)
+
+    def test_energy_by_level_sums(self, cnn_space, cost_model, cnn_problem):
+        stats = cost_model.evaluate(cnn_space.sample(0), cnn_problem)
+        assert sum(stats.energy_by_level().values()) == pytest.approx(
+            stats.memory_energy_pj
+        )
+
+    def test_summary_mentions_problem(self, cnn_space, cost_model, cnn_problem):
+        stats = cost_model.evaluate(cnn_space.sample(0), cnn_problem)
+        assert cnn_problem.name in stats.summary()

@@ -1,0 +1,98 @@
+"""Tests for loop-nest construction and the temporal-reuse rule."""
+
+import pytest
+
+from repro.costmodel.nest import Loop, LoopNest, build_nest, distinct_tiles, fill_events
+
+
+def _loops(*spec):
+    """spec: (dim, bound, level) triples."""
+    return tuple(Loop(dim=d, bound=b, level=lv) for d, b, lv in spec)
+
+
+class TestLoop:
+    def test_zero_bound_raises(self):
+        with pytest.raises(ValueError):
+            Loop(dim="X", bound=0, level="DRAM")
+
+
+class TestFillEvents:
+    def test_no_loops(self):
+        assert fill_events((), {"X"}) == 1
+
+    def test_all_relevant(self):
+        loops = _loops(("X", 4, "DRAM"), ("Y", 3, "DRAM"))
+        assert fill_events(loops, {"X", "Y"}) == 12
+
+    def test_trailing_irrelevant_reused(self):
+        # Outer relevant X, inner irrelevant K: tile stays resident over K.
+        loops = _loops(("X", 4, "DRAM"), ("K", 8, "DRAM"))
+        assert fill_events(loops, {"X"}) == 4
+
+    def test_leading_irrelevant_refetches(self):
+        # Outer irrelevant K forces a refetch per K iteration.
+        loops = _loops(("K", 8, "DRAM"), ("X", 4, "DRAM"))
+        assert fill_events(loops, {"X"}) == 32
+
+    def test_interleaved(self):
+        loops = _loops(("K", 2, "DRAM"), ("X", 4, "DRAM"), ("C", 3, "DRAM"))
+        # last relevant is X at index 1: product of bounds 0..1 = 8
+        assert fill_events(loops, {"X"}) == 8
+
+    def test_no_relevant_loop_fills_once(self):
+        loops = _loops(("K", 8, "DRAM"), ("C", 3, "DRAM"))
+        assert fill_events(loops, {"X"}) == 1
+
+
+class TestDistinctTiles:
+    def test_counts_only_relevant(self):
+        loops = _loops(("K", 2, "DRAM"), ("X", 4, "DRAM"), ("C", 3, "DRAM"))
+        assert distinct_tiles(loops, {"X"}) == 4
+        assert distinct_tiles(loops, {"K", "C"}) == 6
+
+    def test_fills_at_least_distinct(self):
+        loops = _loops(("K", 2, "DRAM"), ("X", 4, "DRAM"), ("C", 3, "DRAM"))
+        for relevant in ({"X"}, {"K"}, {"C"}, {"X", "K"}):
+            assert fill_events(loops, relevant) >= distinct_tiles(loops, relevant)
+
+
+class TestBuildNest:
+    def test_elides_unit_loops(self, cnn_space):
+        mapping = cnn_space.sample(0)
+        nest = build_nest(mapping)
+        assert all(loop.bound > 1 for loop in nest.loops)
+
+    def test_temporal_points(self, cnn_space):
+        mapping = cnn_space.sample(0)
+        nest = build_nest(mapping)
+        expected = 1
+        for dim in cnn_space.dims:
+            dram, l2, spatial, l1 = mapping.factors(dim)
+            expected *= dram * l2 * l1
+        assert nest.temporal_points == expected
+
+    def test_level_partitions(self, cnn_space):
+        nest = build_nest(cnn_space.sample(3))
+        assert set(nest.loops) == set(
+            nest.at_level("DRAM") + nest.at_level("L2") + nest.at_level("L1")
+        )
+
+    def test_above_level_ordering(self, cnn_space):
+        nest = build_nest(cnn_space.sample(3))
+        assert nest.above_level("DRAM") == ()
+        assert nest.above_level("L2") == nest.at_level("DRAM")
+        assert nest.above_level("L1") == nest.at_level("DRAM") + nest.at_level("L2")
+        assert nest.above_level("REG") == nest.loops
+
+    def test_unknown_level_raises(self, cnn_space):
+        nest = build_nest(cnn_space.sample(3))
+        with pytest.raises(KeyError):
+            nest.above_level("L7")
+
+    def test_order_respected_within_level(self, cnn_space):
+        mapping = cnn_space.sample(4)
+        nest = build_nest(mapping)
+        dram_loops = nest.at_level("DRAM")
+        order = mapping.loop_order("DRAM")
+        positions = [order.index(loop.dim) for loop in dram_loops]
+        assert positions == sorted(positions)

@@ -1,0 +1,65 @@
+"""Tests for designer-defined objectives (paper section 2.3)."""
+
+import pytest
+
+from repro.costmodel import OBJECTIVES, get_objective, weighted_objective
+
+
+@pytest.fixture(scope="module")
+def sample_stats(cnn_space, cost_model, cnn_problem):
+    return cost_model.evaluate(cnn_space.sample(0), cnn_problem)
+
+
+class TestBuiltins:
+    def test_registry_contents(self):
+        assert set(OBJECTIVES) == {"edp", "ed2p", "energy", "delay"}
+
+    def test_edp_matches_stats(self, sample_stats):
+        assert get_objective("edp")(sample_stats) == pytest.approx(sample_stats.edp)
+
+    def test_ed2p_formula(self, sample_stats):
+        expected = sample_stats.energy_j * sample_stats.delay_s**2
+        assert get_objective("ed2p")(sample_stats) == pytest.approx(expected)
+
+    def test_energy_and_delay(self, sample_stats):
+        assert get_objective("energy")(sample_stats) == pytest.approx(sample_stats.energy_j)
+        assert get_objective("delay")(sample_stats) == pytest.approx(sample_stats.delay_s)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_objective("carbon")
+
+
+class TestWeighted:
+    def test_weighted_sum(self, sample_stats):
+        objective = weighted_objective({"energy": 2.0, "delay": 3.0})
+        expected = 2.0 * sample_stats.energy_j + 3.0 * sample_stats.delay_s
+        assert objective(sample_stats) == pytest.approx(expected)
+
+    def test_zero_weight_drops_term(self, sample_stats):
+        objective = weighted_objective({"energy": 1.0, "delay": 0.0})
+        assert objective(sample_stats) == pytest.approx(sample_stats.energy_j)
+
+    def test_name(self):
+        assert weighted_objective({"edp": 1.0}, name="mine").name == "mine"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_objective({})
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            weighted_objective({"energy": -1.0})
+
+    def test_objectives_rank_differently(self, cnn_space, cost_model, cnn_problem):
+        """Energy-only and delay-only objectives must disagree on *some*
+        pair of mappings — otherwise the abstraction is pointless."""
+        stats = [
+            cost_model.evaluate(cnn_space.sample(seed), cnn_problem)
+            for seed in range(12)
+        ]
+        energy = get_objective("energy")
+        delay = get_objective("delay")
+        energy_order = sorted(range(len(stats)), key=lambda i: energy(stats[i]))
+        delay_order = sorted(range(len(stats)), key=lambda i: delay(stats[i]))
+        assert energy_order != delay_order

@@ -1,0 +1,88 @@
+"""Tests for CostStats helpers and unit conversions."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel.stats import CostStats, TensorLevelEnergy
+
+
+def _stats(clock=1.0):
+    records = (
+        TensorLevelEnergy("A", "DRAM", accesses=10.0, energy_pj=2000.0),
+        TensorLevelEnergy("A", "L2", accesses=20.0, energy_pj=200.0),
+        TensorLevelEnergy("A", "L1", accesses=40.0, energy_pj=80.0),
+        TensorLevelEnergy("Out", "DRAM", accesses=5.0, energy_pj=1000.0),
+        TensorLevelEnergy("Out", "L2", accesses=10.0, energy_pj=100.0),
+        TensorLevelEnergy("Out", "L1", accesses=20.0, energy_pj=40.0),
+    )
+    return CostStats(
+        problem_name="toy",
+        records=records,
+        noc_energy_pj=50.0,
+        mac_energy_pj=500.0,
+        cycles=1e6,
+        utilization=0.5,
+        spatial_pes=64,
+        clock_ghz=clock,
+    )
+
+
+class TestAggregates:
+    def test_memory_energy(self):
+        assert _stats().memory_energy_pj == pytest.approx(3420.0)
+
+    def test_total_energy(self):
+        assert _stats().total_energy_pj == pytest.approx(3420.0 + 50.0 + 500.0)
+
+    def test_energy_joules(self):
+        assert _stats().energy_j == pytest.approx(3970.0e-12)
+
+    def test_delay_at_1ghz(self):
+        assert _stats().delay_s == pytest.approx(1e-3)
+
+    def test_delay_scales_with_clock(self):
+        assert _stats(clock=2.0).delay_s == pytest.approx(0.5e-3)
+
+    def test_edp_product(self):
+        stats = _stats()
+        assert stats.edp == pytest.approx(stats.energy_j * stats.delay_s)
+
+
+class TestLookups:
+    def test_energy_for_pair(self):
+        assert _stats().energy_pj_for("A", "L2") == 200.0
+
+    def test_energy_for_missing_pair_is_zero(self):
+        assert _stats().energy_pj_for("B", "L2") == 0.0
+
+    def test_accesses_for(self):
+        assert _stats().accesses_for("Out", "L1") == 20.0
+        assert _stats().accesses_for("Nope", "L1") == 0.0
+
+    def test_energy_by_level(self):
+        by_level = _stats().energy_by_level()
+        assert by_level == {
+            "DRAM": pytest.approx(3000.0),
+            "L2": pytest.approx(300.0),
+            "L1": pytest.approx(120.0),
+        }
+
+
+class TestMetaVector:
+    def test_layout(self):
+        vector = _stats().meta_vector(("A", "Out"))
+        assert len(vector) == 9  # 2 tensors * 3 levels + 3
+        np.testing.assert_allclose(vector[:3], [2000.0, 200.0, 80.0])
+        np.testing.assert_allclose(vector[3:6], [1000.0, 100.0, 40.0])
+        assert vector[6] == pytest.approx(3970.0)
+        assert vector[7] == 0.5
+        assert vector[8] == 1e6
+
+    def test_static_length_helper(self):
+        assert CostStats.meta_vector_length(3) == 12
+        assert CostStats.meta_vector_length(4) == 15
+
+    def test_summary_format(self):
+        text = _stats().summary()
+        assert "toy" in text
+        assert "PEs=64" in text

@@ -1,0 +1,45 @@
+"""Smoke tests: every example script must at least import and expose main().
+
+Full example runs train surrogates (minutes); importing them catches API
+drift — stale imports, renamed symbols — which is the failure mode examples
+actually suffer in practice.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLES}
+        assert {"quickstart", "compare_searchers", "mttkrp_search",
+                "custom_accelerator", "cost_surface"} <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_example_imports_and_has_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None))
+
+    def test_custom_accelerator_helpers(self):
+        """The custom-workload example's builders must produce valid parts."""
+        module = _load(Path(__file__).parent.parent / "examples" / "custom_accelerator.py")
+        accelerator = module.make_edge_accelerator()
+        assert accelerator.num_pes == 64
+        problem = module.make_grouped_conv("t", g=4, k=8, x=16, r=3)
+        assert problem.algorithm == "grouped-conv1d"
+        from repro.mapspace import MapSpace
+
+        space = MapSpace(problem, accelerator)
+        assert space.is_member(space.sample(0))

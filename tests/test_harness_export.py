@@ -1,0 +1,57 @@
+"""Tests for CSV/JSON curve export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.harness import MethodCurve, curves_to_csv, curves_to_json, load_curves_json
+
+
+@pytest.fixture
+def curves():
+    def make(name, finals):
+        values = np.asarray(finals, dtype=float)
+        return MethodCurve(
+            method=name,
+            problem="toy",
+            grid=np.arange(1.0, len(values) + 1),
+            mean_best_norm_edp=values,
+            std_best_norm_edp=values * 0.1,
+            runs=3,
+        )
+
+    return {"MM": make("MM", [9, 4, 2]), "SA": make("SA", [9, 8, 7])}
+
+
+class TestCsv:
+    def test_long_format(self, curves, tmp_path):
+        path = tmp_path / "curves.csv"
+        curves_to_csv(curves, path)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["problem", "method", "grid", "mean_best_norm_edp", "std"]
+        assert len(rows) == 1 + 6  # header + 2 methods x 3 points
+        methods = {row[1] for row in rows[1:]}
+        assert methods == {"MM", "SA"}
+
+    def test_values_roundtrip_textually(self, curves, tmp_path):
+        path = tmp_path / "curves.csv"
+        curves_to_csv(curves, path)
+        content = path.read_text()
+        assert "toy,MM,3,2" in content
+
+
+class TestJson:
+    def test_roundtrip(self, curves, tmp_path):
+        path = tmp_path / "curves.json"
+        curves_to_json(curves, path)
+        loaded = load_curves_json(path)
+        assert set(loaded) == {"MM", "SA"}
+        for name in curves:
+            np.testing.assert_allclose(
+                loaded[name].mean_best_norm_edp, curves[name].mean_best_norm_edp
+            )
+            assert loaded[name].runs == curves[name].runs
+            assert loaded[name].problem == "toy"
+            assert loaded[name].final_norm_edp == curves[name].final_norm_edp

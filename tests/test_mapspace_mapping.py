@@ -1,0 +1,131 @@
+"""Tests for the Mapping value type."""
+
+import pytest
+
+from repro.mapspace.mapping import Mapping
+
+
+def _make_mapping():
+    return Mapping(
+        dims=("X", "R"),
+        tile_factors=((2, 7, 2, 1), (1, 1, 1, 5)),
+        loop_orders=(("X", "R"), ("R", "X"), ("X", "R")),
+        tensors=("Input", "Filter", "Output"),
+        allocation=((4, 2, 2), (2, 1, 1)),
+    )
+
+
+class TestConstruction:
+    def test_valid(self):
+        mapping = _make_mapping()
+        assert mapping.dim_bound("X") == 28
+        assert mapping.dim_bound("R") == 5
+
+    def test_misaligned_factors_raise(self):
+        with pytest.raises(ValueError):
+            Mapping(
+                dims=("X", "R"),
+                tile_factors=((2, 7, 2, 1),),
+                loop_orders=(("X", "R"),) * 3,
+                tensors=("T",),
+                allocation=((1,), (1,)),
+            )
+
+    def test_nonpositive_factor_raises(self):
+        with pytest.raises(ValueError):
+            Mapping(
+                dims=("X",),
+                tile_factors=((0, 1, 1, 1),),
+                loop_orders=(("X",),) * 3,
+                tensors=("T",),
+                allocation=((1,), (1,)),
+            )
+
+    def test_bad_permutation_raises(self):
+        with pytest.raises(ValueError):
+            Mapping(
+                dims=("X", "R"),
+                tile_factors=((1, 1, 1, 28), (1, 1, 1, 5)),
+                loop_orders=(("X", "X"), ("R", "X"), ("X", "R")),
+                tensors=("T",),
+                allocation=((1,), (1,)),
+            )
+
+    def test_zero_bank_allocation_raises(self):
+        with pytest.raises(ValueError):
+            Mapping(
+                dims=("X",),
+                tile_factors=((1, 1, 1, 28),),
+                loop_orders=(("X",),) * 3,
+                tensors=("A", "B"),
+                allocation=((1, 0), (1, 1)),
+            )
+
+
+class TestAccessors:
+    def test_factors_by_dim(self):
+        assert _make_mapping().factors("R") == (1, 1, 1, 5)
+
+    def test_factor_by_slot(self):
+        mapping = _make_mapping()
+        assert mapping.factor("X", "DRAM") == 2
+        assert mapping.factor("X", "L2") == 7
+        assert mapping.factor("X", "spatial") == 2
+        assert mapping.factor("X", "L1") == 1
+
+    def test_unknown_dim_raises(self):
+        with pytest.raises(KeyError):
+            _make_mapping().factors("Z")
+
+    def test_spatial(self):
+        mapping = _make_mapping()
+        assert mapping.spatial_factors == {"X": 2, "R": 1}
+        assert mapping.spatial_size == 2
+
+    def test_tile_extents(self):
+        mapping = _make_mapping()
+        assert mapping.tile_extents("L1") == {"X": 1, "R": 5}
+        assert mapping.tile_extents("L2") == {"X": 14, "R": 5}
+        assert mapping.tile_extents("DRAM") == {"X": 28, "R": 5}
+
+    def test_level_factors(self):
+        mapping = _make_mapping()
+        assert mapping.level_factors("DRAM") == {"X": 2, "R": 1}
+        assert mapping.level_factors("L2") == {"X": 7, "R": 1}
+        assert mapping.level_factors("L1") == {"X": 1, "R": 5}
+
+    def test_loop_order(self):
+        assert _make_mapping().loop_order("L2") == ("R", "X")
+        with pytest.raises(KeyError):
+            _make_mapping().loop_order("L3")
+
+    def test_alloc(self):
+        mapping = _make_mapping()
+        assert mapping.alloc_banks("L2") == {"Input": 4, "Filter": 2, "Output": 2}
+        assert mapping.alloc_fraction("L2", "Input") == pytest.approx(0.5)
+
+
+class TestFunctionalUpdates:
+    def test_with_tile_factors(self):
+        updated = _make_mapping().with_tile_factors("X", (28, 1, 1, 1))
+        assert updated.factors("X") == (28, 1, 1, 1)
+        assert _make_mapping().factors("X") == (2, 7, 2, 1)  # original untouched
+
+    def test_with_loop_order(self):
+        updated = _make_mapping().with_loop_order("DRAM", ("R", "X"))
+        assert updated.loop_order("DRAM") == ("R", "X")
+
+    def test_with_allocation(self):
+        updated = _make_mapping().with_allocation("L1", (1, 2, 1))
+        assert updated.alloc_banks("L1") == {"Input": 1, "Filter": 2, "Output": 1}
+
+    def test_hashable_and_equal(self):
+        assert _make_mapping() == _make_mapping()
+        assert hash(_make_mapping()) == hash(_make_mapping())
+        assert len({_make_mapping(), _make_mapping()}) == 1
+
+    def test_describe_contains_sections(self):
+        text = _make_mapping().describe()
+        assert "tiling" in text
+        assert "loop order" in text
+        assert "banks" in text

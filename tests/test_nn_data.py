@@ -1,0 +1,55 @@
+"""Tests for minibatch iteration."""
+
+import numpy as np
+import pytest
+
+from repro.nn import minibatches
+
+
+def _dataset(n=10, d=3):
+    inputs = np.arange(n * d, dtype=float).reshape(n, d)
+    targets = np.arange(n, dtype=float).reshape(n, 1)
+    return inputs, targets
+
+
+class TestMinibatches:
+    def test_covers_all_samples(self):
+        inputs, targets = _dataset()
+        seen = np.concatenate([y for _, y in minibatches(inputs, targets, 3, rng=0)])
+        assert sorted(seen.ravel()) == list(range(10))
+
+    def test_batch_sizes(self):
+        inputs, targets = _dataset()
+        sizes = [len(x) for x, _ in minibatches(inputs, targets, 3, rng=0)]
+        assert sizes == [3, 3, 3, 1]
+
+    def test_drop_last(self):
+        inputs, targets = _dataset()
+        sizes = [len(x) for x, _ in minibatches(inputs, targets, 3, rng=0, drop_last=True)]
+        assert sizes == [3, 3, 3]
+
+    def test_alignment_preserved(self):
+        inputs, targets = _dataset()
+        for x, y in minibatches(inputs, targets, 4, rng=1):
+            # row i of inputs is [3i, 3i+1, 3i+2]; target is i
+            np.testing.assert_array_equal(x[:, 0] / 3.0, y.ravel())
+
+    def test_no_shuffle_keeps_order(self):
+        inputs, targets = _dataset()
+        first_batch = next(iter(minibatches(inputs, targets, 4, shuffle=False)))
+        np.testing.assert_array_equal(first_batch[0], inputs[:4])
+
+    def test_shuffle_deterministic_per_seed(self):
+        inputs, targets = _dataset()
+        a = [y.ravel().tolist() for _, y in minibatches(inputs, targets, 3, rng=5)]
+        b = [y.ravel().tolist() for _, y in minibatches(inputs, targets, 3, rng=5)]
+        assert a == b
+
+    def test_misaligned_raises(self):
+        with pytest.raises(ValueError):
+            list(minibatches(np.zeros((5, 2)), np.zeros((4, 1)), 2))
+
+    def test_bad_batch_size_raises(self):
+        inputs, targets = _dataset()
+        with pytest.raises(ValueError):
+            list(minibatches(inputs, targets, 0))

@@ -1,0 +1,85 @@
+"""Tests for the regression losses (Huber / MSE / MAE — Figure 7b set)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LOSS_FUNCTIONS, Tensor, huber_loss, l1_loss, mse_loss
+
+
+def _pred(values):
+    return Tensor(np.asarray(values, dtype=float), requires_grad=True)
+
+
+class TestMSE:
+    def test_zero_at_target(self):
+        assert mse_loss(_pred([1.0, 2.0]), np.array([1.0, 2.0])).item() == 0.0
+
+    def test_value(self):
+        assert mse_loss(_pred([3.0]), np.array([1.0])).item() == pytest.approx(4.0)
+
+    def test_gradient(self):
+        p = _pred([3.0])
+        mse_loss(p, np.array([1.0])).backward()
+        np.testing.assert_allclose(p.grad, [4.0])  # 2 * (3 - 1) / 1
+
+
+class TestMAE:
+    def test_value(self):
+        assert l1_loss(_pred([3.0, -1.0]), np.array([1.0, 1.0])).item() == pytest.approx(2.0)
+
+    def test_gradient_is_sign(self):
+        p = _pred([3.0, -5.0])
+        l1_loss(p, np.array([0.0, 0.0])).backward()
+        np.testing.assert_allclose(p.grad, [0.5, -0.5])  # sign / n
+
+
+class TestHuber:
+    def test_quadratic_inside_delta(self):
+        # residual 0.5 < delta=1: loss = 0.5 * r^2
+        assert huber_loss(_pred([0.5]), np.array([0.0])).item() == pytest.approx(0.125)
+
+    def test_linear_outside_delta(self):
+        # residual 3 > delta=1: loss = 0.5 + (3 - 1) = 2.5
+        assert huber_loss(_pred([3.0]), np.array([0.0])).item() == pytest.approx(2.5)
+
+    def test_custom_delta(self):
+        # delta=2, residual 3: 0.5 * 4 + 2 * (3 - 2) = 4
+        assert huber_loss(_pred([3.0]), np.array([0.0]), delta=2.0).item() == pytest.approx(4.0)
+
+    def test_gradient_saturates(self):
+        p = _pred([10.0])
+        huber_loss(p, np.array([0.0])).backward()
+        np.testing.assert_allclose(p.grad, [1.0])  # capped at delta
+
+    def test_gradient_linear_inside(self):
+        p = _pred([0.5])
+        huber_loss(p, np.array([0.0])).backward()
+        np.testing.assert_allclose(p.grad, [0.5])
+
+    def test_invalid_delta_raises(self):
+        with pytest.raises(ValueError):
+            huber_loss(_pred([1.0]), np.array([0.0]), delta=0.0)
+
+    def test_tracks_mae_for_outliers(self):
+        # For |r| >> delta: huber = |r| - delta/2, far below MSE's r^2.
+        prediction = [10.0]
+        target = np.array([0.0])
+        h = huber_loss(_pred(prediction), target).item()
+        m = mse_loss(_pred(prediction), target).item()
+        a = l1_loss(_pred(prediction), target).item()
+        assert h == pytest.approx(a - 0.5)
+        assert h < m
+
+
+class TestRegistry:
+    def test_contains_paper_losses(self):
+        assert set(LOSS_FUNCTIONS) == {"huber", "mse", "mae"}
+
+    def test_all_callable_on_tensors(self):
+        for loss in LOSS_FUNCTIONS.values():
+            value = loss(_pred([1.0, 2.0]), np.array([0.0, 0.0]))
+            assert value.item() > 0
+
+    def test_accepts_tensor_target(self):
+        target = Tensor(np.array([1.0]))
+        assert mse_loss(_pred([1.0]), target).item() == 0.0

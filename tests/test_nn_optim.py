@@ -1,0 +1,125 @@
+"""Tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, ConstantLR, MLP, StepLR, Tensor, mse_loss
+
+
+def _quadratic_problem():
+    """Minimize ||x - target||^2 over a single parameter tensor."""
+    target = np.array([1.0, -2.0, 3.0])
+    x = Tensor(np.zeros(3), requires_grad=True)
+    return x, target
+
+
+def _loss_of(x, target):
+    return ((x - target) ** 2).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        x, target = _quadratic_problem()
+        opt = SGD([x], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            _loss_of(x, target).backward()
+            opt.step()
+        np.testing.assert_allclose(x.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def loss_after(steps, momentum):
+            x, target = _quadratic_problem()
+            opt = SGD([x], lr=0.01, momentum=momentum)
+            for _ in range(steps):
+                opt.zero_grad()
+                _loss_of(x, target).backward()
+                opt.step()
+            return _loss_of(x, target).item()
+
+        assert loss_after(50, 0.9) < loss_after(50, 0.0)
+
+    def test_weight_decay_shrinks(self):
+        x = Tensor(np.array([10.0]), requires_grad=True)
+        opt = SGD([x], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            opt.zero_grad()
+            (x * 0.0).sum().backward()  # zero task gradient
+            opt.step()
+        assert abs(x.data[0]) < 1.0
+
+    def test_skips_parameters_without_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        SGD([x], lr=0.1).step()  # no backward yet: must not crash
+        np.testing.assert_array_equal(x.data, np.ones(2))
+
+    def test_invalid_hyperparams_raise(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([x], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([x], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        x, target = _quadratic_problem()
+        opt = Adam([x], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            _loss_of(x, target).backward()
+            opt.step()
+        np.testing.assert_allclose(x.data, target, atol=1e-3)
+
+    def test_trains_small_network(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(128, 4))
+        Y = (X @ rng.normal(size=(4, 2))) ** 2
+        net = MLP([4, 32, 2], rng=rng)
+        opt = Adam(net.parameters(), lr=1e-2)
+        first = mse_loss(net(Tensor(X)), Y).item()
+        for _ in range(150):
+            opt.zero_grad()
+            mse_loss(net(Tensor(X)), Y).backward()
+            opt.step()
+        assert mse_loss(net(Tensor(X)), Y).item() < first * 0.2
+
+    def test_invalid_betas_raise(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([x], betas=(1.0, 0.999))
+
+
+class TestSchedulers:
+    def test_step_lr_decays(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        opt = SGD([x], lr=1.0)
+        scheduler = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(5)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_paper_schedule(self):
+        # lr 1e-2 decayed x0.1 every 25 epochs (paper section 5.5)
+        x = Tensor(np.ones(1), requires_grad=True)
+        opt = SGD([x], lr=1e-2)
+        scheduler = StepLR(opt, step_size=25, gamma=0.1)
+        for _ in range(25):
+            scheduler.step()
+        assert opt.lr == pytest.approx(1e-3)
+
+    def test_constant_lr(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        opt = SGD([x], lr=0.5)
+        scheduler = ConstantLR(opt)
+        for _ in range(10):
+            assert scheduler.step() == 0.5
+
+    def test_invalid_params_raise(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        opt = SGD([x], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=1, gamma=0.0)

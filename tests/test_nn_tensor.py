@@ -1,0 +1,198 @@
+"""Gradient-correctness tests for the autograd engine.
+
+Every differentiable op is checked against central finite differences on
+random inputs — the foundation everything in Phase 1/Phase 2 rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+
+RNG = np.random.default_rng(0)
+EPS = 1e-6
+TOL = 1e-5
+
+
+def finite_difference(f, x: np.ndarray) -> np.ndarray:
+    """Central-difference gradient of scalar f at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + EPS
+        up = f(x.copy().reshape(x.shape))
+        flat[i] = original - EPS
+        down = f(x.copy().reshape(x.shape))
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * EPS)
+    return grad
+
+
+def check_gradient(op, shape=(3, 4), positive=False):
+    """Compare autograd to finite differences for scalar loss sum(op(x))."""
+    data = RNG.normal(size=shape)
+    if positive:
+        data = np.abs(data) + 0.5
+    x = Tensor(data.copy(), requires_grad=True)
+    loss = op(x).sum()
+    loss.backward()
+
+    def scalar(values):
+        return op(Tensor(values)).sum().item()
+
+    expected = finite_difference(scalar, data.copy())
+    np.testing.assert_allclose(x.grad, expected, rtol=TOL, atol=TOL)
+
+
+class TestElementwiseGradients:
+    def test_add_constant(self):
+        check_gradient(lambda x: x + 3.0)
+
+    def test_neg(self):
+        check_gradient(lambda x: -x)
+
+    def test_mul_constant(self):
+        check_gradient(lambda x: x * 2.5)
+
+    def test_mul_self(self):
+        check_gradient(lambda x: x * x)
+
+    def test_div(self):
+        check_gradient(lambda x: 1.0 / x, positive=True)
+
+    def test_pow(self):
+        check_gradient(lambda x: x**3)
+
+    def test_relu(self):
+        check_gradient(lambda x: x.relu())
+
+    def test_tanh(self):
+        check_gradient(lambda x: x.tanh())
+
+    def test_sigmoid(self):
+        check_gradient(lambda x: x.sigmoid())
+
+    def test_abs(self):
+        # keep inputs away from the kink
+        check_gradient(lambda x: x.abs(), positive=True)
+
+    def test_exp(self):
+        check_gradient(lambda x: x.exp())
+
+    def test_log(self):
+        check_gradient(lambda x: x.log(), positive=True)
+
+    def test_clip(self):
+        check_gradient(lambda x: x.clip(-0.5, 0.5))
+
+    def test_composite(self):
+        check_gradient(lambda x: ((x * 2 + 1).tanh() * x).relu())
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self):
+        w = RNG.normal(size=(4, 2))
+        check_gradient(lambda x: x.matmul(w), shape=(3, 4))
+
+    def test_matmul_left_operand(self):
+        x_data = RNG.normal(size=(3, 4))
+        w = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+        loss = Tensor(x_data).matmul(w).sum()
+        loss.backward()
+
+        def scalar(values):
+            return (x_data @ values).sum()
+
+        expected = finite_difference(scalar, w.data.copy())
+        np.testing.assert_allclose(w.grad, expected, rtol=TOL, atol=TOL)
+
+    def test_vector_matrix(self):
+        w = RNG.normal(size=(4, 2))
+        check_gradient(lambda x: x.matmul(w), shape=(4,))
+
+
+class TestReductionsAndShaping:
+    def test_sum_all(self):
+        check_gradient(lambda x: x.sum())
+
+    def test_sum_axis(self):
+        check_gradient(lambda x: x.sum(axis=0))
+
+    def test_mean(self):
+        check_gradient(lambda x: x.mean())
+
+    def test_reshape(self):
+        check_gradient(lambda x: x.reshape(12) * np.arange(12.0))
+
+    def test_select(self):
+        check_gradient(lambda x: x.select(1, axis=-1) * 2.0)
+
+    def test_concat(self):
+        a_data = RNG.normal(size=(3, 2))
+        b = Tensor(RNG.normal(size=(3, 3)), requires_grad=True)
+        loss = (Tensor.concat([Tensor(a_data), b], axis=1) ** 2).sum()
+        loss.backward()
+
+        def scalar(values):
+            return (np.concatenate([a_data, values], axis=1) ** 2).sum()
+
+        expected = finite_difference(scalar, b.data.copy())
+        np.testing.assert_allclose(b.grad, expected, rtol=TOL, atol=TOL)
+
+
+class TestBroadcasting:
+    def test_bias_broadcast(self):
+        bias = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        x = RNG.normal(size=(3, 4))
+        loss = (Tensor(x) + bias).sum()
+        loss.backward()
+        np.testing.assert_allclose(bias.grad, np.full(4, 3.0), rtol=TOL)
+
+    def test_scalar_broadcast(self):
+        scale = Tensor(2.0, requires_grad=True)
+        x = RNG.normal(size=(3, 4))
+        loss = (Tensor(x) * scale).sum()
+        loss.backward()
+        np.testing.assert_allclose(scale.grad, x.sum(), rtol=TOL)
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        loss = (x * 3) + (x * 5)
+        loss.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x.detach() * 3
+        assert not y.requires_grad
+
+    def test_no_grad_context(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        with no_grad():
+            y = x * 3
+        assert not y.requires_grad
+
+    def test_backward_on_nonscalar_needs_gradient(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_without_grad_flag_raises(self):
+        x = Tensor(np.ones(1))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        (x * 2).backward(np.ones(1))
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_repr(self):
+        assert "requires_grad" in repr(Tensor(np.ones(2), requires_grad=True))
+        assert "shape=(2,)" in repr(Tensor(np.ones(2)))

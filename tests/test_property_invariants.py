@@ -1,0 +1,119 @@
+"""Cross-cutting property tests: invariants that must hold for *any* valid
+mapping of *any* problem.
+
+These are the load-bearing guarantees the search stack relies on:
+
+* every sampled mapping is valid; projection is idempotent on valid
+  mappings and always lands in the space from arbitrary corruption;
+* the cost model never beats the algorithmic minimum and orders memory
+  traffic inner >= outer;
+* the encoder round-trips exactly on valid mappings.
+
+Run over a seed sweep on a GEMM problem (cheap) plus the CNN fixture.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MappingEncoder
+from repro.costmodel import CostModel, algorithmic_minimum, default_accelerator
+from repro.mapspace import MapSpace
+from repro.workloads import make_gemm
+
+ACC = default_accelerator()
+GEMM = make_gemm("prop_gemm", m=96, n=160, k=288)
+SPACE = MapSpace(GEMM, ACC)
+MODEL = CostModel(ACC)
+BOUND = algorithmic_minimum(GEMM, ACC)
+ENCODER = MappingEncoder.for_problem(GEMM)
+
+
+class TestSamplingInvariants:
+    @given(st.integers(min_value=0, max_value=10_000_000))
+    @settings(max_examples=40, deadline=None)
+    def test_sample_is_valid(self, seed):
+        assert SPACE.is_member(SPACE.sample(seed))
+
+    @given(st.integers(min_value=0, max_value=10_000_000))
+    @settings(max_examples=25, deadline=None)
+    def test_projection_idempotent_on_samples(self, seed):
+        mapping = SPACE.sample(seed)
+        assert SPACE.project(mapping) == mapping
+
+    @given(
+        st.integers(min_value=0, max_value=10_000_000),
+        st.integers(min_value=0, max_value=10_000_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_neighbor_chain_stays_valid(self, seed, move_seed):
+        mapping = SPACE.sample(seed)
+        rng = np.random.default_rng(move_seed)
+        for _ in range(5):
+            mapping = SPACE.random_neighbor(mapping, rng)
+            assert SPACE.is_member(mapping)
+
+
+class TestCostInvariants:
+    @given(st.integers(min_value=0, max_value=10_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_never_beats_lower_bound(self, seed):
+        stats = MODEL.evaluate(SPACE.sample(seed), GEMM)
+        assert stats.edp >= BOUND.edp
+        assert stats.total_energy_pj >= BOUND.energy_pj
+        assert stats.cycles >= BOUND.cycles
+
+    @given(st.integers(min_value=0, max_value=10_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_traffic_ordering(self, seed):
+        stats = MODEL.evaluate(SPACE.sample(seed), GEMM)
+        by_level = {
+            level: sum(r.accesses for r in stats.records if r.level == level)
+            for level in ("DRAM", "L2", "L1")
+        }
+        assert by_level["L1"] >= by_level["L2"] >= by_level["DRAM"] > 0
+
+    @given(st.integers(min_value=0, max_value=10_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_utilization_bounds(self, seed):
+        mapping = SPACE.sample(seed)
+        stats = MODEL.evaluate(mapping, GEMM)
+        assert 0.0 < stats.utilization <= 1.0
+        assert stats.utilization <= mapping.spatial_size / ACC.num_pes + 1e-12
+
+
+class TestEncodingInvariants:
+    @given(st.integers(min_value=0, max_value=10_000_000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_identity(self, seed):
+        mapping = SPACE.sample(seed)
+        vector = ENCODER.encode(mapping, GEMM)
+        assert ENCODER.decode(vector, SPACE) == mapping
+
+    @given(
+        st.lists(
+            st.floats(min_value=-4, max_value=4, allow_nan=False),
+            min_size=30,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_decode_any_vector_valid(self, values):
+        # GEMM: 3 dims * 8 + 3 tensors * 2 = 30 values.
+        decoded = ENCODER.decode(np.asarray(values), SPACE)
+        assert SPACE.is_member(decoded)
+
+
+class TestDeterminismInvariants:
+    def test_cost_model_is_pure(self):
+        mapping = SPACE.sample(11)
+        first = MODEL.evaluate(mapping, GEMM)
+        for _ in range(3):
+            again = MODEL.evaluate(mapping, GEMM)
+            assert again.edp == first.edp
+            assert again.records == first.records
+
+    def test_space_sampling_streams_are_stable(self):
+        a = [m.tile_factors for m in SPACE.sample_many(5, seed=3)]
+        b = [m.tile_factors for m in SPACE.sample_many(5, seed=3)]
+        assert a == b

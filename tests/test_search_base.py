@@ -1,0 +1,95 @@
+"""Tests for budget accounting and search-result traces."""
+
+import math
+
+import pytest
+
+from repro.search.base import BudgetedObjective, SearchResult
+
+
+def _objective(mapping):
+    # mappings in these tests are plain ints; cost = value
+    return float(mapping)
+
+
+class TestBudgetedObjective:
+    def test_counts_evaluations(self):
+        budget = BudgetedObjective(_objective, 3)
+        budget.evaluate(5)
+        budget.evaluate(2)
+        assert budget.used == 2
+        assert budget.remaining == 1
+        assert not budget.exhausted
+
+    def test_exhausts_at_max(self):
+        budget = BudgetedObjective(_objective, 2)
+        budget.evaluate(1)
+        budget.evaluate(2)
+        assert budget.exhausted
+        with pytest.raises(RuntimeError):
+            budget.evaluate(3)
+
+    def test_record_external_value(self):
+        budget = BudgetedObjective(_objective, 2)
+        budget.record(7, 3.25)
+        assert budget.values == [3.25]
+        assert budget.used == 1
+
+    def test_simulated_latency_charges_time(self):
+        budget = BudgetedObjective(_objective, 100, time_budget_s=1.0,
+                                   simulated_latency_s=0.4)
+        budget.evaluate(1)
+        budget.evaluate(2)
+        budget.evaluate(3)
+        # 3 * 0.4s of virtual time > 1.0s budget
+        assert budget.exhausted
+        assert budget.used == 3
+
+    def test_times_monotone(self):
+        budget = BudgetedObjective(_objective, 5, simulated_latency_s=0.01)
+        for i in range(5):
+            budget.evaluate(i)
+        assert budget.times == sorted(budget.times)
+        assert budget.times[-1] >= 0.05
+
+    def test_result_freezes_trace(self):
+        budget = BudgetedObjective(_objective, 3)
+        budget.evaluate(3)
+        budget.evaluate(1)
+        result = budget.result("Test", "prob")
+        assert result.n_evaluations == 2
+        assert result.objective_values == [3.0, 1.0]
+        budget.evaluate(9)
+        assert result.n_evaluations == 2  # frozen copy
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            BudgetedObjective(_objective, 0)
+        with pytest.raises(ValueError):
+            BudgetedObjective(_objective, 1, simulated_latency_s=-1.0)
+
+
+class TestSearchResult:
+    def _result(self):
+        return SearchResult(
+            searcher="S",
+            problem="p",
+            mappings=["a", "b", "c", "d"],
+            objective_values=[4.0, 1.0, 3.0, 2.0],
+            eval_times=[0.1, 0.2, 0.3, 0.4],
+            wall_time=0.4,
+        )
+
+    def test_best_tracking(self):
+        result = self._result()
+        assert result.best_index == 1
+        assert result.best_mapping == "b"
+        assert result.best_objective == 1.0
+
+    def test_best_so_far_curve(self):
+        assert self._result().best_so_far() == [4.0, 1.0, 1.0, 1.0]
+
+    def test_empty_result_raises(self):
+        empty = SearchResult(searcher="S", problem="p")
+        with pytest.raises(ValueError):
+            _ = empty.best_index

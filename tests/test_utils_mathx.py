@@ -1,0 +1,174 @@
+"""Unit and property tests for repro.utils.mathx."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    clamp,
+    divisors,
+    factorizations,
+    geomean,
+    is_power_of_two,
+    log2_safe,
+    nearest_divisor,
+    prod,
+    round_to_nearest,
+)
+
+
+class TestProd:
+    def test_empty(self):
+        assert prod([]) == 1
+
+    def test_basic(self):
+        assert prod([2, 3, 4]) == 24
+
+    def test_with_ones(self):
+        assert prod([1, 7, 1]) == 7
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), max_size=8))
+    def test_matches_math_prod(self, values):
+        assert prod(values) == math.prod(values)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert clamp(-3.0, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert clamp(9.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(0.0, 1.0, 0.0)
+
+
+class TestDivisors:
+    def test_one(self):
+        assert divisors(1) == (1,)
+
+    def test_prime(self):
+        assert divisors(13) == (1, 13)
+
+    def test_composite(self):
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
+
+    def test_square(self):
+        assert divisors(36) == (1, 2, 3, 4, 6, 9, 12, 18, 36)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_all_divide(self, n):
+        for d in divisors(n):
+            assert n % d == 0
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_sorted_and_complete(self, n):
+        ds = divisors(n)
+        assert list(ds) == sorted(ds)
+        brute = tuple(d for d in range(1, n + 1) if n % d == 0)
+        assert ds == brute
+
+
+class TestNearestDivisor:
+    def test_exact(self):
+        assert nearest_divisor(12, 4) == 4
+
+    def test_rounds_in_log_space(self):
+        # log-space midpoint of 2 and 6 is sqrt(12) ~ 3.46; 3 divides 12.
+        assert nearest_divisor(12, 3.4) == 3
+
+    def test_huge_target_gives_n(self):
+        assert nearest_divisor(12, 1e9) == 12
+
+    def test_tiny_target_gives_one(self):
+        assert nearest_divisor(12, 1e-9) == 1
+
+
+class TestFactorizations:
+    def test_single_part(self):
+        assert factorizations(6, 1) == ((6,),)
+
+    def test_two_parts(self):
+        assert set(factorizations(6, 2)) == {(1, 6), (2, 3), (3, 2), (6, 1)}
+
+    def test_products_match(self):
+        for parts in factorizations(24, 3):
+            assert math.prod(parts) == 24
+
+    def test_counts_for_prime_powers(self):
+        # 2^3 into 4 ordered factors: C(3 + 3, 3) = 20 compositions.
+        assert len(factorizations(8, 4)) == 20
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            factorizations(6, 0)
+        with pytest.raises(ValueError):
+            factorizations(0, 2)
+
+    @given(
+        st.integers(min_value=1, max_value=256),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_all_unique_and_correct(self, n, parts):
+        options = factorizations(n, parts)
+        assert len(set(options)) == len(options)
+        for option in options:
+            assert len(option) == parts
+            assert math.prod(option) == n
+
+
+class TestRoundToNearest:
+    def test_basic(self):
+        assert round_to_nearest(5.4, [1, 5, 10]) == 5
+
+    def test_tie_prefers_smaller(self):
+        assert round_to_nearest(3, [2, 4]) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            round_to_nearest(1.0, [])
+
+
+class TestGeomean:
+    def test_identity(self):
+        assert geomean([4.0]) == pytest.approx(4.0)
+
+    def test_pair(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=10))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestMisc:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-4)
+
+    def test_log2_safe_floors_zero(self):
+        assert log2_safe(0.0) == math.log2(1e-12)
+
+    def test_log2_safe_normal(self):
+        assert log2_safe(8.0) == pytest.approx(3.0)

@@ -1,0 +1,53 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000, size=10)
+        b = ensure_rng(42).integers(0, 1_000_000, size=10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=10)
+        b = ensure_rng(2).integers(0, 1_000_000, size=10)
+        assert (a != b).any()
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 1_000_000, size=20)
+        b = children[1].integers(0, 1_000_000, size=20)
+        assert (a != b).any()
+
+    def test_deterministic_from_seed(self):
+        a = spawn_rngs(7, 3)[1].integers(0, 1_000_000, size=5)
+        b = spawn_rngs(7, 3)[1].integers(0, 1_000_000, size=5)
+        assert (a == b).all()
+
+    def test_from_generator(self):
+        parent = np.random.default_rng(0)
+        children = spawn_rngs(parent, 3)
+        assert len(children) == 3
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,50 @@
+"""Tests for the Stopwatch used by iso-time experiments."""
+
+import time
+
+from repro.utils import Stopwatch
+
+
+class TestStopwatch:
+    def test_starts_at_zero(self):
+        assert Stopwatch().elapsed == 0.0
+
+    def test_measures_time(self):
+        watch = Stopwatch().start()
+        time.sleep(0.01)
+        assert watch.elapsed >= 0.009
+
+    def test_stop_freezes(self):
+        watch = Stopwatch().start()
+        time.sleep(0.005)
+        frozen = watch.stop()
+        time.sleep(0.01)
+        assert watch.elapsed == frozen
+
+    def test_resume_accumulates(self):
+        watch = Stopwatch().start()
+        time.sleep(0.005)
+        first = watch.stop()
+        watch.start()
+        time.sleep(0.005)
+        assert watch.elapsed > first
+
+    def test_reset(self):
+        watch = Stopwatch().start()
+        time.sleep(0.005)
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_context_manager(self):
+        with Stopwatch() as watch:
+            time.sleep(0.005)
+        assert watch.elapsed >= 0.004
+        frozen = watch.elapsed
+        time.sleep(0.005)
+        assert watch.elapsed == frozen
+
+    def test_double_start_is_noop(self):
+        watch = Stopwatch().start()
+        watch.start()
+        time.sleep(0.002)
+        assert watch.elapsed > 0

@@ -1,0 +1,149 @@
+"""Tests for workload builders, the Table 1 zoo, and problem samplers."""
+
+import pytest
+
+from repro.workloads import (
+    TABLE1_PROBLEMS,
+    cnn_problems,
+    make_cnn_layer,
+    make_conv1d,
+    make_gemm,
+    make_mttkrp,
+    mttkrp_problems,
+    problem_by_name,
+    sampler_for_algorithm,
+)
+
+
+class TestConv1d:
+    def test_output_bound(self):
+        problem = make_conv1d("c", w=32, r=5)
+        assert problem.bounds == {"X": 28, "R": 5}
+
+    def test_tensor_sizes(self):
+        problem = make_conv1d("c", w=32, r=5)
+        assert problem.tensor_size(problem.tensor("Input")) == 32
+        assert problem.tensor_size(problem.tensor("Filter")) == 5
+        assert problem.tensor_size(problem.output) == 28
+
+    def test_filter_too_large_raises(self):
+        with pytest.raises(ValueError):
+            make_conv1d("c", w=4, r=5)
+
+
+class TestCnnLayer:
+    def test_output_spatial_derivation(self):
+        problem = make_cnn_layer("c", n=1, k=8, c=4, h=14, w=28, r=3, s=5)
+        assert problem.bounds["X"] == 26  # (28 - 3) + 1
+        assert problem.bounds["Y"] == 10  # (14 - 5) + 1
+
+    def test_stride(self):
+        problem = make_cnn_layer("c", n=1, k=8, c=4, h=28, w=28, r=3, s=3, stride=2)
+        assert problem.bounds["X"] == 13
+
+    def test_macs(self):
+        problem = make_cnn_layer("c", n=2, k=4, c=3, h=8, w=8, r=3, s=3)
+        assert problem.total_ops == 2 * 4 * 3 * 6 * 6 * 3 * 3
+
+    def test_input_tensor_has_sliding_windows(self):
+        problem = make_cnn_layer("c", n=1, k=8, c=4, h=8, w=8, r=3, s=3)
+        input_tensor = problem.tensor("Input")
+        assert ("X", "R") in input_tensor.axes
+        assert ("Y", "S") in input_tensor.axes
+
+    def test_input_size_matches_hw(self):
+        problem = make_cnn_layer("c", n=2, k=8, c=4, h=14, w=14, r=3, s=3)
+        # footprint of full problem: N*C*W*H = 2*4*14*14
+        assert problem.tensor_size(problem.tensor("Input")) == 2 * 4 * 14 * 14
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            make_cnn_layer("c", n=0, k=1, c=1, h=8, w=8, r=3, s=3)
+        with pytest.raises(ValueError):
+            make_cnn_layer("c", n=1, k=1, c=1, h=2, w=2, r=3, s=3)
+
+
+class TestMttkrp:
+    def test_dims(self):
+        problem = make_mttkrp("m", i=4, j=8, k=16, l=32)
+        assert problem.dim_names == ("I", "J", "K", "L")
+
+    def test_four_tensors(self):
+        problem = make_mttkrp("m", i=4, j=8, k=16, l=32)
+        assert len(problem.tensors) == 4
+        assert problem.output.name == "Output"
+
+    def test_tensor_sizes(self):
+        problem = make_mttkrp("m", i=4, j=8, k=16, l=32)
+        assert problem.tensor_size(problem.tensor("A")) == 4 * 16 * 32
+        assert problem.tensor_size(problem.tensor("B")) == 16 * 8
+        assert problem.tensor_size(problem.tensor("C")) == 32 * 8
+        assert problem.tensor_size(problem.output) == 4 * 8
+
+
+class TestGemm:
+    def test_structure(self):
+        problem = make_gemm("g", m=4, n=8, k=16)
+        assert problem.dim_names == ("M", "N", "K")
+        assert problem.total_ops == 4 * 8 * 16
+
+
+class TestZoo:
+    def test_eight_problems(self):
+        assert len(TABLE1_PROBLEMS) == 8
+
+    def test_six_cnn_two_mttkrp(self):
+        assert len(cnn_problems()) == 6
+        assert len(mttkrp_problems()) == 2
+
+    def test_resnet_conv4_shape(self):
+        problem = problem_by_name("ResNet_Conv4")
+        assert problem.bounds["N"] == 16
+        assert problem.bounds["K"] == 256
+        assert problem.bounds["C"] == 256
+        assert problem.bounds["X"] == 12  # 14 - 3 + 1
+        assert problem.bounds["R"] == 3
+
+    def test_alexnet_conv2_filter(self):
+        problem = problem_by_name("AlexNet_Conv2")
+        assert problem.bounds["R"] == 5
+        assert problem.bounds["X"] == 23  # 27 - 5 + 1
+
+    def test_mttkrp0_shape(self):
+        problem = problem_by_name("MTTKRP_0")
+        assert problem.bounds == {"I": 128, "J": 1024, "K": 4096, "L": 2048}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            problem_by_name("NoSuchLayer")
+
+    def test_unique_names(self):
+        names = [p.name for p in TABLE1_PROBLEMS]
+        assert len(set(names)) == len(names)
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("algorithm", ["cnn-layer", "mttkrp", "gemm", "conv1d"])
+    def test_samples_right_algorithm(self, algorithm):
+        sampler = sampler_for_algorithm(algorithm)
+        problem = sampler.sample(seed=0)
+        assert problem.algorithm == algorithm
+
+    def test_deterministic(self):
+        sampler = sampler_for_algorithm("cnn-layer")
+        assert sampler.sample(seed=3).pid() == sampler.sample(seed=3).pid()
+
+    def test_sample_many_varies(self):
+        sampler = sampler_for_algorithm("cnn-layer")
+        problems = sampler.sample_many(10, seed=0)
+        assert len({p.pid() for p in problems}) > 1
+
+    def test_cnn_filter_never_exceeds_input(self):
+        sampler = sampler_for_algorithm("cnn-layer")
+        for problem in sampler.sample_many(30, seed=1):
+            assert problem.bounds["X"] >= 1
+            assert problem.bounds["Y"] >= 1
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            sampler_for_algorithm("quantum-annealing")

@@ -1,0 +1,132 @@
+"""Tests for the core Problem/TensorSpec/Dimension abstractions."""
+
+import pytest
+
+from repro.workloads.problem import Dimension, Problem, TensorSpec, validate_extents
+
+
+def _toy_problem():
+    dims = (Dimension("A", 4), Dimension("B", 6))
+    tensors = (
+        TensorSpec("In", axes=(("A",), ("B",))),
+        TensorSpec("Out", axes=(("A",),), is_output=True),
+    )
+    return Problem(name="toy", algorithm="toy", dims=dims, tensors=tensors)
+
+
+class TestDimension:
+    def test_valid(self):
+        assert Dimension("X", 3).bound == 3
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ValueError):
+            Dimension("", 3)
+
+    def test_zero_bound_raises(self):
+        with pytest.raises(ValueError):
+            Dimension("X", 0)
+
+
+class TestTensorSpec:
+    def test_dims_deduplicated(self):
+        spec = TensorSpec("T", axes=(("X", "R"), ("X",)))
+        assert spec.dims == ("X", "R")
+
+    def test_relevance(self):
+        spec = TensorSpec("T", axes=(("X", "R"),))
+        assert spec.is_relevant("X")
+        assert spec.is_relevant("R")
+        assert not spec.is_relevant("K")
+
+    def test_plain_footprint(self):
+        spec = TensorSpec("T", axes=(("X",), ("Y",)))
+        assert spec.footprint({"X": 3, "Y": 5}) == 15
+
+    def test_sliding_window_footprint(self):
+        spec = TensorSpec("T", axes=(("X", "R"),))
+        # extent x + r - 1
+        assert spec.footprint({"X": 4, "R": 3}) == 6
+
+    def test_missing_extent_defaults_to_one(self):
+        spec = TensorSpec("T", axes=(("X",), ("Y",)))
+        assert spec.footprint({"X": 3}) == 3
+
+    def test_empty_axes_raise(self):
+        with pytest.raises(ValueError):
+            TensorSpec("T", axes=())
+        with pytest.raises(ValueError):
+            TensorSpec("T", axes=((),))
+
+
+class TestProblem:
+    def test_totals(self):
+        problem = _toy_problem()
+        assert problem.total_points == 24
+        assert problem.total_ops == 24
+
+    def test_bounds(self):
+        assert _toy_problem().bounds == {"A": 4, "B": 6}
+
+    def test_output_accessor(self):
+        assert _toy_problem().output.name == "Out"
+
+    def test_inputs_accessor(self):
+        assert [t.name for t in _toy_problem().inputs] == ["In"]
+
+    def test_tensor_lookup(self):
+        problem = _toy_problem()
+        assert problem.tensor("In").name == "In"
+        with pytest.raises(KeyError):
+            problem.tensor("Nope")
+
+    def test_tensor_size(self):
+        problem = _toy_problem()
+        assert problem.tensor_size(problem.tensor("In")) == 24
+        assert problem.tensor_size(problem.output) == 4
+
+    def test_pid_is_bounds_tuple(self):
+        assert _toy_problem().pid() == (4, 6)
+
+    def test_describe_mentions_dims(self):
+        text = _toy_problem().describe()
+        assert "A=4" in text and "B=6" in text
+
+    def test_duplicate_dims_raise(self):
+        with pytest.raises(ValueError):
+            Problem(
+                name="bad",
+                algorithm="toy",
+                dims=(Dimension("A", 2), Dimension("A", 3)),
+                tensors=(TensorSpec("O", axes=(("A",),), is_output=True),),
+            )
+
+    def test_requires_exactly_one_output(self):
+        with pytest.raises(ValueError):
+            Problem(
+                name="bad",
+                algorithm="toy",
+                dims=(Dimension("A", 2),),
+                tensors=(TensorSpec("T", axes=(("A",),)),),
+            )
+
+    def test_unknown_tensor_dim_raises(self):
+        with pytest.raises(ValueError):
+            Problem(
+                name="bad",
+                algorithm="toy",
+                dims=(Dimension("A", 2),),
+                tensors=(TensorSpec("O", axes=(("Z",),), is_output=True),),
+            )
+
+
+class TestValidateExtents:
+    def test_accepts_valid(self):
+        validate_extents(_toy_problem(), {"A": 2, "B": 6})
+
+    def test_rejects_missing(self):
+        with pytest.raises(ValueError):
+            validate_extents(_toy_problem(), {"A": 2})
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_extents(_toy_problem(), {"A": 5, "B": 1})
