@@ -1,0 +1,82 @@
+"""Engine serving throughput: requests/sec for ``map_batch`` at 1/2/4 workers.
+
+Measures the serving-grade path end to end — registry lookup, search,
+true-cost scoring through the shared memoized oracle — for a mixed batch of
+gradient and baseline requests over two problems.  Worker scaling is
+GIL-bound (the search inner loops are numpy + python), so the point of the
+table is the measured requests/sec per configuration and that results are
+worker-count invariant, not linear speedup.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import add_report
+
+from repro.engine import EngineConfig, MappingEngine, MappingRequest
+from repro.harness import format_table
+from repro.workloads import problem_by_name
+
+ITERATIONS = 200
+PROBLEMS = ("ResNet_Conv4", "AlexNet_Conv2")
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _requests():
+    return [
+        MappingRequest(
+            problem_by_name(name),
+            searcher=searcher,
+            iterations=ITERATIONS,
+            seed=seed,
+            tag=f"{name}/{searcher}/{seed}",
+        )
+        for seed, (name, searcher) in enumerate(
+            (name, searcher)
+            for name in PROBLEMS
+            for searcher in ("gradient", "annealing", "random", "genetic")
+        )
+    ]
+
+
+def test_engine_throughput(benchmark, accelerator, cnn_mm):
+    engine = MappingEngine(accelerator, EngineConfig())
+    # Reuse the session surrogate instead of retraining inside the engine.
+    engine.install_pipeline("cnn-layer", cnn_mm, source="session-fixture")
+    requests = _requests()
+
+    rows = []
+    baseline = None
+    for workers in WORKER_COUNTS:
+        started = time.perf_counter()
+        responses = engine.map_batch(requests, workers=workers)
+        elapsed = time.perf_counter() - started
+        throughput = len(requests) / elapsed
+        if baseline is None:
+            baseline = responses
+        else:
+            for left, right in zip(baseline, responses):
+                assert left.mapping == right.mapping, "worker count changed results"
+        rows.append(
+            (
+                f"{workers}",
+                f"{len(requests)}",
+                f"{elapsed:.2f} s",
+                f"{throughput:.1f} req/s",
+            )
+        )
+
+    def once():
+        return engine.map_batch(requests, workers=WORKER_COUNTS[-1])
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+
+    cache = engine.oracle_stats()
+    add_report(
+        "Engine throughput: map_batch over "
+        f"{len(PROBLEMS)} problems x 4 searchers ({ITERATIONS} iters/request)",
+        format_table(("workers", "requests", "wall time", "throughput"), rows)
+        + f"\noracle cache: {cache.hits} hits / {cache.misses} misses "
+        f"(hit rate {cache.hit_rate:.0%})",
+    )

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Batch serving: many problems x many searchers through one engine.
+
+The serving pattern the engine exists for:
+
+* one ``MappingEngine`` per accelerator, holding the trained surrogate and
+  a shared memoized true-cost oracle,
+* an on-disk artifact cache — rerunning this script skips Phase 1 because
+  the surrogate is found under ``.repro-artifacts/`` keyed by the
+  accelerator fingerprint (delete the directory to retrain),
+* a single ``map_batch`` fanning requests across worker threads, mixing
+  searcher backends by registry name.
+
+Usage::
+
+    python examples/engine_serving.py [workers]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro import (
+    EngineConfig,
+    MappingEngine,
+    MappingRequest,
+    MindMappingsConfig,
+    TrainingConfig,
+    default_accelerator,
+    problem_by_name,
+)
+from repro.harness import format_table
+
+PROBLEMS = ("ResNet_Conv4", "AlexNet_Conv2", "Inception_Conv2")
+SEARCHERS = ("gradient", "annealing", "random")
+
+
+def main() -> None:
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    artifact_dir = Path(".repro-artifacts")
+    engine = MappingEngine(
+        default_accelerator(),
+        EngineConfig(
+            mm_config=MindMappingsConfig(
+                dataset_samples=10_000, training=TrainingConfig(epochs=20)
+            ),
+            train_seed=0,
+            artifact_dir=artifact_dir,
+        ),
+    )
+
+    requests = [
+        MappingRequest(
+            problem_by_name(name),
+            searcher=searcher,
+            iterations=300,
+            seed=7,
+            tag=f"{name}/{searcher}",
+        )
+        for name in PROBLEMS
+        for searcher in SEARCHERS
+    ]
+    print(f"Serving {len(requests)} requests with {workers} workers "
+          f"(artifacts under {artifact_dir}/)...")
+    started = time.perf_counter()
+    responses = engine.map_batch(requests, workers=workers)
+    elapsed = time.perf_counter() - started
+
+    rows = [
+        (
+            response.tag,
+            f"{response.norm_edp:.2f}x",
+            f"{response.n_evaluations}",
+            f"{response.search_time_s * 1e3:.0f} ms",
+        )
+        for response in responses
+    ]
+    print(format_table(("request", "norm EDP", "evals", "search time"), rows))
+    print(f"\n{len(requests)} requests in {elapsed:.2f}s "
+          f"({len(requests) / elapsed:.1f} req/s)")
+    print(f"surrogates: {engine.loaded_algorithms()}")
+    cache = engine.oracle_stats()
+    print(f"oracle cache: {cache.hits} hits / {cache.misses} misses")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
-"""Quickstart: train a surrogate and find a mapping for one CNN layer.
+"""Quickstart: serve a mapping request through the engine.
 
-Runs the full Mind Mappings pipeline end to end in under a minute:
+The :class:`repro.MappingEngine` owns the full Mind Mappings lifecycle:
 
-1. Phase 1 (offline): sample representative CNN-layer problems, label
-   mappings with the analytical cost model, train the differentiable MLP
-   surrogate.
-2. Phase 2 (online): projected gradient descent on the surrogate to map
-   ResNet's Conv_4 layer (a shape the surrogate never saw in training).
-3. Report the found mapping and its true cost, normalized to the
-   theoretical lower bound (the paper's "algorithmic minimum").
+1. On the first ``gradient`` request for an algorithm it runs Phase 1
+   (sample representative problems, label mappings with the analytical
+   cost model, train the differentiable MLP surrogate) — and caches the
+   artifact in memory (and on disk, when configured).
+2. Every request then runs Phase 2: projected gradient descent on the
+   surrogate for the target problem — here ResNet's Conv_4 layer, a shape
+   the surrogate never saw in training.
+3. The response carries the chosen mapping, its *true* cost statistics,
+   the EDP normalized to the theoretical lower bound (the paper's
+   "algorithmic minimum"), and the full convergence trace.
 
 Usage::
 
@@ -17,12 +20,14 @@ Usage::
 """
 
 from repro import (
-    MindMappings,
+    EngineConfig,
+    MappingEngine,
+    MappingRequest,
     MindMappingsConfig,
     TrainingConfig,
-    algorithmic_minimum,
     default_accelerator,
     problem_by_name,
+    searcher_names,
 )
 
 
@@ -30,32 +35,36 @@ def main() -> None:
     accelerator = default_accelerator()
     print(f"Accelerator: {accelerator.num_pes} PEs, "
           f"{accelerator.l2_bytes // 1024} KB L2, "
-          f"{accelerator.l1_bytes // 1024} KB L1/PE")
+          f"{accelerator.l1_bytes // 1024} KB L1/PE "
+          f"(fingerprint {accelerator.fingerprint()})")
 
-    # ---- Phase 1: train the surrogate once for the CNN-layer algorithm ----
-    config = MindMappingsConfig(
-        dataset_samples=10_000,  # the paper used 10M; fully configurable
-        training=TrainingConfig(epochs=20),
+    engine = MappingEngine(
+        accelerator,
+        EngineConfig(
+            mm_config=MindMappingsConfig(
+                dataset_samples=10_000,  # the paper used 10M; fully configurable
+                training=TrainingConfig(epochs=20),
+            ),
+            train_seed=0,
+        ),
     )
-    print("\nPhase 1: training the surrogate (one-time, per algorithm)...")
-    mm = MindMappings.train("cnn-layer", accelerator, config, seed=0)
-    history = mm.history
-    print(f"  trained {history.epochs} epochs: "
-          f"train loss {history.final_train_loss:.4f}, "
-          f"test loss {history.final_test_loss:.4f}")
-    print(f"  surrogate parameters: {mm.surrogate.network.num_parameters():,}")
+    print(f"Registered searchers: {', '.join(searcher_names())}")
 
-    # ---- Phase 2: search a problem the surrogate never saw ----------------
     problem = problem_by_name("ResNet_Conv4")
-    print(f"\nPhase 2: searching mappings for {problem.describe()}")
-    mapping, stats = mm.find_mapping(problem, iterations=500, seed=1)
+    print(f"\nServing a gradient request for {problem.describe()}")
+    print("(first request per algorithm trains the surrogate — one-time cost)")
+    response = engine.map(
+        MappingRequest(problem, searcher="gradient", iterations=500, seed=1)
+    )
 
-    bound = algorithmic_minimum(problem, accelerator)
     print("\nBest mapping found:")
-    print(mapping.describe())
-    print(f"\n{stats.summary()}")
+    print(response.mapping.describe())
+    print(f"\n{response.stats.summary()}")
     print(f"normalized EDP (vs. possibly-unachievable lower bound): "
-          f"{stats.edp / bound.edp:.2f}x")
+          f"{response.norm_edp:.2f}x")
+    print(f"search time: {response.search_time_s:.2f}s over "
+          f"{response.n_evaluations} surrogate evaluations")
+    print(f"provenance: {response.provenance}")
 
 
 if __name__ == "__main__":

@@ -11,15 +11,29 @@ re-implements the method and every substrate it depends on from scratch:
 * :mod:`repro.nn`         — a from-scratch autograd/MLP framework,
 * :mod:`repro.core`       — the Mind Mappings two-phase method itself,
 * :mod:`repro.search`     — SA / GA / RL / random / exhaustive baselines,
+* :mod:`repro.engine`     — the serving façade: searcher registry,
+  pluggable cost oracles, and :class:`MappingEngine` with surrogate
+  artifact caching and concurrent ``map_batch``,
 * :mod:`repro.harness`    — iso-iteration & iso-time experiment harness.
 
-Quickstart::
+Quickstart (engine API)::
 
-    from repro import MindMappings, default_accelerator, problem_by_name
+    from repro import MappingEngine, MappingRequest, problem_by_name
 
-    accelerator = default_accelerator()
-    mm = MindMappings.train("cnn-layer", accelerator, seed=0)
+    engine = MappingEngine()                  # default 256-PE accelerator
     problem = problem_by_name("ResNet_Conv4")
+    response = engine.map(MappingRequest(problem, searcher="gradient",
+                                         iterations=500, seed=1))
+    print(response.norm_edp, response.stats.summary())
+
+Any registered searcher serves the same request shape — swap
+``searcher="annealing" | "genetic" | "rl" | "random" | "exhaustive"`` — and
+``engine.map_batch(requests, workers=4)`` serves many requests
+concurrently.  The paper-shaped two-phase API remains::
+
+    from repro import MindMappings, default_accelerator
+
+    mm = MindMappings.train("cnn-layer", default_accelerator(), seed=0)
     mapping, stats = mm.find_mapping(problem, iterations=500, seed=1)
     print(stats.summary())
 """
@@ -35,10 +49,23 @@ from repro.core import (
 )
 from repro.costmodel import (
     Accelerator,
+    CachedOracle,
     CostModel,
     CostStats,
     algorithmic_minimum,
     default_accelerator,
+)
+from repro.engine import (
+    AnalyticalOracle,
+    CostOracle,
+    EngineConfig,
+    MappingEngine,
+    MappingRequest,
+    MappingResponse,
+    SurrogateOracle,
+    make_searcher,
+    register_searcher,
+    searcher_names,
 )
 from repro.mapspace import MapSpace, Mapping
 from repro.search import (
@@ -64,13 +91,20 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Accelerator",
+    "AnalyticalOracle",
+    "CachedOracle",
     "CostModel",
+    "CostOracle",
     "CostStats",
+    "EngineConfig",
     "ExhaustiveSearcher",
     "GeneticSearcher",
     "GradientSearcher",
     "MapSpace",
     "Mapping",
+    "MappingEngine",
+    "MappingRequest",
+    "MappingResponse",
     "MindMappings",
     "MindMappingsConfig",
     "Problem",
@@ -80,6 +114,7 @@ __all__ = [
     "Searcher",
     "SimulatedAnnealingSearcher",
     "Surrogate",
+    "SurrogateOracle",
     "TABLE1_PROBLEMS",
     "TrainingConfig",
     "algorithmic_minimum",
@@ -89,6 +124,9 @@ __all__ = [
     "make_conv1d",
     "make_gemm",
     "make_mttkrp",
+    "make_searcher",
     "problem_by_name",
+    "register_searcher",
+    "searcher_names",
     "train_surrogate",
 ]

@@ -32,12 +32,14 @@ from typing import Optional
 import numpy as np
 
 from repro.core.surrogate import Surrogate
+from repro.engine.registry import register_searcher
 from repro.mapspace.mapping import Mapping
 from repro.mapspace.space import MapSpace
 from repro.search.base import BudgetedObjective, SearchResult, Searcher
 from repro.utils.rng import SeedLike, ensure_rng
 
 
+@register_searcher("gradient", aliases=("mm", "mind-mappings"))
 class GradientSearcher(Searcher):
     """Mind Mappings' gradient-based searcher (the paper's "MM")."""
 

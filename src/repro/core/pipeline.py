@@ -51,7 +51,13 @@ class MindMappingsConfig:
 
 
 class MindMappings:
-    """A trained Mind Mappings instance for one (algorithm, accelerator)."""
+    """A trained Mind Mappings instance for one (algorithm, accelerator).
+
+    This is the paper-shaped two-phase API.  For serving many requests
+    across algorithms, searchers, and accelerators — with surrogate
+    artifact caching and concurrent batches — use
+    :class:`repro.engine.MappingEngine`, which wraps this class.
+    """
 
     def __init__(
         self,
@@ -122,8 +128,10 @@ class MindMappings:
                 f"surrogate trained for {self.surrogate.algorithm!r}, problem is "
                 f"{problem.algorithm!r}"
             )
+        from repro.engine.registry import make_searcher
+
         space = MapSpace(problem, self.accelerator)
-        return GradientSearcher(space, self.surrogate, **kwargs)
+        return make_searcher("gradient", space, surrogate=self.surrogate, **kwargs)
 
     def find_mapping(
         self,
@@ -147,13 +155,35 @@ class MindMappings:
     # ------------------------------------------------------------------
 
     def save(self, path: Path) -> None:
-        """Persist the trained surrogate (architecture travels separately)."""
-        self.surrogate.save(path)
+        """Persist the trained surrogate plus the accelerator fingerprint.
+
+        The fingerprint lets :meth:`load` refuse to pair this surrogate
+        with a different accelerator — a silently-wrong combination whose
+        predictions are garbage for the hardware actually being mapped.
+        """
+        self.surrogate.save(
+            path, metadata={"accel_fingerprint": self.accelerator.fingerprint()}
+        )
 
     @classmethod
     def load(cls, path: Path, accelerator: Optional[Accelerator] = None) -> "MindMappings":
+        """Load a saved surrogate, verifying it matches ``accelerator``.
+
+        Raises ``ValueError`` when the artifact records a fingerprint for a
+        different accelerator configuration.  Artifacts saved before
+        fingerprints existed load without the check.
+        """
         accelerator = accelerator or default_accelerator()
-        return cls(Surrogate.load(path), accelerator)
+        surrogate, metadata = Surrogate.load_with_metadata(path)
+        stored = metadata.get("accel_fingerprint")
+        if stored is not None and stored != accelerator.fingerprint():
+            raise ValueError(
+                f"surrogate at {path} was trained for accelerator fingerprint "
+                f"{stored}, but {accelerator.name!r} has fingerprint "
+                f"{accelerator.fingerprint()}; retrain (MindMappings.train) or "
+                f"load with the matching accelerator"
+            )
+        return cls(surrogate, accelerator)
 
 
 __all__ = ["MindMappings", "MindMappingsConfig"]

@@ -25,6 +25,15 @@ from repro.mapspace.space import MapSpace
 from repro.utils.rng import SeedLike
 from repro.workloads.problem import Problem
 
+def _metadata_entries(data) -> Dict[str, str]:
+    """Extract ``meta_``-prefixed entries from an open ``.npz`` archive."""
+    return {
+        key[len("meta_") :]: str(data[key])
+        for key in data.files
+        if key.startswith("meta_")
+    }
+
+
 #: The paper's 9-layer surrogate topology (hidden widths; section 5.5).
 PAPER_HIDDEN_LAYERS: Tuple[int, ...] = (64, 256, 1024, 2048, 2048, 1024, 256, 64)
 
@@ -160,11 +169,19 @@ class Surrogate:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save(self, path: Path) -> None:
-        """Serialize weights + whitening statistics + metadata to ``.npz``."""
+    def save(self, path: Path, metadata: Optional[Dict[str, str]] = None) -> None:
+        """Serialize weights + whitening statistics + metadata to ``.npz``.
+
+        ``metadata`` entries are stored under ``meta_{key}`` and ignored by
+        :meth:`load`; read them back with :meth:`read_metadata`.  The
+        pipeline uses this to persist the accelerator fingerprint a
+        surrogate was trained against.
+        """
         payload: Dict[str, np.ndarray] = {
             f"net_{key}": value for key, value in self.network.state_dict().items()
         }
+        for key, value in (metadata or {}).items():
+            payload[f"meta_{key}"] = np.array(str(value))
         payload["input_mean"] = self.input_whitener.mean
         payload["input_std"] = self.input_whitener.std
         payload["target_mean"] = self.target_whitener.mean
@@ -176,9 +193,21 @@ class Surrogate:
         payload["algorithm"] = np.array(self.algorithm)
         np.savez_compressed(path, **payload)
 
+    @staticmethod
+    def read_metadata(path: Path) -> Dict[str, str]:
+        """The ``metadata`` dict stored by :meth:`save` (empty for old files)."""
+        with np.load(path, allow_pickle=False) as data:
+            return _metadata_entries(data)
+
     @classmethod
     def load(cls, path: Path) -> "Surrogate":
+        return cls.load_with_metadata(path)[0]
+
+    @classmethod
+    def load_with_metadata(cls, path: Path) -> Tuple["Surrogate", Dict[str, str]]:
+        """Load surrogate and saved metadata in one archive pass."""
         with np.load(path, allow_pickle=False) as data:
+            metadata = _metadata_entries(data)
             encoder = MappingEncoder(
                 [str(d) for d in data["dims"]], [str(t) for t in data["tensors"]]
             )
@@ -191,7 +220,7 @@ class Surrogate:
                 if key.startswith("net_")
             }
             network.load_state_dict(state)
-            return cls(
+            surrogate = cls(
                 network=network,
                 encoder=encoder,
                 codec=codec,
@@ -199,6 +228,7 @@ class Surrogate:
                 target_whitener=Whitener(data["target_mean"], data["target_std"]),
                 algorithm=str(data["algorithm"]),
             )
+        return surrogate, metadata
 
 
 __all__ = ["DEFAULT_HIDDEN_LAYERS", "PAPER_HIDDEN_LAYERS", "Surrogate"]

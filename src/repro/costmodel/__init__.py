@@ -21,6 +21,7 @@ precisely what makes mapping space search hard (paper Figure 3).
 from repro.costmodel.accelerator import Accelerator, EnergyTable, default_accelerator
 from repro.costmodel.stats import CostStats, TensorLevelEnergy
 from repro.costmodel.model import CostModel
+from repro.costmodel.cache import CacheStats, CachedOracle
 from repro.costmodel.lower_bound import algorithmic_minimum
 from repro.costmodel.nest import LoopNest, build_nest
 from repro.costmodel.objective import OBJECTIVES, Objective, get_objective, weighted_objective
@@ -29,6 +30,8 @@ __all__ = [
     "Accelerator",
     "OBJECTIVES",
     "Objective",
+    "CacheStats",
+    "CachedOracle",
     "CostModel",
     "CostStats",
     "EnergyTable",

@@ -12,7 +12,8 @@ comparison, which is what the paper's figures measure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Tuple
 
 #: Canonical memory level names, outermost first.  The map space and cost
@@ -116,6 +117,19 @@ class Accelerator:
     def cycles_to_seconds(self, cycles: float) -> float:
         """Convert a cycle count to seconds at this accelerator's clock."""
         return cycles / (self.clock_ghz * 1e9)
+
+    def fingerprint(self) -> str:
+        """Stable short digest of every architectural parameter.
+
+        A surrogate is only valid for the accelerator it was trained
+        against, so trained artifacts are keyed (and save/load verified)
+        by this value.  The ``name`` field is cosmetic and excluded: two
+        differently-named but identical configurations share a surrogate.
+        """
+        fields = asdict(self)
+        fields.pop("name", None)
+        canonical = repr(sorted(fields.items()))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
 def default_accelerator() -> Accelerator:

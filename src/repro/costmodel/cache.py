@@ -1,0 +1,151 @@
+"""Memoizing cost-oracle wrapper shared by the harness and the engine.
+
+Search traces revisit the same mappings heavily (projection rounds nearby
+points onto the same lattice site; populations carry elites forward), so
+re-scoring a trace with the true cost model is dominated by duplicate
+queries.  :class:`CachedOracle` wraps any oracle exposing the
+``evaluate`` / ``evaluate_edp`` signature of
+:class:`~repro.costmodel.model.CostModel` and memoizes both, with optional
+LRU eviction and hit/miss counters for observability.
+
+Promoted from the harness-private ``_TrueCostCache`` so the experiment
+runners and :class:`repro.engine.MappingEngine` share one implementation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from repro.costmodel.stats import CostStats
+from repro.mapspace.mapping import Mapping
+from repro.workloads.problem import Problem
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters snapshot: queries answered from cache vs. the inner oracle."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: Optional[int]
+
+    @property
+    def queries(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries served from cache (0.0 when never queried)."""
+        return self.hits / self.queries if self.queries else 0.0
+
+
+def problem_key(problem: Problem) -> Hashable:
+    """Identity key covering every cost-relevant field of a problem.
+
+    ``Problem`` itself is not hashable (``extra`` is a dict), so cache keys
+    flatten it.  Everything that feeds the cost model must participate:
+    two problems differing only in ``ops_per_point`` (or tensor
+    projections) have different costs and must not share entries.
+    """
+    return (
+        problem.algorithm,
+        problem.name,
+        problem.dims,
+        problem.tensors,
+        problem.ops_per_point,
+        tuple(sorted(problem.extra.items())),
+    )
+
+
+class CachedOracle:
+    """LRU-memoized view of a cost oracle, safe for concurrent readers.
+
+    ``inner`` is anything with ``evaluate(mapping, problem) -> CostStats``
+    and ``evaluate_edp(mapping, problem) -> float`` — typically a
+    :class:`~repro.costmodel.model.CostModel` or another oracle from
+    :mod:`repro.engine.oracle`.  ``maxsize=None`` (the default) caches
+    without bound, matching the old harness behaviour; a positive bound
+    evicts least-recently-used entries.
+
+    EDP queries are answered from a cached :class:`CostStats` when one
+    exists (EDP is derived from stats), so mixed ``evaluate`` /
+    ``evaluate_edp`` traffic on the same mapping costs one model query.
+    """
+
+    def __init__(self, inner, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be None or >= 1, got {maxsize}")
+        self.inner = inner
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        # One LRU store; an entry is either a full CostStats (answers both
+        # query kinds) or a bare float EDP, so maxsize bounds total entries.
+        self._store: "OrderedDict[Tuple[Hashable, Mapping], object]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # Oracle interface
+    # ------------------------------------------------------------------
+
+    def evaluate(self, mapping: Mapping, problem: Problem) -> CostStats:
+        key = (problem_key(problem), mapping)
+        with self._lock:
+            cached = self._store.get(key)
+            if isinstance(cached, CostStats):
+                self._hits += 1
+                self._store.move_to_end(key)
+                return cached
+        stats = self.inner.evaluate(mapping, problem)
+        with self._lock:
+            self._misses += 1
+            # Upgrades an existing bare-EDP entry to the full statistics.
+            self._insert(key, stats)
+        return stats
+
+    def evaluate_edp(self, mapping: Mapping, problem: Problem) -> float:
+        key = (problem_key(problem), mapping)
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._store.move_to_end(key)
+                return cached.edp if isinstance(cached, CostStats) else cached
+        value = float(self.inner.evaluate_edp(mapping, problem))
+        with self._lock:
+            self._misses += 1
+            self._insert(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Introspection / management
+    # ------------------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._store),
+                maxsize=self.maxsize,
+            )
+
+    def clear(self) -> None:
+        """Drop all cached entries and reset the counters."""
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def _insert(self, key, value) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if self.maxsize is not None and len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+
+__all__ = ["CacheStats", "CachedOracle", "problem_key"]

@@ -1,0 +1,123 @@
+"""CI smoke entry point: ``python -m repro.engine --selftest``.
+
+Exercises the full serving path end to end in well under a minute: tiny
+surrogate training, every registered searcher through the registry, a
+concurrent batch, determinism across worker counts, and the response
+serialization codec.  Exits non-zero on any failure, so CI can gate on it
+without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.pipeline import MindMappingsConfig
+from repro.core.trainer import TrainingConfig
+from repro.costmodel.accelerator import small_accelerator
+from repro.engine.engine import EngineConfig, MappingEngine, MappingRequest
+from repro.engine.registry import searcher_names
+from repro.workloads.conv1d import make_conv1d
+
+
+def _selftest_engine() -> MappingEngine:
+    accelerator = small_accelerator()
+    config = EngineConfig(
+        mm_config=MindMappingsConfig(
+            dataset_samples=600,
+            n_problems=2,
+            training=TrainingConfig(hidden_layers=(16, 16), epochs=3),
+        ),
+        train_seed=0,
+        training_problems={
+            "conv1d": (
+                make_conv1d("selftest_train_a", w=48, r=3),
+                make_conv1d("selftest_train_b", w=64, r=5),
+            )
+        },
+    )
+    return MappingEngine(accelerator, config)
+
+
+def _check(condition: bool, message: str) -> None:
+    """Assertion that survives ``python -O`` (the selftest is a CI gate)."""
+    if not condition:
+        raise RuntimeError(f"selftest check failed: {message}")
+
+
+def selftest(verbose: bool = True) -> int:
+    started = time.perf_counter()
+    engine = _selftest_engine()
+    problem = make_conv1d("selftest_target", w=32, r=5)
+
+    def say(message: str) -> None:
+        if verbose:
+            print(f"[selftest] {message}")
+
+    names = searcher_names()
+    expected = {"annealing", "exhaustive", "genetic", "gradient", "random", "rl"}
+    _check(expected <= set(names), f"registry missing {expected - set(names)}")
+    say(f"registry: {', '.join(names)}")
+
+    # Every registered searcher serves a small request through the engine.
+    for name in names:
+        iterations = 30 if name != "exhaustive" else 200
+        response = engine.map(
+            MappingRequest(problem, searcher=name, iterations=iterations, seed=1)
+        )
+        _check(response.norm_edp >= 1.0 - 1e-9,
+               f"{name}: norm EDP {response.norm_edp} below lower bound")
+        _check(response.n_evaluations >= 1, f"{name}: no evaluations recorded")
+        say(f"{name:>10}: norm EDP {response.norm_edp:8.2f} "
+            f"({response.n_evaluations} evals, {response.total_time_s * 1e3:.0f} ms)")
+
+    # Concurrent batch matches the sequential run bit-for-bit.
+    requests = [
+        MappingRequest(problem, searcher="gradient", iterations=40, seed=seed, tag=str(seed))
+        for seed in range(4)
+    ]
+    sequential = engine.map_batch(requests, workers=1)
+    concurrent = engine.map_batch(requests, workers=4)
+    for left, right in zip(sequential, concurrent):
+        _check(left.mapping == right.mapping, "map_batch nondeterministic")
+        _check(left.stats.edp == right.stats.edp, "map_batch EDP mismatch")
+    say("map_batch: 4 workers == sequential")
+
+    # Serialization round-trip of the full response trace.
+    from repro.search.base import SearchResult
+
+    payload = sequential[0].to_dict(include_trace=True)
+    restored = SearchResult.from_dict(payload["result"])
+    _check(restored.best_mapping == sequential[0].mapping,
+           "JSON round-trip changed the best mapping")
+    say("response JSON round-trip ok")
+
+    cache = engine.oracle_stats()
+    say(f"oracle cache: {cache.hits} hits / {cache.misses} misses "
+        f"(hit rate {cache.hit_rate:.0%})")
+    say(f"PASS in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine",
+        description="Mind Mappings serving engine utilities.",
+    )
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="run the end-to-end smoke test (CI gate)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return selftest(verbose=not args.quiet)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Pluggable cost oracles behind one protocol.
+
+The engine never talks to :class:`~repro.costmodel.model.CostModel`
+directly — it talks to a :class:`CostOracle`, so the scoring backend can be
+swapped (analytical model, trained surrogate, memoized view, and later a
+remote/timeloop-backed oracle) without touching request handling:
+
+* :class:`AnalyticalOracle` — the reference analytical model (exact,
+  microseconds per query),
+* :class:`SurrogateOracle` — a trained surrogate's *predicted* cost
+  (approximate, but differentiable and orders of magnitude cheaper for the
+  paper's real Timeloop-class reference models),
+* :class:`~repro.costmodel.cache.CachedOracle` — LRU memoization around any
+  other oracle (re-exported here for discoverability).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.costmodel.accelerator import Accelerator
+from repro.costmodel.cache import CacheStats, CachedOracle
+from repro.costmodel.model import CostModel
+from repro.costmodel.stats import CostStats
+from repro.mapspace.mapping import Mapping
+from repro.workloads.problem import Problem
+
+
+@runtime_checkable
+class CostOracle(Protocol):
+    """Anything that can price a (mapping, problem) pair.
+
+    ``evaluate_edp`` is the search-facing scalar; ``evaluate`` returns the
+    full meta-statistics vector for reporting.  Implementations whose
+    backend cannot produce full statistics (e.g. a surrogate trained in
+    ``edp`` target mode) may raise ``NotImplementedError`` from
+    ``evaluate``; the engine only calls it on the final chosen mapping and
+    falls back to its analytical model in that case.
+    """
+
+    def evaluate(self, mapping: Mapping, problem: Problem) -> CostStats:
+        ...
+
+    def evaluate_edp(self, mapping: Mapping, problem: Problem) -> float:
+        ...
+
+
+class AnalyticalOracle:
+    """The reference analytical cost model as a :class:`CostOracle`."""
+
+    def __init__(self, accelerator: Accelerator, model: Optional[CostModel] = None) -> None:
+        self.accelerator = accelerator
+        self.model = model or CostModel(accelerator)
+
+    def evaluate(self, mapping: Mapping, problem: Problem) -> CostStats:
+        return self.model.evaluate(mapping, problem)
+
+    def evaluate_edp(self, mapping: Mapping, problem: Problem) -> float:
+        return self.model.evaluate_edp(mapping, problem)
+
+
+class SurrogateOracle:
+    """A trained surrogate as a cost oracle.
+
+    Returns the surrogate's *predicted normalized* EDP (EDP divided by the
+    problem's algorithmic minimum), the objective Phase 2 optimizes — a
+    different scale from the analytical oracle's absolute EDP, but
+    monotonically consistent with it to the extent the surrogate is
+    faithful.  Useful for cheap pre-ranking of candidate mappings before a
+    small number of exact queries.
+    """
+
+    def __init__(self, surrogate) -> None:
+        self.surrogate = surrogate
+
+    def evaluate(self, mapping: Mapping, problem: Problem) -> CostStats:
+        raise NotImplementedError(
+            "SurrogateOracle predicts scalar EDP only; use AnalyticalOracle "
+            "for full cost statistics"
+        )
+
+    def evaluate_edp(self, mapping: Mapping, problem: Problem) -> float:
+        if problem.algorithm != self.surrogate.algorithm:
+            raise ValueError(
+                f"surrogate trained for {self.surrogate.algorithm!r}, problem is "
+                f"{problem.algorithm!r}"
+            )
+        return self.surrogate.predict_edp_mapping(mapping, problem)
+
+
+__all__ = [
+    "AnalyticalOracle",
+    "CacheStats",
+    "CachedOracle",
+    "CostOracle",
+    "SurrogateOracle",
+]

@@ -1,0 +1,202 @@
+"""String-keyed searcher registry: the engine's pluggable-backend seam.
+
+Search methods register themselves by name (decorating the class); callers
+construct them uniformly with :func:`make_searcher` without importing the
+concrete module.  Dependency injection is signature-driven: a registered
+searcher that takes a ``cost_model`` parameter gets one built for the map
+space's accelerator unless the caller supplies their own, and a searcher
+that *requires* other arguments (the gradient searcher needs a trained
+``surrogate``) fails with an error naming the missing keyword.
+
+The registry holds factories, not instances, so registration costs nothing
+until a searcher is built.  Built-in searchers live in :mod:`repro.search`
+and :mod:`repro.core.gradient_search`; their modules are imported lazily on
+first lookup so ``import repro.engine`` stays cheap.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from typing import Callable, Dict, Iterable, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.mapspace.space import MapSpace
+    from repro.search.base import Searcher
+
+#: Factory signature: ``factory(space, **config) -> Searcher``.
+SearcherFactory = Callable[..., "Searcher"]
+
+_REGISTRY: Dict[str, SearcherFactory] = {}
+_ALIASES: Dict[str, str] = {}
+_LOCK = threading.Lock()
+_IMPORT_LOCK = threading.Lock()
+_BUILTINS_LOADED = False
+
+
+def _canonical(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+def register_searcher(
+    name: str, *, aliases: Iterable[str] = ()
+) -> Callable[[SearcherFactory], SearcherFactory]:
+    """Class/factory decorator adding a searcher under ``name``.
+
+    ``aliases`` register additional lookup names (e.g. the paper's figure
+    labels ``"SA"``/``"GA"``) pointing at the same factory.  Re-registering
+    a taken name is an error — shadowing a searcher silently would change
+    behaviour of every caller resolving it by string.
+    """
+    key = _canonical(name)
+
+    def decorator(factory: SearcherFactory) -> SearcherFactory:
+        alias_keys = [_canonical(alias) for alias in aliases]
+        with _LOCK:
+            for candidate in [key, *alias_keys]:
+                if candidate in _REGISTRY or candidate in _ALIASES:
+                    raise ValueError(
+                        f"searcher name {candidate!r} is already registered"
+                    )
+            _REGISTRY[key] = factory
+            for alias_key in alias_keys:
+                _ALIASES[alias_key] = key
+        return factory
+
+    return decorator
+
+
+def _ensure_builtins() -> None:
+    """Import the modules whose decorators register the built-in set.
+
+    The loaded flag is set only *after* the imports succeed, under a
+    dedicated lock (not ``_LOCK`` — the decorators fired by these imports
+    take it), so concurrent first lookups wait for a fully-populated
+    registry and a failed import is retried on the next call instead of
+    latching the registry empty.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    with _IMPORT_LOCK:
+        if _BUILTINS_LOADED:
+            return
+        import repro.core.gradient_search  # noqa: F401
+        import repro.search  # noqa: F401
+
+        _BUILTINS_LOADED = True
+
+
+def searcher_names() -> Tuple[str, ...]:
+    """Canonical names of every registered searcher, sorted."""
+    _ensure_builtins()
+    with _LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def resolve_searcher(name: str) -> str:
+    """Canonicalize ``name`` (following aliases) or raise ``KeyError``."""
+    _ensure_builtins()
+    key = _canonical(name)
+    with _LOCK:
+        key = _ALIASES.get(key, key)
+        if key not in _REGISTRY:
+            available = ", ".join(sorted(_REGISTRY))
+            raise KeyError(f"unknown searcher {name!r}; registered: {available}")
+        return key
+
+
+def searcher_parameters(name: str) -> Dict[str, inspect.Parameter]:
+    """Constructor parameters of a registered searcher (after the space arg).
+
+    Lets callers like the engine discover, by signature rather than by
+    name, which dependencies a searcher wants injected (``cost_model``,
+    ``surrogate``, ...).
+    """
+    key = resolve_searcher(name)
+    with _LOCK:
+        factory = _REGISTRY[key]
+    return _factory_parameters(factory)
+
+
+def make_searcher(name: str, space: "MapSpace", **config) -> "Searcher":
+    """Construct the searcher registered under ``name`` for ``space``.
+
+    ``config`` is passed through to the searcher's constructor.  A
+    ``cost_model`` parameter is defaulted to a fresh
+    :class:`~repro.costmodel.model.CostModel` for the space's accelerator
+    when the searcher accepts one and the caller did not provide it; any
+    other required-but-missing parameter raises a ``ValueError`` naming it.
+    """
+    key = resolve_searcher(name)
+    with _LOCK:
+        factory = _REGISTRY[key]
+    parameters = _factory_parameters(factory)
+    if "cost_model" in parameters and "cost_model" not in config:
+        from repro.costmodel.model import CostModel
+
+        config["cost_model"] = CostModel(space.accelerator)
+    missing = [
+        param.name
+        for param in parameters.values()
+        if param.default is inspect.Parameter.empty
+        and param.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        and param.name not in config
+    ]
+    if missing:
+        raise ValueError(
+            f"searcher {key!r} requires {', '.join(missing)!s}; pass as keyword "
+            f"arguments to make_searcher (e.g. make_searcher({key!r}, space, "
+            f"{missing[0]}=...))"
+        )
+    unknown = sorted(
+        k
+        for k in config
+        if k not in parameters
+        and not any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+        )
+    )
+    if unknown:
+        raise TypeError(
+            f"searcher {key!r} does not accept parameter(s) {', '.join(unknown)}; "
+            f"accepted: {', '.join(sorted(parameters))}"
+        )
+    return factory(space, **config)
+
+
+_PARAMETER_CACHE: Dict[int, Dict[str, inspect.Parameter]] = {}
+
+
+def _factory_parameters(factory: SearcherFactory) -> Dict[str, inspect.Parameter]:
+    """Constructor parameters after the leading ``space`` argument.
+
+    Memoized per factory — signature reflection sits on the engine's
+    per-request serving path.
+    """
+    cached = _PARAMETER_CACHE.get(id(factory))
+    if cached is not None:
+        return cached
+    signature = inspect.signature(factory)
+    parameters = dict(signature.parameters)
+    # Drop the first positional parameter (the map space) whatever its name.
+    for first in signature.parameters.values():
+        if first.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            parameters.pop(first.name, None)
+        break
+    _PARAMETER_CACHE[id(factory)] = parameters
+    return parameters
+
+
+__all__ = [
+    "SearcherFactory",
+    "make_searcher",
+    "register_searcher",
+    "resolve_searcher",
+    "searcher_names",
+    "searcher_parameters",
+]

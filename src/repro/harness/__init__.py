@@ -21,7 +21,13 @@ from repro.harness.experiments import (
 from repro.harness.summary import RatioSummary, geomean_ratios, summarize_final_quality
 from repro.harness.surface import CostSurface, sweep_cost_surface
 from repro.harness.tables import ascii_curve, format_table
-from repro.harness.export import curves_to_csv, curves_to_json, load_curves_json
+from repro.harness.export import (
+    curves_to_csv,
+    curves_to_json,
+    load_curves_json,
+    load_result_json,
+    result_to_json,
+)
 
 __all__ = [
     "CostSurface",
@@ -34,6 +40,8 @@ __all__ = [
     "curves_to_json",
     "format_table",
     "load_curves_json",
+    "load_result_json",
+    "result_to_json",
     "geomean_ratios",
     "run_iso_iteration",
     "run_iso_time",

@@ -17,9 +17,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.costmodel.accelerator import Accelerator
+from repro.costmodel.cache import CachedOracle
 from repro.costmodel.lower_bound import algorithmic_minimum
 from repro.costmodel.model import CostModel
-from repro.mapspace.mapping import Mapping
 from repro.mapspace.space import MapSpace
 from repro.search.base import SearchResult, Searcher
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
@@ -65,30 +65,22 @@ class MethodCurve:
         self.final_norm_edp = float(self.mean_best_norm_edp[-1])
 
 
-class _TrueCostCache:
-    """Memoized true-EDP evaluation (mappings repeat heavily in traces)."""
-
-    def __init__(self, model: CostModel, problem: Problem) -> None:
-        self._model = model
-        self._problem = problem
-        self._cache: Dict[Mapping, float] = {}
-
-    def edp(self, mapping: Mapping) -> float:
-        value = self._cache.get(mapping)
-        if value is None:
-            value = self._model.evaluate_edp(mapping, self._problem)
-            self._cache[mapping] = value
-        return value
-
-
 def _best_so_far_true(
-    result: SearchResult, cache: _TrueCostCache, lower_bound_edp: float
+    result: SearchResult,
+    oracle: CachedOracle,
+    problem: Problem,
+    lower_bound_edp: float,
 ) -> np.ndarray:
-    """Best-so-far true normalized EDP after each evaluation."""
+    """Best-so-far true normalized EDP after each evaluation.
+
+    ``oracle`` is the shared memoized true-cost oracle
+    (:class:`repro.costmodel.cache.CachedOracle`) — mappings repeat heavily
+    in traces, so re-scoring is dominated by cache hits.
+    """
     curve = np.empty(result.n_evaluations)
     best = math.inf
     for index, mapping in enumerate(result.mappings):
-        best = min(best, cache.edp(mapping) / lower_bound_edp)
+        best = min(best, oracle.evaluate_edp(mapping, problem) / lower_bound_edp)
         curve[index] = best
     return curve
 
@@ -111,8 +103,7 @@ def run_iso_iteration(
     config = config or ExperimentConfig()
     rng = ensure_rng(seed)
     space = MapSpace(problem, accelerator)
-    model = CostModel(accelerator)
-    cache = _TrueCostCache(model, problem)
+    oracle = CachedOracle(CostModel(accelerator))
     lower_bound = algorithmic_minimum(problem, accelerator).edp
 
     curves: Dict[str, MethodCurve] = {}
@@ -121,7 +112,9 @@ def run_iso_iteration(
         for run_rng in spawn_rngs(rng, config.runs):
             searcher = factory(space)
             result = searcher.search(config.iterations, seed=run_rng)
-            run_curves.append(_best_so_far_true(result, cache, lower_bound))
+            run_curves.append(
+                _best_so_far_true(result, oracle, problem, lower_bound)
+            )
         mean, std, length = _average_curves(run_curves)
         curves[name] = MethodCurve(
             method=name,
@@ -152,8 +145,7 @@ def run_iso_time(
     config = config or ExperimentConfig()
     rng = ensure_rng(seed)
     space = MapSpace(problem, accelerator)
-    model = CostModel(accelerator)
-    cache = _TrueCostCache(model, problem)
+    oracle = CachedOracle(CostModel(accelerator))
     lower_bound = algorithmic_minimum(problem, accelerator).edp
     grid = np.geomspace(
         max(config.time_budget_s / 200.0, 1e-3),
@@ -174,7 +166,7 @@ def run_iso_time(
                 seed=run_rng,
                 time_budget_s=config.time_budget_s,
             )
-            best_curve = _best_so_far_true(result, cache, lower_bound)
+            best_curve = _best_so_far_true(result, oracle, problem, lower_bound)
             times = np.asarray(result.eval_times)
             sampled.append(_resample_to_grid(times, best_curve, grid))
         stacked = np.stack(sampled)
@@ -213,37 +205,38 @@ def build_standard_methods(
 ) -> Dict[str, SearcherFactory]:
     """Factories for the paper's comparison set.
 
-    ``surrogate`` (a trained :class:`repro.core.Surrogate`) is required
-    whenever "MM" is included.  Import is deferred to avoid a package cycle
-    (core already imports search.base).
+    Figure labels resolve through the engine's searcher registry
+    (:func:`repro.engine.make_searcher`) so the set automatically covers
+    any searcher registered under the matching name.  ``surrogate`` (a
+    trained :class:`repro.core.Surrogate`) is required whenever "MM" is
+    included.  Import is deferred to avoid a package cycle (core already
+    imports search.base).
     """
-    from repro.core.gradient_search import GradientSearcher
-    from repro.search import (
-        GeneticSearcher,
-        RLSearcher,
-        RandomSearcher,
-        SimulatedAnnealingSearcher,
-    )
+    from repro.engine.registry import make_searcher
 
     model = CostModel(accelerator)
+    #: Figure label -> (registry name, constructor config).
+    label_specs = {
+        "MM": ("gradient", {}),
+        "SA": ("annealing", {"cost_model": model}),
+        "GA": ("genetic", {"cost_model": model, "population_size": ga_population}),
+        "RL": ("rl", {"cost_model": model}),
+        "Random": ("random", {"cost_model": model}),
+    }
     factories: Dict[str, SearcherFactory] = {}
     for name in include:
+        if name not in label_specs:
+            raise KeyError(f"unknown method {name!r}")
+        registry_name, spec_config = label_specs[name]
         if name == "MM":
             if surrogate is None:
                 raise ValueError("MM requires a trained surrogate")
-            factories["MM"] = lambda space, s=surrogate: GradientSearcher(space, s)
-        elif name == "SA":
-            factories["SA"] = lambda space: SimulatedAnnealingSearcher(space, model)
-        elif name == "GA":
-            factories["GA"] = lambda space: GeneticSearcher(
-                space, model, population_size=ga_population
+            spec_config = {"surrogate": surrogate}
+        factories[name] = (
+            lambda space, rn=registry_name, cfg=spec_config: make_searcher(
+                rn, space, **cfg
             )
-        elif name == "RL":
-            factories["RL"] = lambda space: RLSearcher(space, model)
-        elif name == "Random":
-            factories["Random"] = lambda space: RandomSearcher(space, model)
-        else:
-            raise KeyError(f"unknown method {name!r}")
+        )
     return factories
 
 

@@ -13,6 +13,23 @@ from pathlib import Path
 from typing import Mapping as MappingType
 
 from repro.harness.experiments import MethodCurve
+from repro.search.base import SearchResult
+
+
+def result_to_json(result: SearchResult, path: Path) -> None:
+    """Write one full search trace (mappings included) as JSON.
+
+    Engine responses embed the same codec
+    (:meth:`repro.engine.MappingResponse.to_dict` carries
+    ``result.to_dict()``), so both export formats round-trip through
+    :meth:`SearchResult.from_dict`.
+    """
+    Path(path).write_text(json.dumps(result.to_dict(), indent=2))
+
+
+def load_result_json(path: Path) -> SearchResult:
+    """Inverse of :func:`result_to_json`."""
+    return SearchResult.from_dict(json.loads(Path(path).read_text()))
 
 
 def curves_to_csv(curves: MappingType[str, MethodCurve], path: Path) -> None:
@@ -65,4 +82,10 @@ def load_curves_json(path: Path) -> MappingType[str, MethodCurve]:
     return curves
 
 
-__all__ = ["curves_to_csv", "curves_to_json", "load_curves_json"]
+__all__ = [
+    "curves_to_csv",
+    "curves_to_json",
+    "load_curves_json",
+    "load_result_json",
+    "result_to_json",
+]

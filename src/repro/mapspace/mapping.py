@@ -173,6 +173,35 @@ class Mapping:
         updated[index] = tuple(int(b) for b in banks)
         return replace(self, allocation=tuple(updated))
 
+    # ---- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dict (inverse of :meth:`from_dict`)."""
+        return {
+            "dims": list(self.dims),
+            "tile_factors": [list(factors) for factors in self.tile_factors],
+            "loop_orders": [list(order) for order in self.loop_orders],
+            "tensors": list(self.tensors),
+            "allocation": [list(banks) for banks in self.allocation],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: MappingType[str, object]) -> "Mapping":
+        """Rebuild a mapping from :meth:`to_dict` output (validates shape)."""
+        return cls(
+            dims=tuple(str(d) for d in payload["dims"]),
+            tile_factors=tuple(
+                tuple(int(f) for f in factors) for factors in payload["tile_factors"]
+            ),
+            loop_orders=tuple(
+                tuple(str(d) for d in order) for order in payload["loop_orders"]
+            ),
+            tensors=tuple(str(t) for t in payload["tensors"]),
+            allocation=tuple(
+                tuple(int(b) for b in banks) for banks in payload["allocation"]
+            ),
+        )
+
     # ---- presentation -------------------------------------------------------
 
     def describe(self) -> str:

@@ -14,25 +14,37 @@ compose naturally.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence[float]]
 
-_GRAD_ENABLED = True
+# Thread-local so concurrent engine workers (repro.engine.map_batch) can mix
+# inference (no_grad) and gradient computation without corrupting each other.
+_GRAD_STATE = threading.local()
+
+# Gradient accumulation is the one place concurrent backward passes touch
+# shared state: leaf parameters of a shared network receive `grad += g`
+# from every thread.  One lock makes the check-then-act + in-place add
+# atomic; the expensive gradient *computation* stays outside it.
+_ACCUMULATE_LOCK = threading.Lock()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad() -> Iterator[None]:
     """Disable graph construction inside the block (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(gradient: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -64,7 +76,7 @@ class Tensor:
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self.requires_grad = requires_grad and _grad_enabled()
         self._parents = _parents if self.requires_grad else ()
         self._backward = _backward if self.requires_grad else None
 
@@ -108,10 +120,11 @@ class Tensor:
 
     def _accumulate(self, gradient: np.ndarray) -> None:
         gradient = _unbroadcast(np.asarray(gradient, dtype=np.float64), self.data.shape)
-        if self.grad is None:
-            self.grad = gradient.copy()
-        else:
-            self.grad += gradient
+        with _ACCUMULATE_LOCK:
+            if self.grad is None:
+                self.grad = gradient.copy()
+            else:
+                self.grad += gradient
 
     # ---- arithmetic --------------------------------------------------------
 

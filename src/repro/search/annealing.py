@@ -17,11 +17,13 @@ from typing import Optional
 import numpy as np
 
 from repro.costmodel.model import CostModel
+from repro.engine.registry import register_searcher
 from repro.mapspace.space import MapSpace
 from repro.search.base import BudgetedObjective, SearchResult, Searcher
 from repro.utils.rng import SeedLike, ensure_rng
 
 
+@register_searcher("annealing", aliases=("sa", "simulated-annealing"))
 class SimulatedAnnealingSearcher(Searcher):
     """Classic SA with auto-tuned geometric cooling."""
 

@@ -64,6 +64,36 @@ class SearchResult:
             curve.append(best)
         return curve
 
+    # ---- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict of the full trace (inverse of :meth:`from_dict`).
+
+        Mappings serialize via :meth:`Mapping.to_dict`, so engine responses
+        and harness traces export through one codec
+        (:func:`repro.harness.export.result_to_json`).
+        """
+        return {
+            "searcher": self.searcher,
+            "problem": self.problem,
+            "mappings": [mapping.to_dict() for mapping in self.mappings],
+            "objective_values": [float(v) for v in self.objective_values],
+            "eval_times": [float(t) for t in self.eval_times],
+            "wall_time": float(self.wall_time),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchResult":
+        """Rebuild a result from :meth:`to_dict` output (validates mappings)."""
+        return cls(
+            searcher=str(payload["searcher"]),
+            problem=str(payload["problem"]),
+            mappings=[Mapping.from_dict(m) for m in payload["mappings"]],
+            objective_values=[float(v) for v in payload["objective_values"]],
+            eval_times=[float(t) for t in payload["eval_times"]],
+            wall_time=float(payload["wall_time"]),
+        )
+
 
 class BudgetedObjective:
     """Meters an objective function by evaluations and wall-clock.

@@ -12,11 +12,13 @@ import math
 from typing import Optional
 
 from repro.costmodel.model import CostModel
+from repro.engine.registry import register_searcher
 from repro.mapspace.space import MapSpace
 from repro.search.base import BudgetedObjective, SearchResult, Searcher
 from repro.utils.rng import SeedLike
 
 
+@register_searcher("exhaustive")
 class ExhaustiveSearcher(Searcher):
     """Evaluate every mapping the enumerator yields (budget permitting)."""
 

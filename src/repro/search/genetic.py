@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.costmodel.model import CostModel
+from repro.engine.registry import register_searcher
 from repro.mapspace.factors import sample_composition, sample_factorization
 from repro.mapspace.mapping import Mapping
 from repro.mapspace.space import MapSpace
@@ -23,6 +24,7 @@ from repro.search.base import BudgetedObjective, SearchResult, Searcher
 from repro.utils.rng import SeedLike, ensure_rng
 
 
+@register_searcher("genetic", aliases=("ga",))
 class GeneticSearcher(Searcher):
     """Tournament-selection GA over mapping attribute groups."""
 

@@ -6,11 +6,13 @@ import math
 from typing import Optional
 
 from repro.costmodel.model import CostModel
+from repro.engine.registry import register_searcher
 from repro.mapspace.space import MapSpace
 from repro.search.base import BudgetedObjective, SearchResult, Searcher
 from repro.utils.rng import SeedLike, ensure_rng
 
 
+@register_searcher("random")
 class RandomSearcher(Searcher):
     """Draw valid mappings uniformly; keep the best seen."""
 

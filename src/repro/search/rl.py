@@ -25,6 +25,7 @@ from repro.core.encoding import MappingEncoder
 from repro.core.normalize import Whitener
 from repro.costmodel.lower_bound import algorithmic_minimum
 from repro.costmodel.model import CostModel
+from repro.engine.registry import register_searcher
 from repro.mapspace.mapping import Mapping
 from repro.mapspace.space import MapSpace
 from repro.nn import MLP, Adam, Tensor, huber_loss, no_grad
@@ -74,6 +75,7 @@ def _hard_copy(target: MLP, source: MLP) -> None:
         t_param.data[...] = s_param.data
 
 
+@register_searcher("rl", aliases=("ddpg",))
 class RLSearcher(Searcher):
     """DDPG over the encoded mapping space."""
 

@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.core import MindMappings, MindMappingsConfig, TrainingConfig
+from repro.core import MindMappings, MindMappingsConfig, Surrogate, TrainingConfig
 from repro.costmodel import algorithmic_minimum
+from repro.costmodel.accelerator import small_accelerator
 from repro.workloads import make_cnn_layer
 
 
@@ -46,6 +47,31 @@ class TestPersistence:
         a = trained_mm.find_mapping(cnn_problem, iterations=30, seed=5)
         b = restored.find_mapping(cnn_problem, iterations=30, seed=5)
         assert a[0] == b[0]
+
+    def test_save_records_accelerator_fingerprint(self, trained_mm, tmp_path):
+        path = tmp_path / "mm.npz"
+        trained_mm.save(path)
+        metadata = Surrogate.read_metadata(path)
+        assert metadata["accel_fingerprint"] == trained_mm.accelerator.fingerprint()
+
+    def test_load_rejects_mismatched_accelerator(self, trained_mm, tmp_path):
+        """A surrogate must not silently pair with different hardware."""
+        path = tmp_path / "mm.npz"
+        trained_mm.save(path)
+        other = small_accelerator()
+        assert other.fingerprint() != trained_mm.accelerator.fingerprint()
+        with pytest.raises(ValueError, match="fingerprint"):
+            MindMappings.load(path, other)
+
+    def test_load_accepts_legacy_artifact_without_fingerprint(
+        self, trained_mm, cnn_problem, tmp_path
+    ):
+        """Files saved before fingerprints existed still load."""
+        path = tmp_path / "legacy.npz"
+        trained_mm.surrogate.save(path)  # raw save: no metadata
+        restored = MindMappings.load(path, trained_mm.accelerator)
+        mapping, stats = restored.find_mapping(cnn_problem, iterations=10, seed=0)
+        assert stats.edp > 0
 
 
 class TestConfig:

@@ -1,0 +1,141 @@
+"""CachedOracle: correctness vs. the uncached model, counters, eviction."""
+
+import pytest
+
+from repro.costmodel import CachedOracle, CostModel
+
+
+@pytest.fixture()
+def sampled(cnn_space):
+    return cnn_space.sample_many(8, seed=3)
+
+
+class TestCorrectness:
+    def test_edp_matches_uncached_model(self, cost_model, cnn_problem, sampled):
+        oracle = CachedOracle(cost_model)
+        for mapping in sampled:
+            expected = cost_model.evaluate_edp(mapping, cnn_problem)
+            assert oracle.evaluate_edp(mapping, cnn_problem) == expected
+            # Second query must be identical (and served from cache).
+            assert oracle.evaluate_edp(mapping, cnn_problem) == expected
+
+    def test_stats_match_uncached_model(self, cost_model, cnn_problem, sampled):
+        oracle = CachedOracle(cost_model)
+        mapping = sampled[0]
+        stats = oracle.evaluate(mapping, cnn_problem)
+        expected = cost_model.evaluate(mapping, cnn_problem)
+        assert stats.edp == expected.edp
+        assert stats.total_energy_pj == expected.total_energy_pj
+        assert stats.cycles == expected.cycles
+
+    def test_edp_served_from_stats_entry(self, cost_model, cnn_problem, sampled):
+        """A full evaluate() also answers later evaluate_edp() queries."""
+        oracle = CachedOracle(cost_model)
+        mapping = sampled[0]
+        stats = oracle.evaluate(mapping, cnn_problem)
+        assert oracle.evaluate_edp(mapping, cnn_problem) == stats.edp
+        snapshot = oracle.stats()
+        assert snapshot.misses == 1
+        assert snapshot.hits == 1
+
+    def test_problems_differing_only_in_ops_not_conflated(self, tiny_accelerator):
+        """Same name/algorithm/dims but different ops_per_point must not
+        share cache entries — their true costs differ."""
+        import dataclasses
+
+        from repro.mapspace import MapSpace
+        from repro.workloads import make_conv1d
+
+        base = make_conv1d("same_name", w=32, r=5)
+        heavier = dataclasses.replace(base, ops_per_point=7)
+        oracle = CachedOracle(CostModel(tiny_accelerator))
+        mapping = MapSpace(base, tiny_accelerator).sample(0)
+        first = oracle.evaluate_edp(mapping, base)
+        second = oracle.evaluate_edp(mapping, heavier)
+        assert first != second
+        assert second == CostModel(tiny_accelerator).evaluate_edp(mapping, heavier)
+        assert oracle.stats().misses == 2
+
+    def test_distinct_problems_not_conflated(self, tiny_accelerator):
+        from repro.mapspace import MapSpace
+        from repro.workloads import make_conv1d
+
+        a = make_conv1d("cache_a", w=32, r=5)
+        b = make_conv1d("cache_b", w=40, r=5)
+        oracle = CachedOracle(CostModel(tiny_accelerator))
+        oracle.evaluate_edp(MapSpace(a, tiny_accelerator).sample(0), a)
+        assert oracle.stats().misses == 1
+        oracle.evaluate_edp(MapSpace(b, tiny_accelerator).sample(0), b)
+        assert oracle.stats().misses == 2
+
+
+class TestCounters:
+    def test_hit_miss_accounting(self, cost_model, cnn_problem, sampled):
+        oracle = CachedOracle(cost_model)
+        for mapping in sampled:
+            oracle.evaluate_edp(mapping, cnn_problem)
+        for mapping in sampled:
+            oracle.evaluate_edp(mapping, cnn_problem)
+        snapshot = oracle.stats()
+        assert snapshot.misses == len(sampled)
+        assert snapshot.hits == len(sampled)
+        assert snapshot.queries == 2 * len(sampled)
+        assert snapshot.hit_rate == pytest.approx(0.5)
+
+    def test_empty_hit_rate_is_zero(self, cost_model):
+        assert CachedOracle(cost_model).stats().hit_rate == 0.0
+
+    def test_clear_resets(self, cost_model, cnn_problem, sampled):
+        oracle = CachedOracle(cost_model)
+        oracle.evaluate_edp(sampled[0], cnn_problem)
+        oracle.clear()
+        snapshot = oracle.stats()
+        assert snapshot.size == 0
+        assert snapshot.queries == 0
+
+
+class TestEviction:
+    def test_lru_bound_respected(self, cost_model, cnn_problem, sampled):
+        oracle = CachedOracle(cost_model, maxsize=4)
+        for mapping in sampled:  # 8 distinct entries through a bound of 4
+            oracle.evaluate_edp(mapping, cnn_problem)
+        assert oracle.stats().size <= 4
+        # Oldest entries were evicted: re-querying them misses again.
+        oracle.evaluate_edp(sampled[0], cnn_problem)
+        assert oracle.stats().misses == len(sampled) + 1
+
+    def test_recently_used_survives(self, cost_model, cnn_problem, sampled):
+        oracle = CachedOracle(cost_model, maxsize=2)
+        oracle.evaluate_edp(sampled[0], cnn_problem)
+        oracle.evaluate_edp(sampled[1], cnn_problem)
+        oracle.evaluate_edp(sampled[0], cnn_problem)  # refresh 0
+        oracle.evaluate_edp(sampled[2], cnn_problem)  # evicts 1, not 0
+        hits_before = oracle.stats().hits
+        oracle.evaluate_edp(sampled[0], cnn_problem)
+        assert oracle.stats().hits == hits_before + 1
+
+    def test_invalid_maxsize_rejected(self, cost_model):
+        with pytest.raises(ValueError):
+            CachedOracle(cost_model, maxsize=0)
+
+    def test_bound_holds_across_mixed_query_kinds(
+        self, cost_model, cnn_problem, sampled
+    ):
+        """maxsize bounds *total* entries, not per query kind."""
+        oracle = CachedOracle(cost_model, maxsize=4)
+        for mapping in sampled[:4]:
+            oracle.evaluate_edp(mapping, cnn_problem)
+        for mapping in sampled[4:]:
+            oracle.evaluate(mapping, cnn_problem)
+        assert oracle.stats().size <= 4
+
+    def test_evaluate_upgrades_edp_entry_without_growth(
+        self, cost_model, cnn_problem, sampled
+    ):
+        oracle = CachedOracle(cost_model)
+        mapping = sampled[0]
+        oracle.evaluate_edp(mapping, cnn_problem)
+        assert oracle.stats().size == 1
+        stats = oracle.evaluate(mapping, cnn_problem)
+        assert oracle.stats().size == 1  # upgraded in place, no duplicate
+        assert oracle.evaluate_edp(mapping, cnn_problem) == stats.edp

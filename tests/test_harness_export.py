@@ -55,3 +55,20 @@ class TestJson:
             assert loaded[name].runs == curves[name].runs
             assert loaded[name].problem == "toy"
             assert loaded[name].final_norm_edp == curves[name].final_norm_edp
+
+
+class TestSearchResultJson:
+    def test_roundtrip(self, tmp_path, conv1d_space):
+        from repro.engine import make_searcher
+        from repro.harness import load_result_json, result_to_json
+
+        result = make_searcher("random", conv1d_space).search(12, seed=0)
+        path = tmp_path / "trace.json"
+        result_to_json(result, path)
+        loaded = load_result_json(path)
+        assert loaded.searcher == result.searcher
+        assert loaded.problem == result.problem
+        assert loaded.mappings == result.mappings
+        assert loaded.objective_values == result.objective_values
+        assert loaded.best_mapping == result.best_mapping
+        assert loaded.wall_time == result.wall_time

@@ -129,3 +129,23 @@ class TestFunctionalUpdates:
         assert "tiling" in text
         assert "loop order" in text
         assert "banks" in text
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        mapping = _make_mapping()
+        restored = Mapping.from_dict(mapping.to_dict())
+        assert restored == mapping
+        assert hash(restored) == hash(mapping)
+
+    def test_to_dict_is_json_compatible(self):
+        import json
+
+        payload = json.loads(json.dumps(_make_mapping().to_dict()))
+        assert Mapping.from_dict(payload) == _make_mapping()
+
+    def test_from_dict_validates(self):
+        payload = _make_mapping().to_dict()
+        payload["tile_factors"] = payload["tile_factors"][:1]  # misaligned
+        with pytest.raises(ValueError):
+            Mapping.from_dict(payload)

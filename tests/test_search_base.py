@@ -93,3 +93,45 @@ class TestSearchResult:
         empty = SearchResult(searcher="S", problem="p")
         with pytest.raises(ValueError):
             _ = empty.best_index
+
+
+class TestSearchResultSerialization:
+    def _mapping(self):
+        from repro.mapspace.mapping import Mapping
+
+        return Mapping(
+            dims=("X", "R"),
+            tile_factors=((2, 7, 2, 1), (1, 1, 1, 5)),
+            loop_orders=(("X", "R"), ("R", "X"), ("X", "R")),
+            tensors=("Input", "Filter", "Output"),
+            allocation=((4, 2, 2), (2, 1, 1)),
+        )
+
+    def test_dict_roundtrip(self):
+        mapping = self._mapping()
+        result = SearchResult(
+            searcher="S",
+            problem="p",
+            mappings=[mapping, mapping],
+            objective_values=[4.0, 1.0],
+            eval_times=[0.1, 0.2],
+            wall_time=0.25,
+        )
+        restored = SearchResult.from_dict(result.to_dict())
+        assert restored == result
+        assert restored.best_mapping == mapping
+
+    def test_json_roundtrip(self):
+        import json
+
+        mapping = self._mapping()
+        result = SearchResult(
+            searcher="S",
+            problem="p",
+            mappings=[mapping],
+            objective_values=[1.5],
+            eval_times=[0.05],
+            wall_time=0.1,
+        )
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert SearchResult.from_dict(payload) == result
