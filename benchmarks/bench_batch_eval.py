@@ -1,0 +1,96 @@
+"""Scalar vs. batched surrogate evaluation: the payoff of ask/tell batching.
+
+The API redesign's headline claim: handing the surrogate whole populations
+(one encoded (N, D) matrix, one stacked network forward) beats N scalar
+``predict_edp_mapping`` calls, because the MLP's matmuls amortize across
+rows.  This benchmark measures candidates/sec at population sizes 1, 32,
+and 256, for both the prediction-only path (what a ``SurrogateOracle``
+serves) and the fused objective+gradient path (what vectorized
+multi-restart gradient search runs every iteration).
+
+The acceptance bar is >= 5x throughput for the batched path at N=256 —
+asserted, so regressions fail the benchmark suite rather than silently
+degrading the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import add_report
+
+from repro.harness import format_table
+from repro.mapspace import MapSpace
+from repro.workloads import problem_by_name
+
+BATCH_SIZES = (1, 32, 256)
+TARGET_SPEEDUP_AT_256 = 5.0
+
+
+def _throughput(fn, repeats: int, candidates: int) -> float:
+    """Candidates priced per second over ``repeats`` timed calls."""
+    started = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    elapsed = time.perf_counter() - started
+    return repeats * candidates / max(elapsed, 1e-12)
+
+
+def test_batched_surrogate_throughput(benchmark, accelerator, cnn_mm):
+    surrogate = cnn_mm.surrogate
+    problem = problem_by_name("ResNet_Conv4")
+    space = MapSpace(problem, accelerator)
+
+    rows = []
+    speedups = {}
+    for size in BATCH_SIZES:
+        population = space.sample_many(size, seed=size)
+        # Repeat counts keep each measurement in the ~0.1s+ range.
+        repeats = max(2048 // size, 4)
+
+        def scalar_predict():
+            return [surrogate.predict_edp_mapping(m, problem) for m in population]
+
+        def batched_predict():
+            return surrogate.predict_edp_many(population, problem)
+
+        whitened = surrogate.whiten_mappings(population, problem)
+
+        def scalar_gradient():
+            return [surrogate.objective_and_gradient(row) for row in whitened]
+
+        def batched_gradient():
+            return surrogate.objective_and_gradient_batch(whitened)
+
+        scalar_rate = _throughput(scalar_predict, repeats, size)
+        batched_rate = _throughput(batched_predict, repeats, size)
+        scalar_grad_rate = _throughput(scalar_gradient, repeats, size)
+        batched_grad_rate = _throughput(batched_gradient, repeats, size)
+        speedups[size] = batched_rate / scalar_rate
+        rows.append(
+            (
+                f"{size}",
+                f"{scalar_rate:,.0f}/s",
+                f"{batched_rate:,.0f}/s",
+                f"{batched_rate / scalar_rate:.1f}x",
+                f"{batched_grad_rate / scalar_grad_rate:.1f}x",
+            )
+        )
+
+    def once():
+        population = space.sample_many(256, seed=256)
+        return surrogate.predict_edp_many(population, problem)
+
+    benchmark.pedantic(once, rounds=3, iterations=1)
+
+    add_report(
+        "Batched vs scalar surrogate evaluation (ask/tell API)",
+        format_table(
+            ["N", "scalar", "batched", "predict speedup", "grad speedup"], rows
+        ),
+    )
+    assert speedups[256] >= TARGET_SPEEDUP_AT_256, (
+        f"batched surrogate evaluation at N=256 is only "
+        f"{speedups[256]:.1f}x the scalar loop (need >= "
+        f"{TARGET_SPEEDUP_AT_256}x)"
+    )

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Drive a searcher by hand through the batched ask/tell protocol.
+
+``Searcher.run()`` is only a convenience — the real API is the protocol it
+loops: ``reset`` seeds the state, ``ask`` proposes a batch of candidate
+mappings, ``tell`` feeds the evaluated batch back.  Owning the loop lets a
+caller interleave searchers, stream partial results, or route evaluation
+through custom infrastructure, while the budget keeps iso-iteration
+accounting exact.
+
+This example drives a GA and shows where the batching pays: the whole
+generation goes to the shared memoized oracle as *one* ``evaluate_many``
+call, which answers repeats from cache and forwards only the distinct
+misses to the analytical model.
+
+Usage::
+
+    python examples/ask_tell_driver.py [iterations]
+"""
+
+import sys
+
+from repro import CachedOracle, CostModel, default_accelerator, make_searcher, problem_by_name
+from repro.mapspace import MapSpace
+
+
+def main() -> None:
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    accelerator = default_accelerator()
+    problem = problem_by_name("ResNet_Conv4")
+    space = MapSpace(problem, accelerator)
+
+    oracle = CachedOracle(CostModel(accelerator))
+    searcher = make_searcher(
+        "genetic", space, cost_model=oracle, population_size=50
+    )
+
+    budget = searcher.make_budget(iterations)
+    searcher.reset(seed=1, iterations=iterations)
+    generation = 0
+    while not budget.exhausted:
+        batch = searcher.ask()
+        if not batch:
+            break
+        values = budget.evaluate_many(batch)  # one batched oracle query
+        searcher.tell(batch[: len(values)], values)
+        generation += 1
+        print(
+            f"generation {generation:3d}: batch of {len(values):3d}, "
+            f"best log2-EDP so far {min(budget.values):8.3f}"
+        )
+
+    result = budget.result(searcher.name, problem.name)
+    stats = oracle.stats()
+    print(f"\nbest mapping after {result.n_evaluations} evaluations:")
+    print(result.best_mapping.describe())
+    print(
+        f"\noracle: {stats.queries} queries, {stats.hits} served from cache "
+        f"({stats.hit_rate:.0%} hit rate)"
+    )
+
+
+if __name__ == "__main__":
+    main()

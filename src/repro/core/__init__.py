@@ -11,7 +11,7 @@
 * :mod:`repro.core.pipeline` — the end-to-end :class:`MindMappings` API.
 """
 
-from repro.core.encoding import EncodingLayout, MappingEncoder
+from repro.core.encoding import EncodingLayout, MappingEncoder, encode_batch
 from repro.core.normalize import Whitener
 from repro.core.dataset import SurrogateDataset, TargetCodec, generate_dataset
 from repro.core.surrogate import DEFAULT_HIDDEN_LAYERS, PAPER_HIDDEN_LAYERS, Surrogate
@@ -32,6 +32,7 @@ __all__ = [
     "FidelityReport",
     "GradientSearcher",
     "MappingEncoder",
+    "encode_batch",
     "MindMappings",
     "MindMappingsConfig",
     "PAPER_HIDDEN_LAYERS",

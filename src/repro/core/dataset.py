@@ -106,6 +106,18 @@ class TargetCodec:
             return float(row[0])
         return float(row[self.total_energy_index] + row[self.cycles_index])
 
+    def log2_norm_edp_batch(self, target_rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`log2_norm_edp` over ``(N, width)`` rows.
+
+        Column arithmetic instead of a per-row python call — the difference
+        between a batched surrogate prediction being matmul-bound and being
+        codec-bound (see ``benchmarks/bench_batch_eval.py``).
+        """
+        rows = np.atleast_2d(np.asarray(target_rows, dtype=np.float64))
+        if self.mode == "edp":
+            return rows[:, 0].copy()
+        return rows[:, self.total_energy_index] + rows[:, self.cycles_index]
+
 
 @dataclass
 class SurrogateDataset:

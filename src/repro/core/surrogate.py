@@ -109,6 +109,18 @@ class Surrogate:
         raw = self.encoder.encode(mapping, problem)
         return self.input_whitener.transform(raw)
 
+    def whiten_mappings(
+        self, mappings: Sequence[Mapping], problem: Problem
+    ) -> np.ndarray:
+        """Encode + whiten a population into an ``(N, D)`` coordinate matrix.
+
+        Row ``i`` equals ``whiten_mapping(mappings[i], problem)``; the
+        encoding is stacked via :meth:`MappingEncoder.encode_batch` and
+        whitened in one vectorized transform.
+        """
+        raw = self.encoder.encode_batch(mappings, problem)
+        return self.input_whitener.transform(raw)
+
     def predict_log2_norm_edp(self, whitened_inputs: np.ndarray) -> np.ndarray:
         """Predicted ``log2(EDP / lower-bound EDP)`` per input row.
 
@@ -117,12 +129,27 @@ class Surrogate:
         ``edp`` target mode.
         """
         raw = self.predict_raw_targets(whitened_inputs)
-        return np.apply_along_axis(self.codec.log2_norm_edp, 1, raw)
+        return self.codec.log2_norm_edp_batch(raw)
 
     def predict_edp_mapping(self, mapping: Mapping, problem: Problem) -> float:
         """Predicted normalized EDP (linear scale) for one mapping."""
         whitened = self.whiten_mapping(mapping, problem)
         return float(2.0 ** self.predict_log2_norm_edp(whitened)[0])
+
+    def predict_edp_many(
+        self, mappings: Sequence[Mapping], problem: Problem
+    ) -> np.ndarray:
+        """Predicted normalized EDP for a whole population, one forward pass.
+
+        The batched counterpart of :meth:`predict_edp_mapping`: encodes the
+        population into one ``(N, D)`` matrix and runs a single stacked
+        network forward, which is what makes surrogate-backed oracles cheap
+        per candidate (see ``benchmarks/bench_batch_eval.py``).
+        """
+        if not len(mappings):
+            return np.empty(0, dtype=np.float64)
+        whitened = self.whiten_mappings(mappings, problem)
+        return 2.0 ** self.predict_log2_norm_edp(whitened)
 
     # ------------------------------------------------------------------
     # Phase 2 gradients
@@ -131,13 +158,30 @@ class Surrogate:
     def objective_and_gradient(
         self, whitened_input: np.ndarray
     ) -> Tuple[float, np.ndarray]:
-        """Predicted log2-normalized EDP and its input gradient.
+        """Predicted log2-normalized EDP and its input gradient (one point).
 
-        Builds the de-whitening of the EDP-relevant output entries into the
-        autograd graph, so the returned gradient is exactly
-        ``d log2(EDP_hat) / d x`` in whitened input coordinates.
+        Thin wrapper over :meth:`objective_and_gradient_batch` for a single
+        whitened vector.
         """
-        x = Tensor(np.asarray(whitened_input, dtype=np.float64), requires_grad=True)
+        whitened = np.asarray(whitened_input, dtype=np.float64)
+        values, gradients = self.objective_and_gradient_batch(whitened[None, :])
+        return float(values[0]), gradients[0].copy()
+
+    def objective_and_gradient_batch(
+        self, whitened_inputs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row objectives and input gradients in one fused pass.
+
+        ``whitened_inputs`` is ``(N, D)``; returns ``(values, gradients)``
+        of shapes ``(N,)`` and ``(N, D)``.  Rows flow through the network
+        independently, so summing the per-row objectives before ``backward``
+        yields each row's own gradient — one stacked forward/backward
+        instead of N scalar autograd passes.  Builds the de-whitening of the
+        EDP-relevant output entries into the autograd graph, so gradients
+        are exactly ``d log2(EDP_hat) / d x`` in whitened input coordinates.
+        """
+        inputs = np.atleast_2d(np.asarray(whitened_inputs, dtype=np.float64))
+        x = Tensor(inputs, requires_grad=True)
         output = self.network(x)
         if self.codec.mode == "edp":
             scaled = output.select(0) * self.target_whitener.std[0]
@@ -154,9 +198,9 @@ class Surrogate:
                 + self.target_whitener.mean[c_index]
             )
             objective = energy + cycles
-        objective.backward()
+        objective.sum().backward()
         assert x.grad is not None
-        return float(objective.data), x.grad.copy()
+        return objective.data.copy(), x.grad.copy()
 
     def mapping_gradient(
         self, mapping: Mapping, problem: Problem

@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.costmodel.stats import CostStats
 from repro.mapspace.mapping import Mapping
@@ -120,6 +120,60 @@ class CachedOracle:
             self._misses += 1
             self._insert(key, value)
         return value
+
+    def evaluate_many(self, mappings: Sequence[Mapping], problem: Problem) -> List[float]:
+        """Batched EDP with hit/miss partitioning.
+
+        Answers what it can from the cache, forwards *only the misses* to
+        the inner oracle — in one ``evaluate_many`` call when the backend
+        has one — and merges the results back in input order.  Counters
+        match the sequential loop exactly: a batch of k cached mappings and
+        m uncached ones counts k hits and m misses, and a mapping repeated
+        within a batch is one miss plus hits for the repeats (the repeats
+        are served from the first occurrence's result, never re-priced).
+        """
+        pkey = problem_key(problem)
+        keys = [(pkey, mapping) for mapping in mappings]
+        values: List[Optional[float]] = [None] * len(keys)
+        miss_indices: List[int] = []
+        first_miss: Dict[object, int] = {}
+        duplicate_of: Dict[int, int] = {}
+        with self._lock:
+            for index, key in enumerate(keys):
+                cached = self._store.get(key)
+                if cached is not None:
+                    self._hits += 1
+                    self._store.move_to_end(key)
+                    values[index] = (
+                        cached.edp if isinstance(cached, CostStats) else float(cached)
+                    )
+                elif key in first_miss:
+                    # In-batch repeat of an uncached mapping: by the time a
+                    # sequential loop reached it, the first occurrence would
+                    # have populated the cache — so it counts as a hit.
+                    self._hits += 1
+                    duplicate_of[index] = first_miss[key]
+                else:
+                    first_miss[key] = index
+                    miss_indices.append(index)
+        if miss_indices:
+            misses = [mappings[index] for index in miss_indices]
+            inner_many = getattr(self.inner, "evaluate_many", None)
+            if inner_many is not None:
+                miss_values = [float(v) for v in inner_many(misses, problem)]
+            else:
+                miss_values = [
+                    float(self.inner.evaluate_edp(mapping, problem))
+                    for mapping in misses
+                ]
+            with self._lock:
+                self._misses += len(miss_indices)
+                for index, value in zip(miss_indices, miss_values):
+                    values[index] = value
+                    self._insert(keys[index], value)
+        for index, source in duplicate_of.items():
+            values[index] = values[source]
+        return [float(value) for value in values]
 
     # ------------------------------------------------------------------
     # Introspection / management

@@ -11,7 +11,7 @@ search-space structure in the paper's Figure 3.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.costmodel.accelerator import Accelerator, MEMORY_LEVELS
 from repro.costmodel.nest import LoopNest, build_nest, distinct_tiles, fill_events
@@ -81,6 +81,17 @@ class CostModel:
     def evaluate_edp(self, mapping: Mapping, problem: Problem) -> float:
         """Shortcut for searchers that only need the scalar objective."""
         return self.evaluate(mapping, problem).edp
+
+    def evaluate_many(self, mappings: Sequence[Mapping], problem: Problem) -> List[float]:
+        """EDP for each mapping in a batch.
+
+        The analytical model prices each mapping independently, so this is
+        the sequential reference implementation of the batched oracle
+        protocol (:class:`repro.engine.oracle.CostOracle`); backends with
+        real amortization (surrogate stacking, cache partitioning) override
+        the same signature.
+        """
+        return [self.evaluate(mapping, problem).edp for mapping in mappings]
 
     # ------------------------------------------------------------------
 

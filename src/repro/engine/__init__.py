@@ -6,8 +6,11 @@ cost-oracle backends:
 * :mod:`repro.engine.registry` — string-keyed searcher registry
   (``@register_searcher("genetic")`` / ``make_searcher("genetic", space)``)
   that all baselines and the gradient searcher register into,
-* :mod:`repro.engine.oracle` — the :class:`CostOracle` protocol with
-  analytical, surrogate, and cached backends,
+* :mod:`repro.engine.oracle` — the :class:`CostOracle` protocol (scalar
+  ``evaluate``/``evaluate_edp`` plus batched ``evaluate_many``) with
+  analytical, surrogate, and cached backends; searchers hand oracles whole
+  populations, so the surrogate backend prices a batch in one stacked
+  forward pass and the cached backend forwards only its misses,
 * :mod:`repro.engine.engine` — :class:`MappingEngine`, which lazily
   trains-or-loads surrogates per (algorithm, accelerator-fingerprint) and
   serves :class:`MappingRequest` → :class:`MappingResponse`, one at a time
@@ -31,6 +34,7 @@ from repro.engine.oracle import (
     CachedOracle,
     CostOracle,
     SurrogateOracle,
+    evaluate_many,
 )
 from repro.engine.registry import (
     make_searcher,
@@ -68,6 +72,7 @@ __all__ = [
     "MappingRequest",
     "MappingResponse",
     "SurrogateOracle",
+    "evaluate_many",
     "make_searcher",
     "register_searcher",
     "resolve_searcher",

@@ -1,10 +1,12 @@
 """CI smoke entry point: ``python -m repro.engine --selftest``.
 
 Exercises the full serving path end to end in well under a minute: tiny
-surrogate training, every registered searcher through the registry, a
-concurrent batch, determinism across worker counts, and the response
-serialization codec.  Exits non-zero on any failure, so CI can gate on it
-without pytest.
+surrogate training, every registered searcher through the registry (each
+running the batched ask/tell driver), the batched oracle path (stacked
+surrogate forward + cache hit/miss partitioning checked against the scalar
+path), a concurrent batch, determinism across worker counts, and the
+response serialization codec.  Exits non-zero on any failure, so CI can
+gate on it without pytest.
 """
 
 from __future__ import annotations
@@ -71,6 +73,51 @@ def selftest(verbose: bool = True) -> int:
         _check(response.n_evaluations >= 1, f"{name}: no evaluations recorded")
         say(f"{name:>10}: norm EDP {response.norm_edp:8.2f} "
             f"({response.n_evaluations} evals, {response.total_time_s * 1e3:.0f} ms)")
+
+    # Batched oracle path: evaluate_many must agree with the scalar loop,
+    # for the memoized true-cost oracle (with exact hit/miss accounting)
+    # and for the surrogate's stacked forward pass.
+    from repro.engine.oracle import SurrogateOracle
+    from repro.mapspace.space import MapSpace
+
+    space = MapSpace(problem, engine.accelerator)
+    population = space.sample_many(32, seed=7)
+    before = engine.oracle_stats()
+    batched = engine.oracle.evaluate_many(population, problem)
+    scalar = [engine.cost_model.evaluate_edp(m, problem) for m in population]
+    for left, right in zip(batched, scalar):
+        _check(abs(left - right) <= 1e-9 * abs(right),
+               "cached oracle evaluate_many != scalar path")
+    after = engine.oracle_stats()
+    new_queries = (after.hits + after.misses) - (before.hits + before.misses)
+    _check(new_queries == len(population),
+           f"batch of {len(population)} counted {new_queries} queries")
+    say(f"batched oracle: {len(population)} candidates, counters exact")
+
+    surrogate_oracle = SurrogateOracle(engine.surrogate_for(problem.algorithm))
+    stacked = surrogate_oracle.evaluate_many(population, problem)
+    for mapping, value in zip(population, stacked):
+        _check(abs(value - surrogate_oracle.evaluate_edp(mapping, problem)) < 1e-9,
+               "surrogate evaluate_many != scalar prediction")
+    say("surrogate oracle: stacked forward == scalar predictions")
+
+    # Ask/tell parity: run() must equal a hand-rolled protocol driver.
+    from repro.engine.registry import make_searcher
+
+    searcher = make_searcher("genetic", space, population_size=8)
+    via_run = searcher.run(30, seed=5)
+    budget = searcher.make_budget(30)
+    searcher.reset(5, iterations=30)
+    while not budget.exhausted:
+        batch = searcher.ask()
+        if not batch:
+            break
+        values = budget.evaluate_many(batch)
+        searcher.tell(batch[: len(values)], values)
+    via_driver = budget.result(searcher.name, problem.name)
+    _check(via_run.mappings == via_driver.mappings,
+           "ask/tell driver diverged from run()")
+    say("ask/tell: hand-rolled driver == run()")
 
     # Concurrent batch matches the sequential run bit-for-bit.
     requests = [

@@ -17,7 +17,11 @@ hand:
 
 ``map`` serves one request; ``map_batch`` serves many concurrently (thread
 pool — the autograd engine is thread-safe via thread-local inference mode
-and atomic gradient accumulation into shared parameter tensors).
+and atomic gradient accumulation into shared parameter tensors).  Within
+each request the search itself is *batched*: searchers run through the
+ask/tell driver, handing whole candidate populations to the shared oracle's
+``evaluate_many`` (cache-partitioned) or to the surrogate's stacked
+forward pass, instead of scalar queries in a loop.
 Responses are deterministic per request seed regardless of worker count or
 scheduling order: searchers read shared surrogate weights but never write
 them, and each search's own state is thread-local.
@@ -318,7 +322,14 @@ class MappingEngine:
     # ------------------------------------------------------------------
 
     def map(self, request: MappingRequest) -> MappingResponse:
-        """Serve one request: search, score the winner, report provenance."""
+        """Serve one request: search, score the winner, report provenance.
+
+        The search runs through the generic ask/tell driver
+        (:meth:`repro.search.base.Searcher.run`), so population evaluation
+        is batched end to end: searchers propose whole generations, and the
+        engine's oracle prices each generation in one ``evaluate_many``
+        call.
+        """
         started = time.perf_counter()
         name = resolve_searcher(request.searcher)
         space = MapSpace(request.problem, self.accelerator)
@@ -331,13 +342,15 @@ class MappingEngine:
                 request.problem.algorithm, ""
             )
         if "cost_model" in parameters and "cost_model" not in config:
-            # Oracle-driven searchers share the engine's memoized oracle, so
-            # in-search queries on revisited mappings hit the cache too.
+            # Oracle-driven searchers share the engine's memoized oracle.
+            # Their ask/tell driver prices whole populations through
+            # ``oracle.evaluate_many``, so each generation is one partitioned
+            # cache query (hits answered in place, only misses forwarded).
             config["cost_model"] = self.oracle
         searcher = make_searcher(name, space, **config)
 
         search_started = time.perf_counter()
-        result = searcher.search(
+        result = searcher.run(
             request.iterations,
             seed=request.seed,
             time_budget_s=request.time_budget_s,

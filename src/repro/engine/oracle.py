@@ -12,11 +12,20 @@ remote/timeloop-backed oracle) without touching request handling:
   paper's real Timeloop-class reference models),
 * :class:`~repro.costmodel.cache.CachedOracle` — LRU memoization around any
   other oracle (re-exported here for discoverability).
+
+Every oracle speaks **batched** as well as scalar: ``evaluate_many`` prices
+a whole population per call.  The ask/tell searchers
+(:mod:`repro.search.base`) hand the oracle entire generations, so how much
+a backend amortizes is its own choice — the analytical model loops, the
+surrogate stacks the batch into one network forward, and the cache
+partitions hits from misses and forwards only the misses.  Oracles written
+without ``evaluate_many`` still work everywhere batches are optional:
+:func:`evaluate_many` (module-level) provides the sequential default.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.costmodel.accelerator import Accelerator
 from repro.costmodel.cache import CacheStats, CachedOracle
@@ -28,14 +37,16 @@ from repro.workloads.problem import Problem
 
 @runtime_checkable
 class CostOracle(Protocol):
-    """Anything that can price a (mapping, problem) pair.
+    """Anything that can price (mapping, problem) pairs.
 
-    ``evaluate_edp`` is the search-facing scalar; ``evaluate`` returns the
-    full meta-statistics vector for reporting.  Implementations whose
-    backend cannot produce full statistics (e.g. a surrogate trained in
-    ``edp`` target mode) may raise ``NotImplementedError`` from
-    ``evaluate``; the engine only calls it on the final chosen mapping and
-    falls back to its analytical model in that case.
+    ``evaluate_edp`` is the search-facing scalar; ``evaluate_many`` is its
+    batched form (one value per mapping, same scale) — the call the ask/tell
+    drivers use for whole populations; ``evaluate`` returns the full
+    meta-statistics vector for reporting.  Implementations whose backend
+    cannot produce full statistics (e.g. a surrogate trained in ``edp``
+    target mode) may raise ``NotImplementedError`` from ``evaluate``; the
+    engine only calls it on the final chosen mapping and falls back to its
+    analytical model in that case.
     """
 
     def evaluate(self, mapping: Mapping, problem: Problem) -> CostStats:
@@ -43,6 +54,26 @@ class CostOracle(Protocol):
 
     def evaluate_edp(self, mapping: Mapping, problem: Problem) -> float:
         ...
+
+    def evaluate_many(
+        self, mappings: Sequence[Mapping], problem: Problem
+    ) -> List[float]:
+        ...
+
+
+def evaluate_many(oracle, mappings: Sequence[Mapping], problem: Problem) -> List[float]:
+    """Batched EDP through any oracle, batched or not.
+
+    Uses the oracle's own ``evaluate_many`` when it has one (stacked
+    surrogate forward, cache partitioning, ...); otherwise falls back to a
+    sequential ``evaluate_edp`` loop.  This is the protocol's "sequential
+    default" — callers write the batched form unconditionally and legacy
+    scalar oracles keep working.
+    """
+    batched = getattr(oracle, "evaluate_many", None)
+    if batched is not None:
+        return [float(value) for value in batched(mappings, problem)]
+    return [float(oracle.evaluate_edp(mapping, problem)) for mapping in mappings]
 
 
 class AnalyticalOracle:
@@ -58,6 +89,12 @@ class AnalyticalOracle:
     def evaluate_edp(self, mapping: Mapping, problem: Problem) -> float:
         return self.model.evaluate_edp(mapping, problem)
 
+    def evaluate_many(
+        self, mappings: Sequence[Mapping], problem: Problem
+    ) -> List[float]:
+        """Sequential: the analytical model prices each mapping exactly."""
+        return self.model.evaluate_many(mappings, problem)
+
 
 class SurrogateOracle:
     """A trained surrogate as a cost oracle.
@@ -67,11 +104,20 @@ class SurrogateOracle:
     different scale from the analytical oracle's absolute EDP, but
     monotonically consistent with it to the extent the surrogate is
     faithful.  Useful for cheap pre-ranking of candidate mappings before a
-    small number of exact queries.
+    small number of exact queries.  Batches are where the surrogate earns
+    its keep: :meth:`evaluate_many` encodes the population into one (N, D)
+    matrix and prices it with a single stacked network forward pass.
     """
 
     def __init__(self, surrogate) -> None:
         self.surrogate = surrogate
+
+    def _check_algorithm(self, problem: Problem) -> None:
+        if problem.algorithm != self.surrogate.algorithm:
+            raise ValueError(
+                f"surrogate trained for {self.surrogate.algorithm!r}, problem is "
+                f"{problem.algorithm!r}"
+            )
 
     def evaluate(self, mapping: Mapping, problem: Problem) -> CostStats:
         raise NotImplementedError(
@@ -80,12 +126,18 @@ class SurrogateOracle:
         )
 
     def evaluate_edp(self, mapping: Mapping, problem: Problem) -> float:
-        if problem.algorithm != self.surrogate.algorithm:
-            raise ValueError(
-                f"surrogate trained for {self.surrogate.algorithm!r}, problem is "
-                f"{problem.algorithm!r}"
-            )
+        self._check_algorithm(problem)
         return self.surrogate.predict_edp_mapping(mapping, problem)
+
+    def evaluate_many(
+        self, mappings: Sequence[Mapping], problem: Problem
+    ) -> List[float]:
+        """One stacked forward pass over the encoded population."""
+        self._check_algorithm(problem)
+        return [
+            float(value)
+            for value in self.surrogate.predict_edp_many(mappings, problem)
+        ]
 
 
 __all__ = [
@@ -94,4 +146,5 @@ __all__ = [
     "CachedOracle",
     "CostOracle",
     "SurrogateOracle",
+    "evaluate_many",
 ]

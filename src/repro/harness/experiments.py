@@ -10,7 +10,6 @@ how the paper plots MM against oracle-driven baselines.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -74,15 +73,15 @@ def _best_so_far_true(
     """Best-so-far true normalized EDP after each evaluation.
 
     ``oracle`` is the shared memoized true-cost oracle
-    (:class:`repro.costmodel.cache.CachedOracle`) — mappings repeat heavily
-    in traces, so re-scoring is dominated by cache hits.
+    (:class:`repro.costmodel.cache.CachedOracle`); the whole trace is
+    re-scored in one batched ``evaluate_many`` query — mappings repeat
+    heavily in traces, so the oracle answers most of the batch from cache
+    and forwards only the distinct misses to the true model.
     """
-    curve = np.empty(result.n_evaluations)
-    best = math.inf
-    for index, mapping in enumerate(result.mappings):
-        best = min(best, oracle.evaluate_edp(mapping, problem) / lower_bound_edp)
-        curve[index] = best
-    return curve
+    if result.n_evaluations == 0:
+        return np.empty(0)
+    edps = np.asarray(oracle.evaluate_many(result.mappings, problem))
+    return np.minimum.accumulate(edps / lower_bound_edp)
 
 
 def _average_curves(curves: Sequence[np.ndarray]) -> tuple:
@@ -111,7 +110,7 @@ def run_iso_iteration(
         run_curves: List[np.ndarray] = []
         for run_rng in spawn_rngs(rng, config.runs):
             searcher = factory(space)
-            result = searcher.search(config.iterations, seed=run_rng)
+            result = searcher.run(config.iterations, seed=run_rng)
             run_curves.append(
                 _best_so_far_true(result, oracle, problem, lower_bound)
             )
@@ -161,7 +160,7 @@ def run_iso_time(
             if name not in surrogate_methods:
                 searcher.simulated_latency_s = config.oracle_latency_s
             # Generous iteration cap: the time budget is the binding limit.
-            result = searcher.search(
+            result = searcher.run(
                 max(config.iterations * 50, 1000),
                 seed=run_rng,
                 time_budget_s=config.time_budget_s,

@@ -11,13 +11,14 @@ Implements the paper's points of comparison (section 5.2 and Appendix A):
   space with replay buffer and soft target updates,
 * :class:`ExhaustiveSearcher` — complete enumeration for tiny spaces.
 
-All searchers share the :class:`Searcher` interface and record a full
-evaluation trace, which is what the iso-iteration / iso-time harness plots.
-The gradient-based Mind Mappings searcher itself lives in
+All searchers share the batched ask/tell :class:`Searcher` interface
+(``reset`` / ``ask`` / ``tell`` with ``run()`` as the generic driver) and
+record a full evaluation trace, which is what the iso-iteration / iso-time
+harness plots.  The gradient-based Mind Mappings searcher itself lives in
 :mod:`repro.core.gradient_search` and implements the same interface.
 """
 
-from repro.search.base import BudgetedObjective, SearchResult, Searcher
+from repro.search.base import BudgetedObjective, OracleSearcher, SearchResult, Searcher
 from repro.search.random_search import RandomSearcher
 from repro.search.annealing import SimulatedAnnealingSearcher
 from repro.search.genetic import GeneticSearcher
@@ -28,6 +29,7 @@ __all__ = [
     "BudgetedObjective",
     "ExhaustiveSearcher",
     "GeneticSearcher",
+    "OracleSearcher",
     "RLSearcher",
     "RandomSearcher",
     "SearchResult",

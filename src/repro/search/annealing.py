@@ -4,27 +4,35 @@ Metropolis acceptance over the map-space neighbourhood moves with a
 geometric temperature schedule.  The paper lets the ``simanneal`` library
 auto-tune its schedule per problem; we reproduce that by probing a short
 random walk to estimate the uphill-move scale, then setting the initial and
-final temperatures for ~80% initial and ~0.1% final uphill acceptance.
+final temperatures for the target initial/final uphill acceptance.
 Costs are compared on a log2-EDP scale so temperatures are shape-invariant
 across problems whose EDPs differ by orders of magnitude.
+
+Ask/tell shape: the probe walk is *cost-independent* (each probe point is a
+neighbour of the previous one, chosen before any cost is known), so the
+entire probe — initial sample plus ``probe_moves`` walk steps — goes out as
+one batch and is priced by a single oracle query.  The annealing chain
+itself is inherently sequential (each move depends on the previous
+acceptance), so it asks one neighbour at a time.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.costmodel.model import CostModel
 from repro.engine.registry import register_searcher
+from repro.mapspace.mapping import Mapping
 from repro.mapspace.space import MapSpace
-from repro.search.base import BudgetedObjective, SearchResult, Searcher
+from repro.search.base import OracleSearcher
 from repro.utils.rng import SeedLike, ensure_rng
 
 
 @register_searcher("annealing", aliases=("sa", "simulated-annealing"))
-class SimulatedAnnealingSearcher(Searcher):
+class SimulatedAnnealingSearcher(OracleSearcher):
     """Classic SA with auto-tuned geometric cooling."""
 
     name = "SA"
@@ -39,8 +47,7 @@ class SimulatedAnnealingSearcher(Searcher):
         final_acceptance: float = 1e-4,
         restart_after: Optional[int] = None,
     ) -> None:
-        super().__init__(space)
-        self.cost_model = cost_model
+        super().__init__(space, cost_model)
         if not 0.0 < final_acceptance < initial_acceptance < 1.0:
             raise ValueError("need 0 < final_acceptance < initial_acceptance < 1")
         self.probe_moves = probe_moves
@@ -48,63 +55,81 @@ class SimulatedAnnealingSearcher(Searcher):
         self.final_acceptance = final_acceptance
         self.restart_after = restart_after
 
-    def _objective(self, mapping) -> float:
-        return math.log2(self.cost_model.evaluate_edp(mapping, self.problem))
+    # ------------------------------------------------------------------
 
-    def search(
-        self,
-        iterations: int,
-        seed: SeedLike = None,
-        time_budget_s: Optional[float] = None,
-    ) -> SearchResult:
-        rng = ensure_rng(seed)
-        budget = self.make_budget(self._objective, iterations, time_budget_s)
+    def reset(self, seed: SeedLike = None, iterations: Optional[int] = None) -> None:
+        self._rng = ensure_rng(seed)
+        self._iterations = iterations
+        self._probing = True
+        self._restart_pending = False
+        self._current: Optional[Mapping] = None
+        self._current_cost = math.inf
+        self._best_cost = math.inf
+        self._t_start = 1.0
+        self._t_end = 1e-3
+        self._step = 0
+        self._total = 1
+        self._evals_seen = 0
 
-        current = self.space.sample(rng)
-        current_cost = budget.evaluate(current)
+    def ask(self) -> List[Mapping]:
+        if self._probing:
+            # Initial sample + cost-independent probe walk, one batch.
+            walk = [self.space.sample(self._rng)]
+            for _ in range(self.probe_moves):
+                walk.append(self.space.random_neighbor(walk[-1], self._rng))
+            return walk
+        if self._restart_pending:
+            return [self.space.sample(self._rng)]
+        return [self.space.random_neighbor(self._current, self._rng)]
 
-        # Auto-tune: probe the neighbourhood to estimate the typical uphill
-        # step, then pick T0 / T_end for the target acceptance probabilities.
-        deltas = []
-        probe = current
-        probe_cost = current_cost
-        for _ in range(min(self.probe_moves, budget.remaining)):
-            if budget.exhausted:
-                break
-            neighbor = self.space.random_neighbor(probe, rng)
-            cost = budget.evaluate(neighbor)
-            deltas.append(abs(cost - probe_cost))
-            probe, probe_cost = neighbor, cost
+    def tell(self, mappings: Sequence[Mapping], values: Sequence[float]) -> None:
+        self._evals_seen += len(mappings)
+        if self._probing:
+            self._tune_schedule(mappings, values)
+            return
+        for mapping, cost in zip(mappings, values):
+            if self._restart_pending:
+                self._current, self._current_cost = mapping, cost
+                self._restart_pending = False
+                self._since_improvement = 0
+            else:
+                fraction = min(self._step / self._total, 1.0)
+                temperature = self._t_start * (self._t_end / self._t_start) ** fraction
+                delta = cost - self._current_cost
+                if delta <= 0 or self._rng.random() < math.exp(-delta / temperature):
+                    self._current, self._current_cost = mapping, cost
+                self._step += 1
+            if cost < self._best_cost:
+                self._best_cost = cost
+                self._since_improvement = 0
+            else:
+                self._since_improvement += 1
+            if self.restart_after and self._since_improvement >= self.restart_after:
+                self._restart_pending = True
+                self._since_improvement = 0
+
+    # ------------------------------------------------------------------
+
+    def _tune_schedule(
+        self, mappings: Sequence[Mapping], values: Sequence[float]
+    ) -> None:
+        """Set T0/T_end from probe deltas; adopt the walk's last point."""
+        deltas = [abs(b - a) for a, b in zip(values, values[1:])]
         typical_delta = float(np.mean(deltas)) if deltas else 1.0
         typical_delta = max(typical_delta, 1e-6)
-        t_start = -typical_delta / math.log(self.initial_acceptance)
-        t_end = -typical_delta / math.log(self.final_acceptance)
-
-        current, current_cost = probe, probe_cost
-        total = max(budget.remaining, 1)
-        step = 0
-        since_improvement = 0
-        best_cost = current_cost
-        while not budget.exhausted:
-            fraction = step / total
-            temperature = t_start * (t_end / t_start) ** fraction
-            neighbor = self.space.random_neighbor(current, rng)
-            cost = budget.evaluate(neighbor)
-            delta = cost - current_cost
-            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-                current, current_cost = neighbor, cost
-            if cost < best_cost:
-                best_cost = cost
-                since_improvement = 0
-            else:
-                since_improvement += 1
-            if self.restart_after and since_improvement >= self.restart_after:
-                if not budget.exhausted:
-                    current = self.space.sample(rng)
-                    current_cost = budget.evaluate(current)
-                    since_improvement = 0
-            step += 1
-        return budget.result(self.name, self.problem.name)
+        self._t_start = -typical_delta / math.log(self.initial_acceptance)
+        self._t_end = -typical_delta / math.log(self.final_acceptance)
+        self._current = mappings[-1]
+        self._current_cost = values[-1]
+        self._best_cost = min(values)
+        self._since_improvement = 0
+        # Geometric cooling spans the evaluations left after the probe; when
+        # run without a known budget, fall back to a long nominal schedule.
+        if self._iterations is not None:
+            self._total = max(self._iterations - self._evals_seen, 1)
+        else:
+            self._total = max(len(mappings) * 50, 1000)
+        self._probing = False
 
 
 __all__ = ["SimulatedAnnealingSearcher"]

@@ -1,10 +1,26 @@
-"""Shared searcher interface, budget accounting, and result traces.
+"""Shared searcher interface: batched ask/tell, budget accounting, traces.
 
 The paper compares search methods on two axes (section 5.2): quality after a
 fixed number of *cost-function evaluations* (iso-iteration) and after a fixed
 *wall-clock time* (iso-time).  :class:`BudgetedObjective` meters both — every
-call to ``evaluate`` counts one iteration and timestamps it — so any searcher
+recorded evaluation counts one iteration and timestamps it — so any searcher
 written against it supports both comparisons for free.
+
+Searchers follow a **batched ask/tell protocol**:
+
+* :meth:`Searcher.reset` initializes per-run state from a seed,
+* :meth:`Searcher.ask` proposes the next batch of candidate mappings,
+* :meth:`Searcher.tell` feeds back the evaluated ``(mappings, values)``.
+
+:meth:`Searcher.run` is the generic driver: it loops ask → evaluate → tell
+against a :class:`BudgetedObjective` until the budget is exhausted.  Handing
+the evaluator *whole batches* (instead of scalar calls in a loop) is what
+lets numpy-backed oracles amortize — a surrogate prices a population in one
+stacked forward pass, a memoized oracle partitions cache hits from misses
+and forwards only the misses (see :mod:`repro.engine.oracle`).  External
+drivers (schedulers, distributed evaluators) can run the same protocol by
+hand; the parity tests in ``tests/test_search_asktell.py`` pin ``run()`` to
+be exactly that loop.
 """
 
 from __future__ import annotations
@@ -12,7 +28,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.mapspace.mapping import Mapping
 from repro.mapspace.space import MapSpace
@@ -98,10 +114,18 @@ class SearchResult:
 class BudgetedObjective:
     """Meters an objective function by evaluations and wall-clock.
 
-    Searchers call :meth:`evaluate` for every candidate and poll
-    :attr:`exhausted` in their loops.  All bookkeeping for
+    The ask/tell driver calls :meth:`evaluate_many` for every batch of
+    candidates; scalar :meth:`evaluate` / :meth:`record` remain for callers
+    with fused or external evaluation.  All bookkeeping for
     :class:`SearchResult` happens here so individual searchers stay focused
     on their heuristics.
+
+    ``batch_objective`` is the vectorized evaluator (whole batch in, one
+    value per candidate out); without one, :meth:`evaluate_many` falls back
+    to scalar calls.  Metering is *per candidate* either way: each evaluated
+    mapping counts one iteration, is charged one ``simulated_latency_s`` of
+    virtual time, and gets its own timestamp — so iso-iteration and
+    iso-time accounting are identical between the scalar and batched paths.
     """
 
     def __init__(
@@ -110,12 +134,14 @@ class BudgetedObjective:
         max_evaluations: int,
         time_budget_s: Optional[float] = None,
         simulated_latency_s: float = 0.0,
+        batch_objective: Optional[Callable[[Sequence[Mapping]], Sequence[float]]] = None,
     ) -> None:
         if max_evaluations < 1:
             raise ValueError(f"max_evaluations must be >= 1, got {max_evaluations}")
         if simulated_latency_s < 0:
             raise ValueError("simulated_latency_s must be >= 0")
         self._objective = objective
+        self._batch_objective = batch_objective
         self.max_evaluations = max_evaluations
         self.time_budget_s = time_budget_s
         self.simulated_latency_s = simulated_latency_s
@@ -156,13 +182,72 @@ class BudgetedObjective:
         self.times.append(self.elapsed)
         return value
 
+    def evaluate_many(self, mappings: Sequence[Mapping]) -> List[float]:
+        """Evaluate + record a batch, truncated to what the budget affords.
+
+        Returns the values for the recorded *prefix* of ``mappings`` (the
+        caller pairs them back with ``mappings[:len(values)]``).  Truncation
+        mirrors the scalar loop's ``while not exhausted: evaluate`` check,
+        per candidate:
+
+        * never more candidates than ``remaining`` iterations;
+        * under a time budget, recording stops at the first candidate past
+          the deadline — with simulated oracle latency the batch is also
+          pre-shrunk to what the remaining virtual time affords, so the
+          overshoot is at most one candidate's latency, the same tolerance
+          as the scalar path's final in-flight evaluation.  (Candidates a
+          batch backend computed but the deadline cut are discarded
+          unrecorded — the batched analogue of wall-clock elapsing inside
+          an evaluation.)
+
+        Each recorded candidate is metered individually: one iteration, one
+        latency charge, one timestamp.  With virtual latency the timestamps
+        step per candidate exactly like scalar calls; pure wall-clock
+        batches share their batch's completion time (they really did finish
+        together).  Raises ``RuntimeError`` when the evaluation budget is
+        already spent, like :meth:`evaluate`.
+        """
+        if self.used >= self.max_evaluations:
+            raise RuntimeError("evaluation budget exhausted")
+        limit = self.remaining
+        if self.time_budget_s is not None and self.simulated_latency_s > 0:
+            time_left = self.time_budget_s - self.elapsed
+            affordable = max(
+                int(math.ceil(time_left / self.simulated_latency_s)), 1
+            )
+            limit = min(limit, affordable)
+        batch = list(mappings[:limit])
+        if not batch:
+            return []
+        if self._batch_objective is not None:
+            values = [float(v) for v in self._batch_objective(batch)]
+            if len(values) != len(batch):
+                raise ValueError(
+                    f"batch objective returned {len(values)} values for "
+                    f"{len(batch)} mappings"
+                )
+        else:
+            values = [float(self._objective(mapping)) for mapping in batch]
+        recorded: List[float] = []
+        for mapping, value in zip(batch, values):
+            if recorded and (
+                self.time_budget_s is not None
+                and self.elapsed >= self.time_budget_s
+            ):
+                break
+            self._virtual_time += self.simulated_latency_s
+            self.mappings.append(mapping)
+            self.values.append(value)
+            self.times.append(self.elapsed)
+            recorded.append(value)
+        return recorded
+
     def record(self, mapping: Mapping, value: float) -> None:
         """Record an externally-computed evaluation.
 
-        For searchers whose objective computation is fused with other work
-        (Mind Mappings computes the surrogate prediction and its gradient in
-        one forward/backward pass); keeps budget accounting identical.
-        Time-budget overshoot is tolerated exactly as in :meth:`evaluate`.
+        For searchers whose objective computation is fused with other work;
+        keeps budget accounting identical.  Time-budget overshoot is
+        tolerated exactly as in :meth:`evaluate`.
         """
         if self.used >= self.max_evaluations:
             raise RuntimeError("evaluation budget exhausted")
@@ -200,10 +285,20 @@ class BudgetedObjective:
 
 
 class Searcher(abc.ABC):
-    """Interface every search method implements.
+    """Batched ask/tell interface every search method implements.
 
-    ``name`` labels results in figures; ``search`` runs until the
-    evaluation budget (and optional time budget) is exhausted.
+    A searcher is a candidate *proposer*: :meth:`reset` seeds its state,
+    :meth:`ask` yields the next batch of mappings to price, and
+    :meth:`tell` feeds the evaluated batch back so the heuristic can adapt.
+    Evaluation itself lives outside the searcher — in :meth:`run`'s budget,
+    or any external driver speaking the same protocol — which is what lets
+    one searcher be served by a scalar cost model, a memoized oracle, or a
+    stacked surrogate forward pass without modification.
+
+    :meth:`objective` / :meth:`objective_batch` define the searcher's own
+    scoring function (true log2-EDP for black-box baselines, the surrogate
+    prediction for Mind Mappings); ``run()`` wires them into the budget so
+    the batched path is the default.  ``name`` labels results in figures.
     ``simulated_latency_s`` charges a virtual per-query cost against the
     time budget — used by iso-time experiments to model an expensive cost
     oracle (the paper's Timeloop) without sleeping.
@@ -216,28 +311,118 @@ class Searcher(abc.ABC):
         self.problem = space.problem
         self.simulated_latency_s: float = 0.0
 
+    # ------------------------------------------------------------------
+    # Objective
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def objective(self, mapping: Mapping) -> float:
+        """This searcher's scalar objective for one mapping."""
+
+    def objective_batch(self, mappings: Sequence[Mapping]) -> List[float]:
+        """Objectives for a whole batch (scalar fallback; override to batch)."""
+        return [self.objective(mapping) for mapping in mappings]
+
+    # ------------------------------------------------------------------
+    # Ask/tell protocol
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def reset(self, seed: SeedLike = None, iterations: Optional[int] = None) -> None:
+        """Initialize per-run state.
+
+        ``iterations`` is the driver's evaluation budget when known —
+        searchers whose schedules depend on run length (SA's temperature
+        schedule, GA's population sizing) read it; others ignore it.
+        """
+
+    @abc.abstractmethod
+    def ask(self) -> List[Mapping]:
+        """Propose the next batch of candidates to evaluate.
+
+        An empty list means the searcher has nothing left to propose (e.g.
+        exhaustive enumeration finished) and ends the run.  The driver may
+        evaluate only a prefix of the batch (budget truncation); ``tell``
+        receives exactly what was evaluated.
+        """
+
+    def tell(self, mappings: Sequence[Mapping], values: Sequence[float]) -> None:
+        """Incorporate evaluated candidates (default: stateless no-op)."""
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
     def make_budget(
         self,
-        objective: Callable[[Mapping], float],
         iterations: int,
-        time_budget_s: Optional[float],
+        time_budget_s: Optional[float] = None,
     ) -> BudgetedObjective:
-        """A budget wired to this searcher's simulated oracle latency."""
+        """A budget wired to this searcher's objective and oracle latency."""
         return BudgetedObjective(
-            objective,
+            self.objective,
             iterations,
             time_budget_s,
             simulated_latency_s=self.simulated_latency_s,
+            batch_objective=self.objective_batch,
         )
 
-    @abc.abstractmethod
+    def run(
+        self,
+        iterations: int,
+        seed: SeedLike = None,
+        time_budget_s: Optional[float] = None,
+    ) -> SearchResult:
+        """The generic ask/tell driver loop.
+
+        Every searcher runs through this exact loop (the parity tests pin
+        it): reset state, then ask → evaluate the batch against the budget →
+        tell, until the budget is exhausted or ``ask`` returns nothing.
+        """
+        budget = self.make_budget(iterations, time_budget_s)
+        self.reset(seed, iterations=iterations)
+        while not budget.exhausted:
+            batch = self.ask()
+            if not batch:
+                break
+            values = budget.evaluate_many(batch)
+            self.tell(batch[: len(values)], values)
+        return budget.result(self.name, self.problem.name)
+
     def search(
         self,
         iterations: int,
         seed: SeedLike = None,
         time_budget_s: Optional[float] = None,
     ) -> SearchResult:
-        """Run the search and return the full evaluation trace."""
+        """Alias of :meth:`run` (the pre-ask/tell entry point)."""
+        return self.run(iterations, seed=seed, time_budget_s=time_budget_s)
 
 
-__all__ = ["BudgetedObjective", "SearchResult", "Searcher"]
+class OracleSearcher(Searcher):
+    """Base for black-box searchers scored by a true-cost oracle.
+
+    ``cost_model`` is anything pricing ``(mapping, problem)`` pairs —
+    a :class:`~repro.costmodel.model.CostModel` or any
+    :class:`~repro.engine.oracle.CostOracle` (the engine injects its shared
+    memoized oracle here).  The objective is log2 EDP, the scale the paper's
+    iso-iteration figures compare on.  Batches route through the oracle's
+    ``evaluate_many`` when it has one — a single partitioned/stacked oracle
+    query per generation instead of one query per candidate.
+    """
+
+    def __init__(self, space: MapSpace, cost_model) -> None:
+        super().__init__(space)
+        self.cost_model = cost_model
+
+    def objective(self, mapping: Mapping) -> float:
+        return math.log2(self.cost_model.evaluate_edp(mapping, self.problem))
+
+    def objective_batch(self, mappings: Sequence[Mapping]) -> List[float]:
+        evaluate_many = getattr(self.cost_model, "evaluate_many", None)
+        if evaluate_many is None:
+            return [self.objective(mapping) for mapping in mappings]
+        return [math.log2(value) for value in evaluate_many(mappings, self.problem)]
+
+
+__all__ = ["BudgetedObjective", "OracleSearcher", "SearchResult", "Searcher"]

@@ -8,19 +8,24 @@ heuristic searchers against.
 
 from __future__ import annotations
 
-import math
-from typing import Optional
+import itertools
+from typing import Iterator, List, Optional
 
 from repro.costmodel.model import CostModel
 from repro.engine.registry import register_searcher
+from repro.mapspace.mapping import Mapping
 from repro.mapspace.space import MapSpace
-from repro.search.base import BudgetedObjective, SearchResult, Searcher
+from repro.search.base import OracleSearcher
 from repro.utils.rng import SeedLike
 
 
 @register_searcher("exhaustive")
-class ExhaustiveSearcher(Searcher):
-    """Evaluate every mapping the enumerator yields (budget permitting)."""
+class ExhaustiveSearcher(OracleSearcher):
+    """Evaluate every mapping the enumerator yields (budget permitting).
+
+    ``ask`` hands the enumerator out in ``batch_size`` chunks; an empty
+    chunk (enumeration finished) ends the run before the budget does.
+    """
 
     name = "Exhaustive"
 
@@ -32,33 +37,28 @@ class ExhaustiveSearcher(Searcher):
         include_orders: bool = True,
         balanced_allocation: bool = True,
         enumeration_limit: int = 200_000,
+        batch_size: int = 64,
     ) -> None:
-        super().__init__(space)
-        self.cost_model = cost_model
+        super().__init__(space, cost_model)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.include_orders = include_orders
         self.balanced_allocation = balanced_allocation
         self.enumeration_limit = enumeration_limit
+        self.batch_size = batch_size
 
-    def search(
-        self,
-        iterations: int,
-        seed: SeedLike = None,  # unused; exhaustive search is deterministic
-        time_budget_s: Optional[float] = None,
-    ) -> SearchResult:
-        budget = self.make_budget(
-            lambda m: math.log2(self.cost_model.evaluate_edp(m, self.problem)),
-            iterations,
-            time_budget_s,
+    def reset(self, seed: SeedLike = None, iterations: Optional[int] = None) -> None:
+        # seed is unused; exhaustive enumeration is deterministic.
+        self._iterator: Iterator[Mapping] = iter(
+            self.space.enumerate_mappings(
+                include_orders=self.include_orders,
+                balanced_allocation=self.balanced_allocation,
+                limit=self.enumeration_limit,
+            )
         )
-        for mapping in self.space.enumerate_mappings(
-            include_orders=self.include_orders,
-            balanced_allocation=self.balanced_allocation,
-            limit=self.enumeration_limit,
-        ):
-            if budget.exhausted:
-                break
-            budget.evaluate(mapping)
-        return budget.result(self.name, self.problem.name)
+
+    def ask(self) -> List[Mapping]:
+        return list(itertools.islice(self._iterator, self.batch_size))
 
 
 __all__ = ["ExhaustiveSearcher"]

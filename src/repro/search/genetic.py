@@ -6,12 +6,16 @@ probability 0.05, fitness = EDP, selection per generation by fitness.
 Crossover swaps whole attribute groups (a dimension's tiling, a level's
 loop order, a level's bank allocation) between parents — the operation the
 paper critiques as assuming attribute strength is composable.
+
+Ask/tell shape: a GA is the textbook population method — every ``ask`` is a
+whole generation (the initial population, then each offspring cohort), so
+fitness for an entire generation comes back from one batched oracle query.
+Elites carry forward between generations without re-evaluation.
 """
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,12 +24,12 @@ from repro.engine.registry import register_searcher
 from repro.mapspace.factors import sample_composition, sample_factorization
 from repro.mapspace.mapping import Mapping
 from repro.mapspace.space import MapSpace
-from repro.search.base import BudgetedObjective, SearchResult, Searcher
+from repro.search.base import OracleSearcher
 from repro.utils.rng import SeedLike, ensure_rng
 
 
 @register_searcher("genetic", aliases=("ga",))
-class GeneticSearcher(Searcher):
+class GeneticSearcher(OracleSearcher):
     """Tournament-selection GA over mapping attribute groups."""
 
     name = "GA"
@@ -41,8 +45,7 @@ class GeneticSearcher(Searcher):
         tournament_size: int = 3,
         elite_count: int = 2,
     ) -> None:
-        super().__init__(space)
-        self.cost_model = cost_model
+        super().__init__(space, cost_model)
         if population_size < 2:
             raise ValueError("population_size must be >= 2")
         if not 0.0 <= crossover_probability <= 1.0:
@@ -54,9 +57,6 @@ class GeneticSearcher(Searcher):
         self.mutation_probability = mutation_probability
         self.tournament_size = max(2, tournament_size)
         self.elite_count = max(0, elite_count)
-
-    def _objective(self, mapping: Mapping) -> float:
-        return math.log2(self.cost_model.evaluate_edp(mapping, self.problem))
 
     # ---- genetic operators -------------------------------------------------
 
@@ -96,44 +96,53 @@ class GeneticSearcher(Searcher):
             mutated = self.space.set_group(mutated, group, value)
         return mutated
 
-    # ---- main loop ------------------------------------------------------------
+    # ---- ask/tell ----------------------------------------------------------
 
-    def search(
-        self,
-        iterations: int,
-        seed: SeedLike = None,
-        time_budget_s: Optional[float] = None,
-    ) -> SearchResult:
-        rng = ensure_rng(seed)
-        budget = self.make_budget(self._objective, iterations, time_budget_s)
-        population_size = min(self.population_size, max(iterations // 2, 2))
+    def reset(self, seed: SeedLike = None, iterations: Optional[int] = None) -> None:
+        self._rng = ensure_rng(seed)
+        # Scale the population down for short budgets (paper's population of
+        # 100 needs at least a couple of generations to mean anything).
+        if iterations is not None:
+            self._population_size = min(
+                self.population_size, max(iterations // 2, 2)
+            )
+        else:
+            self._population_size = self.population_size
+        self._population: List[Mapping] = []
+        self._fitness: List[float] = []
+        self._elites: List[Tuple[Mapping, float]] = []
+        self._initialized = False
 
-        population: List[Mapping] = []
-        fitness: List[float] = []
-        for _ in range(population_size):
-            if budget.exhausted:
-                break
-            individual = self.space.sample(rng)
-            population.append(individual)
-            fitness.append(budget.evaluate(individual))
+    def ask(self) -> List[Mapping]:
+        if not self._initialized:
+            return [self.space.sample(self._rng) for _ in range(self._population_size)]
+        # Elitism: carry the best few forward unchanged (no re-eval); breed
+        # the rest of the next generation from the current one.
+        elite_order = sorted(range(len(self._population)), key=self._fitness.__getitem__)
+        self._elites = [
+            (self._population[i], self._fitness[i])
+            for i in elite_order[: self.elite_count]
+        ]
+        offspring: List[Mapping] = []
+        needed = max(self._population_size - len(self._elites), 1)
+        for _ in range(needed):
+            parent_a = self._population[self._tournament(self._fitness, self._rng)]
+            parent_b = self._population[self._tournament(self._fitness, self._rng)]
+            if self._rng.random() < self.crossover_probability:
+                child = self._crossover(parent_a, parent_b, self._rng)
+            else:
+                child = parent_a
+            offspring.append(self._mutate(child, self._rng))
+        return offspring
 
-        while not budget.exhausted and population:
-            # Elitism: carry the best few forward unchanged (no re-eval).
-            elite_order = sorted(range(len(population)), key=fitness.__getitem__)
-            next_population = [population[i] for i in elite_order[: self.elite_count]]
-            next_fitness = [fitness[i] for i in elite_order[: self.elite_count]]
-            while len(next_population) < population_size and not budget.exhausted:
-                parent_a = population[self._tournament(fitness, rng)]
-                parent_b = population[self._tournament(fitness, rng)]
-                if rng.random() < self.crossover_probability:
-                    child = self._crossover(parent_a, parent_b, rng)
-                else:
-                    child = parent_a
-                child = self._mutate(child, rng)
-                next_population.append(child)
-                next_fitness.append(budget.evaluate(child))
-            population, fitness = next_population, next_fitness
-        return budget.result(self.name, self.problem.name)
+    def tell(self, mappings: Sequence[Mapping], values: Sequence[float]) -> None:
+        if not self._initialized:
+            self._population = list(mappings)
+            self._fitness = [float(v) for v in values]
+            self._initialized = True
+            return
+        self._population = [m for m, _ in self._elites] + list(mappings)
+        self._fitness = [f for _, f in self._elites] + [float(v) for v in values]
 
 
 __all__ = ["GeneticSearcher"]

@@ -2,41 +2,42 @@
 
 from __future__ import annotations
 
-import math
-from typing import Optional
+from typing import List, Optional
 
 from repro.costmodel.model import CostModel
 from repro.engine.registry import register_searcher
+from repro.mapspace.mapping import Mapping
 from repro.mapspace.space import MapSpace
-from repro.search.base import BudgetedObjective, SearchResult, Searcher
+from repro.search.base import OracleSearcher
 from repro.utils.rng import SeedLike, ensure_rng
 
 
 @register_searcher("random")
-class RandomSearcher(Searcher):
-    """Draw valid mappings uniformly; keep the best seen."""
+class RandomSearcher(OracleSearcher):
+    """Draw valid mappings uniformly; keep the best seen.
+
+    Random search is embarrassingly batchable: every ``ask`` is an
+    independent block of ``batch_size`` uniform samples, priced by the
+    oracle in one batched query.
+    """
 
     name = "Random"
 
-    def __init__(self, space: MapSpace, cost_model: CostModel) -> None:
-        super().__init__(space)
-        self.cost_model = cost_model
+    def __init__(
+        self, space: MapSpace, cost_model: CostModel, *, batch_size: int = 32
+    ) -> None:
+        super().__init__(space, cost_model)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
 
-    def search(
-        self,
-        iterations: int,
-        seed: SeedLike = None,
-        time_budget_s: Optional[float] = None,
-    ) -> SearchResult:
-        rng = ensure_rng(seed)
-        budget = self.make_budget(
-            lambda m: math.log2(self.cost_model.evaluate_edp(m, self.problem)),
-            iterations,
-            time_budget_s,
-        )
-        while not budget.exhausted:
-            budget.evaluate(self.space.sample(rng))
-        return budget.result(self.name, self.problem.name)
+    def reset(self, seed: SeedLike = None, iterations: Optional[int] = None) -> None:
+        self._rng = ensure_rng(seed)
+        # Never sample (deterministically) more than the run can evaluate.
+        self._batch = min(self.batch_size, iterations) if iterations else self.batch_size
+
+    def ask(self) -> List[Mapping]:
+        return [self.space.sample(self._rng) for _ in range(self._batch)]
 
 
 __all__ = ["RandomSearcher"]

@@ -9,15 +9,18 @@ machinery gradient search uses), and the *reward* is the negated
 log2-normalized EDP.  Replay buffer, target networks with soft updates, and
 Gaussian exploration noise complete the standard recipe.
 
-Every environment step queries the true cost model once, so RL iterations
-line up one-to-one with the other searchers' evaluations.
+Ask/tell shape: the policy is on-line — each action depends on the state
+reached by the previous one — so ``ask`` proposes a single decoded mapping
+per step and ``tell`` closes the transition (reward, replay push, one
+training step).  RL iterations therefore line up one-to-one with the other
+searchers' evaluations, exactly as in the paper.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +32,7 @@ from repro.engine.registry import register_searcher
 from repro.mapspace.mapping import Mapping
 from repro.mapspace.space import MapSpace
 from repro.nn import MLP, Adam, Tensor, huber_loss, no_grad
-from repro.search.base import BudgetedObjective, SearchResult, Searcher
+from repro.search.base import OracleSearcher
 from repro.utils.rng import SeedLike, ensure_rng, spawn_rngs
 
 
@@ -76,7 +79,7 @@ def _hard_copy(target: MLP, source: MLP) -> None:
 
 
 @register_searcher("rl", aliases=("ddpg",))
-class RLSearcher(Searcher):
+class RLSearcher(OracleSearcher):
     """DDPG over the encoded mapping space."""
 
     name = "RL"
@@ -100,8 +103,7 @@ class RLSearcher(Searcher):
         episode_length: int = 25,
         reward_scale: float = 10.0,
     ) -> None:
-        super().__init__(space)
-        self.cost_model = cost_model
+        super().__init__(space, cost_model)
         self.encoder = MappingEncoder.for_problem(space.problem)
         self.hidden_width = hidden_width
         self.gamma = gamma
@@ -120,125 +122,106 @@ class RLSearcher(Searcher):
 
     # ------------------------------------------------------------------
 
-    def _objective(self, mapping: Mapping) -> float:
-        return math.log2(self.cost_model.evaluate_edp(mapping, self.problem))
-
     def _fit_whitener(self, rng: np.random.Generator, samples: int = 64) -> Whitener:
         """Whiten states from cost-free map-space samples.
 
         Only the encoder runs here — no cost-model queries — so this does
         not consume search budget.
         """
-        raw = np.stack(
-            [
-                self.encoder.encode(self.space.sample(rng), self.problem)
-                for _ in range(samples)
-            ]
+        raw = self.encoder.encode_batch(
+            [self.space.sample(rng) for _ in range(samples)], self.problem
         )
         return Whitener.fit(raw)
 
-    def search(
-        self,
-        iterations: int,
-        seed: SeedLike = None,
-        time_budget_s: Optional[float] = None,
-    ) -> SearchResult:
+    def reset(self, seed: SeedLike = None, iterations: Optional[int] = None) -> None:
         rng = ensure_rng(seed)
-        net_rng, env_rng = spawn_rngs(rng, 2)
-        budget = self.make_budget(self._objective, iterations, time_budget_s)
-        whitener = self._fit_whitener(env_rng)
+        net_rng, self._env_rng = spawn_rngs(rng, 2)
+        self._whitener = self._fit_whitener(self._env_rng)
 
         state_dim = self.encoder.length
-        action_dim = self.encoder.layout.mapping_slice.stop - self.encoder.layout.mapping_slice.start
         map_slice = self.encoder.layout.mapping_slice
+        action_dim = map_slice.stop - map_slice.start
+        self._map_slice = map_slice
 
-        actor = MLP(
+        self._actor = MLP(
             [state_dim, self.hidden_width, self.hidden_width, action_dim],
             activation="relu",
             rng=net_rng,
         )
-        critic = MLP(
+        self._critic = MLP(
             [state_dim + action_dim, self.hidden_width, self.hidden_width, 1],
             activation="relu",
             rng=net_rng,
         )
-        actor_target = MLP([state_dim, self.hidden_width, self.hidden_width, action_dim])
-        critic_target = MLP([state_dim + action_dim, self.hidden_width, self.hidden_width, 1])
-        _hard_copy(actor_target, actor)
-        _hard_copy(critic_target, critic)
-        actor_optimizer = Adam(actor.parameters(), lr=self.actor_lr)
-        critic_optimizer = Adam(critic.parameters(), lr=self.critic_lr)
-        buffer = _ReplayBuffer(self.buffer_capacity)
+        self._actor_target = MLP(
+            [state_dim, self.hidden_width, self.hidden_width, action_dim]
+        )
+        self._critic_target = MLP(
+            [state_dim + action_dim, self.hidden_width, self.hidden_width, 1]
+        )
+        _hard_copy(self._actor_target, self._actor)
+        _hard_copy(self._critic_target, self._critic)
+        self._actor_optimizer = Adam(self._actor.parameters(), lr=self.actor_lr)
+        self._critic_optimizer = Adam(self._critic.parameters(), lr=self.critic_lr)
+        self._buffer = _ReplayBuffer(self.buffer_capacity)
 
-        def policy(state: np.ndarray, noise: float) -> np.ndarray:
-            with no_grad():
-                raw = actor(Tensor(state[None, :])).numpy()[0]
-            action = np.tanh(raw) * self.action_scale
-            if noise > 0:
-                action = action + env_rng.normal(0.0, noise, size=action.shape)
-            return np.clip(action, -self.action_scale, self.action_scale)
+        self._noise = self.noise_std
+        current_mapping = self.space.sample(self._env_rng)
+        self._state = self._whiten_state(current_mapping)
+        self._steps_in_episode = 0
+        self._pending: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
-        def env_step(state: np.ndarray, action: np.ndarray) -> Tuple[np.ndarray, float, Mapping]:
-            shifted = state.copy()
-            shifted[map_slice] += action
-            mapping = self.encoder.decode(whitener.inverse(shifted), self.space)
-            cost = budget.evaluate(mapping)
+    def _whiten_state(self, mapping: Mapping) -> np.ndarray:
+        return self._whitener.transform(self.encoder.encode(mapping, self.problem))
+
+    def _policy(self, state: np.ndarray, noise: float) -> np.ndarray:
+        with no_grad():
+            raw = self._actor(Tensor(state[None, :])).numpy()[0]
+        action = np.tanh(raw) * self.action_scale
+        if noise > 0:
+            action = action + self._env_rng.normal(0.0, noise, size=action.shape)
+        return np.clip(action, -self.action_scale, self.action_scale)
+
+    def ask(self) -> List[Mapping]:
+        action = self._policy(self._state, self._noise)
+        shifted = self._state.copy()
+        shifted[self._map_slice] += action
+        mapping = self.encoder.decode(self._whitener.inverse(shifted), self.space)
+        self._pending = (self._state.copy(), action)
+        return [mapping]
+
+    def tell(self, mappings: Sequence[Mapping], values: Sequence[float]) -> None:
+        if self._pending is None:
+            raise RuntimeError(
+                "RLSearcher.tell called without a matching ask(); the DDPG "
+                "policy needs the (state, action) pair the batch came from"
+            )
+        state, action = self._pending
+        self._pending = None
+        for mapping, cost in zip(mappings, values):
             reward = -(cost - math.log2(self._lower_bound.edp)) / self.reward_scale
-            next_state = whitener.transform(self.encoder.encode(mapping, self.problem))
-            return next_state, reward, mapping
-
-        noise = self.noise_std
-        current_mapping = self.space.sample(env_rng)
-        state = whitener.transform(self.encoder.encode(current_mapping, self.problem))
-        steps_in_episode = 0
-
-        while not budget.exhausted:
-            action = policy(state, noise)
-            next_state, reward, current_mapping = env_step(state, action)
-            buffer.push(
+            next_state = self._whiten_state(mapping)
+            self._buffer.push(
                 _Transition(
-                    state=state.copy(),
+                    state=state,
                     action=action,
                     reward=reward,
                     next_state=next_state.copy(),
                 )
             )
-            state = next_state
-            noise *= self.noise_decay
-            steps_in_episode += 1
-            if steps_in_episode >= self.episode_length:
-                current_mapping = self.space.sample(env_rng)
-                state = whitener.transform(
-                    self.encoder.encode(current_mapping, self.problem)
-                )
-                steps_in_episode = 0
-            if len(buffer) >= max(self.batch_size, self.warmup):
-                self._train_step(
-                    buffer,
-                    env_rng,
-                    actor,
-                    critic,
-                    actor_target,
-                    critic_target,
-                    actor_optimizer,
-                    critic_optimizer,
-                )
-        return budget.result(self.name, self.problem.name)
+            self._state = next_state
+            self._noise *= self.noise_decay
+            self._steps_in_episode += 1
+            if self._steps_in_episode >= self.episode_length:
+                self._state = self._whiten_state(self.space.sample(self._env_rng))
+                self._steps_in_episode = 0
+            if len(self._buffer) >= max(self.batch_size, self.warmup):
+                self._train_step()
 
     # ------------------------------------------------------------------
 
-    def _train_step(
-        self,
-        buffer: _ReplayBuffer,
-        rng: np.random.Generator,
-        actor: MLP,
-        critic: MLP,
-        actor_target: MLP,
-        critic_target: MLP,
-        actor_optimizer: Adam,
-        critic_optimizer: Adam,
-    ) -> None:
-        batch = buffer.sample(self.batch_size, rng)
+    def _train_step(self) -> None:
+        batch = self._buffer.sample(self.batch_size, self._env_rng)
         states = np.stack([t.state for t in batch])
         actions = np.stack([t.action for t in batch])
         rewards = np.array([t.reward for t in batch])[:, None]
@@ -246,30 +229,33 @@ class RLSearcher(Searcher):
 
         # Critic: fit Q(s, a) to the bootstrapped target.
         with no_grad():
-            next_actions = np.tanh(actor_target(Tensor(next_states)).numpy()) * self.action_scale
-            next_q = critic_target(
+            next_actions = (
+                np.tanh(self._actor_target(Tensor(next_states)).numpy())
+                * self.action_scale
+            )
+            next_q = self._critic_target(
                 Tensor(np.concatenate([next_states, next_actions], axis=1))
             ).numpy()
         target_q = rewards + self.gamma * next_q
-        critic_optimizer.zero_grad()
-        q_prediction = critic(Tensor(np.concatenate([states, actions], axis=1)))
+        self._critic_optimizer.zero_grad()
+        q_prediction = self._critic(Tensor(np.concatenate([states, actions], axis=1)))
         critic_loss = huber_loss(q_prediction, target_q)
         critic_loss.backward()
-        critic_optimizer.step()
+        self._critic_optimizer.step()
 
         # Actor: ascend Q(s, actor(s)); gradients flow through the critic.
-        actor_optimizer.zero_grad()
-        critic_optimizer.zero_grad()
+        self._actor_optimizer.zero_grad()
+        self._critic_optimizer.zero_grad()
         state_tensor = Tensor(states)
-        proposed = actor(state_tensor).tanh() * self.action_scale
-        q_value = critic(Tensor.concat([state_tensor, proposed], axis=1))
+        proposed = self._actor(state_tensor).tanh() * self.action_scale
+        q_value = self._critic(Tensor.concat([state_tensor, proposed], axis=1))
         actor_loss = -q_value.mean()
         actor_loss.backward()
-        actor_optimizer.step()
-        critic_optimizer.zero_grad()  # discard critic grads from actor pass
+        self._actor_optimizer.step()
+        self._critic_optimizer.zero_grad()  # discard critic grads from actor pass
 
-        _soft_update(actor_target, actor, self.tau)
-        _soft_update(critic_target, critic, self.tau)
+        _soft_update(self._actor_target, self._actor, self.tau)
+        _soft_update(self._critic_target, self._critic, self.tau)
 
 
 __all__ = ["RLSearcher"]

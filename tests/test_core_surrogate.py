@@ -122,3 +122,44 @@ class TestPersistence:
         restored = loaded.predict_edp_mapping(mapping, cnn_problem)
         assert restored == pytest.approx(original)
         assert loaded.algorithm == surrogate.algorithm
+
+
+class TestBatchedPaths:
+    def test_objective_and_gradient_batch_matches_scalar(self, surrogate):
+        rng = np.random.default_rng(3)
+        inputs = rng.normal(size=(5, surrogate.encoder.length))
+        values, gradients = surrogate.objective_and_gradient_batch(inputs)
+        assert values.shape == (5,)
+        assert gradients.shape == inputs.shape
+        for row in range(5):
+            value, gradient = surrogate.objective_and_gradient(inputs[row])
+            assert values[row] == pytest.approx(value)
+            np.testing.assert_allclose(gradients[row], gradient, rtol=1e-10)
+
+    def test_scalar_wrapper_shapes(self, surrogate):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=surrogate.encoder.length)
+        value, gradient = surrogate.objective_and_gradient(x)
+        assert isinstance(value, float)
+        assert gradient.shape == x.shape
+
+    def test_predict_edp_many_matches_scalar(self, trained_mm, cnn_space, cnn_problem):
+        mappings = cnn_space.sample_many(8, seed=2)
+        batched = trained_mm.surrogate.predict_edp_many(mappings, cnn_problem)
+        assert batched.shape == (8,)
+        for mapping, value in zip(mappings, batched):
+            assert value == pytest.approx(
+                trained_mm.surrogate.predict_edp_mapping(mapping, cnn_problem)
+            )
+
+    def test_predict_edp_many_empty(self, trained_mm, cnn_problem):
+        assert trained_mm.surrogate.predict_edp_many([], cnn_problem).shape == (0,)
+
+    def test_whiten_mappings_rows_match(self, trained_mm, cnn_space, cnn_problem):
+        mappings = cnn_space.sample_many(4, seed=6)
+        stacked = trained_mm.surrogate.whiten_mappings(mappings, cnn_problem)
+        for row, mapping in enumerate(mappings):
+            np.testing.assert_array_equal(
+                stacked[row],
+                trained_mm.surrogate.whiten_mapping(mapping, cnn_problem),
+            )

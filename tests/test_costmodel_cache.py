@@ -139,3 +139,95 @@ class TestEviction:
         stats = oracle.evaluate(mapping, cnn_problem)
         assert oracle.stats().size == 1  # upgraded in place, no duplicate
         assert oracle.evaluate_edp(mapping, cnn_problem) == stats.edp
+
+
+class _CountingOracle:
+    """Scalar-only inner oracle that counts every query it serves."""
+
+    def __init__(self, model, problem_unused=None):
+        self.model = model
+        self.scalar_calls = 0
+
+    def evaluate_edp(self, mapping, problem):
+        self.scalar_calls += 1
+        return self.model.evaluate_edp(mapping, problem)
+
+
+class TestEvaluateMany:
+    def test_values_match_scalar_path(self, cost_model, cnn_problem, sampled):
+        oracle = CachedOracle(cost_model)
+        batched = oracle.evaluate_many(sampled, cnn_problem)
+        expected = [cost_model.evaluate_edp(m, cnn_problem) for m in sampled]
+        assert batched == pytest.approx(expected)
+
+    def test_cold_batch_counts_only_misses(self, cost_model, cnn_problem, sampled):
+        oracle = CachedOracle(cost_model)
+        oracle.evaluate_many(sampled, cnn_problem)
+        stats = oracle.stats()
+        assert stats.hits == 0
+        assert stats.misses == len(sampled)
+
+    def test_warm_batch_counts_only_hits(self, cost_model, cnn_problem, sampled):
+        oracle = CachedOracle(cost_model)
+        oracle.evaluate_many(sampled, cnn_problem)
+        oracle.evaluate_many(sampled, cnn_problem)
+        stats = oracle.stats()
+        assert stats.hits == len(sampled)
+        assert stats.misses == len(sampled)
+
+    def test_mixed_batch_partitions_exactly(self, cost_model, cnn_problem, cnn_space):
+        """The regression the counters exist for: a batch of k hits + m
+        misses counts k hits and m misses — no double counting."""
+        mappings = cnn_space.sample_many(10, seed=11)
+        seen, unseen = mappings[:4], mappings[4:]
+        inner = _CountingOracle(cost_model)
+        oracle = CachedOracle(inner)
+        oracle.evaluate_many(seen, cnn_problem)
+        inner.scalar_calls = 0
+        oracle.evaluate_many(mappings, cnn_problem)
+        stats = oracle.stats()
+        assert stats.hits == len(seen)
+        assert stats.misses == len(seen) + len(unseen)
+        # Only the misses reached the inner oracle.
+        assert inner.scalar_calls == len(unseen)
+
+    def test_duplicate_miss_in_batch_priced_once(self, cost_model, cnn_problem, cnn_space):
+        """An unseen mapping repeated in one batch is one miss + hits for
+        the repeats, matching what a sequential loop would have counted."""
+        mapping = cnn_space.sample_many(1, seed=5)[0]
+        inner = _CountingOracle(cost_model)
+        oracle = CachedOracle(inner)
+        values = oracle.evaluate_many([mapping, mapping, mapping], cnn_problem)
+        assert values[0] == values[1] == values[2]
+        stats = oracle.stats()
+        assert stats.misses == 1
+        assert stats.hits == 2
+        assert inner.scalar_calls == 1
+
+    def test_misses_forwarded_in_one_inner_batch(self, cost_model, cnn_problem, sampled):
+        """A batched inner oracle receives the misses as one call."""
+        calls = []
+
+        class BatchedInner:
+            def evaluate_many(self, mappings, problem):
+                calls.append(list(mappings))
+                return cost_model.evaluate_many(mappings, problem)
+
+            def evaluate_edp(self, mapping, problem):
+                raise AssertionError("scalar path must not be used")
+
+        oracle = CachedOracle(BatchedInner())
+        oracle.evaluate_many(sampled[:3], cnn_problem)
+        oracle.evaluate_many(sampled, cnn_problem)
+        assert [len(c) for c in calls] == [3, len(sampled) - 3]
+
+    def test_batch_respects_lru_bound(self, cost_model, cnn_problem, sampled):
+        oracle = CachedOracle(cost_model, maxsize=4)
+        oracle.evaluate_many(sampled, cnn_problem)
+        assert oracle.stats().size <= 4
+
+    def test_empty_batch(self, cost_model, cnn_problem):
+        oracle = CachedOracle(cost_model)
+        assert oracle.evaluate_many([], cnn_problem) == []
+        stats = oracle.stats()
+        assert stats.hits == 0 and stats.misses == 0
