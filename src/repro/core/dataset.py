@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.encoding import MappingEncoder
 from repro.core.normalize import Whitener
 from repro.costmodel.accelerator import Accelerator, MEMORY_LEVELS
+from repro.costmodel.batch import BatchCostStats
 from repro.costmodel.lower_bound import AlgorithmicMinimum, algorithmic_minimum
 from repro.costmodel.model import CostModel
 from repro.costmodel.stats import CostStats
@@ -34,6 +35,12 @@ from repro.workloads.problem import Problem
 from repro.workloads.sampler import sampler_for_algorithm
 
 _LOG_EPS = 1e-12
+
+#: Rows per vectorized pricing/encoding pass in ``generate_dataset``'s
+#: uniform phase.  Large enough to amortize the batch kernels, small enough
+#: that pending Mapping objects stay a rounding error next to the dataset
+#: arrays themselves at paper-scale (10M-sample) generation.
+_UNIFORM_CHUNK = 8192
 
 
 @dataclass(frozen=True)
@@ -117,6 +124,35 @@ class TargetCodec:
         if self.mode == "edp":
             return rows[:, 0].copy()
         return rows[:, self.total_energy_index] + rows[:, self.cycles_index]
+
+    def from_stats_batch(
+        self,
+        batch_stats: BatchCostStats,
+        lower_bound: AlgorithmicMinimum,
+        tensor_order: Sequence[str],
+    ) -> np.ndarray:
+        """Raw target rows for a whole batch — vectorized :meth:`from_stats`.
+
+        Row ``i`` equals ``from_stats(batch_stats.stats_at(i), ...)``: the
+        same lower-bound normalization and log2 compression, applied as
+        column arithmetic over the batched analytical backend's stacked
+        meta-statistics (:meth:`repro.costmodel.batch.BatchCostStats.
+        meta_matrix`) instead of one Python call per sample.
+        """
+        if self.mode == "edp":
+            values = np.log2(batch_stats.edp / lower_bound.edp + _LOG_EPS)
+            return values[:, None].astype(np.float64)
+        meta = batch_stats.meta_matrix(tensor_order)
+        target = np.empty((len(batch_stats), self.width), dtype=np.float64)
+        energy_entries = 3 * self.n_tensors + 1
+        target[:, :energy_entries] = np.log2(
+            meta[:, :energy_entries] / lower_bound.energy_pj + _LOG_EPS
+        )
+        target[:, self.utilization_index] = meta[:, self.utilization_index]
+        target[:, self.cycles_index] = np.log2(
+            meta[:, self.cycles_index] / lower_bound.cycles + _LOG_EPS
+        )
+        return target
 
 
 @dataclass
@@ -229,7 +265,11 @@ def generate_dataset(
     ``n_samples`` mappings are drawn round-robin across representative
     problems (``problems`` overrides the sampler when given, e.g. for
     tests).  Each sample is encoded, evaluated with the cost model, and
-    target-normalized by the problem's algorithmic minimum.
+    target-normalized by the problem's algorithmic minimum.  Uniform
+    samples are priced through the vectorized batched analytical backend
+    (one :meth:`~repro.costmodel.model.CostModel.evaluate_batch` per
+    problem) and encoded with :meth:`MappingEncoder.encode_batch`, so
+    Phase 1 no longer pays a Python-level model walk per sample.
 
     Samples come from two sources:
 
@@ -274,7 +314,6 @@ def generate_dataset(
     names: List[str] = []
     index = 0
     which = 0
-    trajectory: List = []  # pending (mapping, stats) pairs from a hill-climb
 
     def emit(problem, bound, mapping, stats) -> None:
         nonlocal index
@@ -283,15 +322,45 @@ def generate_dataset(
         names.append(problem.name)
         index += 1
 
+    # Uniform phase: draw samples one per loop turn, round-robin across
+    # problems — the identical RNG stream the sequential loop consumed —
+    # and price/encode each problem's share in vectorized passes through
+    # the batched analytical backend.  Pricing consumes no randomness, so
+    # pending batches flush whenever they reach ``_UNIFORM_CHUNK`` rows,
+    # keeping peak memory bounded at paper-scale sample counts instead of
+    # holding millions of Mapping objects at once.
     uniform_quota = int(round(n_samples * (1.0 - elite_fraction)))
+    pending: List[List[Tuple[int, object]]] = [[] for _ in problems]
+
+    def flush(p_index: int) -> None:
+        rows = [row for row, _ in pending[p_index]]
+        batch = [mapping for _, mapping in pending[p_index]]
+        if not rows:
+            return
+        problem, bound = problems[p_index], bounds[p_index]
+        inputs[rows] = encoder.encode_batch(batch, problem)
+        targets[rows] = codec.from_stats_batch(
+            model.evaluate_batch(batch, problem), bound, encoder.tensors
+        )
+        pending[p_index].clear()
+
+    while index < uniform_quota:
+        mapping = spaces[which].sample(sample_rng)
+        pending[which].append((index, mapping))
+        names.append(problems[which].name)
+        index += 1
+        if len(pending[which]) >= _UNIFORM_CHUNK:
+            flush(which)
+        which = (which + 1) % len(problems)
+    for p_index in range(len(problems)):
+        flush(p_index)
+
+    # Hill-climb trajectories: every visited mapping is one sample.  Each
+    # step's proposal depends on the previous evaluation, so this phase
+    # stays on the scalar model.
     while index < n_samples:
         problem, space, bound = problems[which], spaces[which], bounds[which]
         which = (which + 1) % len(problems)
-        if index < uniform_quota:
-            mapping = space.sample(sample_rng)
-            emit(problem, bound, mapping, model.evaluate(mapping, problem))
-            continue
-        # Hill-climb trajectory: every visited mapping is one sample.
         mapping = space.sample(sample_rng)
         stats = model.evaluate(mapping, problem)
         emit(problem, bound, mapping, stats)

@@ -20,6 +20,13 @@ precisely what makes mapping space search hard (paper Figure 3).
 
 from repro.costmodel.accelerator import Accelerator, EnergyTable, default_accelerator
 from repro.costmodel.stats import CostStats, TensorLevelEnergy
+from repro.costmodel.batch import (
+    BatchCostStats,
+    MappingBatch,
+    compile_batch,
+    edp_batch,
+    evaluate_batch,
+)
 from repro.costmodel.model import CostModel
 from repro.costmodel.cache import CacheStats, CachedOracle
 from repro.costmodel.lower_bound import algorithmic_minimum
@@ -30,16 +37,21 @@ __all__ = [
     "Accelerator",
     "OBJECTIVES",
     "Objective",
+    "BatchCostStats",
     "CacheStats",
     "CachedOracle",
     "CostModel",
     "CostStats",
     "EnergyTable",
     "LoopNest",
+    "MappingBatch",
     "TensorLevelEnergy",
     "algorithmic_minimum",
     "build_nest",
+    "compile_batch",
     "default_accelerator",
+    "edp_batch",
+    "evaluate_batch",
     "get_objective",
     "weighted_objective",
 ]

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.costmodel.accelerator import Accelerator, MEMORY_LEVELS
+from repro.costmodel.batch import BatchCostStats, evaluate_batch
 from repro.costmodel.nest import LoopNest, build_nest, distinct_tiles, fill_events
 from repro.costmodel.stats import CostStats, TensorLevelEnergy
 from repro.mapspace.mapping import Mapping
@@ -83,15 +84,31 @@ class CostModel:
         return self.evaluate(mapping, problem).edp
 
     def evaluate_many(self, mappings: Sequence[Mapping], problem: Problem) -> List[float]:
-        """EDP for each mapping in a batch.
+        """EDP for each mapping in a batch, priced in one vectorized pass.
 
-        The analytical model prices each mapping independently, so this is
-        the sequential reference implementation of the batched oracle
-        protocol (:class:`repro.engine.oracle.CostOracle`); backends with
-        real amortization (surrogate stacking, cache partitioning) override
-        the same signature.
+        Thin wrapper over the batched analytical backend
+        (:mod:`repro.costmodel.batch`): the batch is lowered to stacked
+        numpy arrays once and the traffic/energy/cycles kernels run over
+        the whole population.  Results match per-mapping :meth:`evaluate`
+        to machine precision (see ``tests/test_costmodel_batch.py``);
+        :meth:`evaluate` remains the scalar reference implementation.
         """
-        return [self.evaluate(mapping, problem).edp for mapping in mappings]
+        if not len(mappings):
+            return []
+        return [float(edp) for edp in self.evaluate_batch(mappings, problem).edp]
+
+    def evaluate_batch(
+        self, mappings: Sequence[Mapping], problem: Problem
+    ) -> BatchCostStats:
+        """Full vectorized statistics for a whole batch of mappings.
+
+        The batched analogue of :meth:`evaluate`: one
+        :class:`~repro.costmodel.batch.BatchCostStats` holding stacked
+        per-tensor/per-level access counts, cycles, utilization, and EDP
+        for every mapping.  Callers that need a scalar row can rebuild it
+        with :meth:`BatchCostStats.stats_at`.
+        """
+        return evaluate_batch(self.accelerator, mappings, problem)
 
     # ------------------------------------------------------------------
 

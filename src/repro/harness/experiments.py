@@ -76,7 +76,8 @@ def _best_so_far_true(
     (:class:`repro.costmodel.cache.CachedOracle`); the whole trace is
     re-scored in one batched ``evaluate_many`` query — mappings repeat
     heavily in traces, so the oracle answers most of the batch from cache
-    and forwards only the distinct misses to the true model.
+    and forwards only the distinct misses to the true model, which prices
+    them in a single vectorized pass (:mod:`repro.costmodel.batch`).
     """
     if result.n_evaluations == 0:
         return np.empty(0)

@@ -1,0 +1,67 @@
+"""Regenerate the frozen analytical-cost-model fixtures.
+
+Run from the repository root after an *intentional* cost-model semantics
+change (and only then — the whole point of the fixtures is to catch
+unintentional drift, e.g. from a vectorization rewrite):
+
+    PYTHONPATH=src python tests/golden/generate_costmodel_golden.py
+
+One canonical mapping per Table 1 workload is drawn deterministically from
+the paper's 256-PE accelerator's map space and evaluated with the *scalar*
+reference model; the mapping itself and the complete
+:class:`~repro.costmodel.stats.CostStats` are frozen to
+``costmodel_golden.json``.  ``tests/test_costmodel_golden.py`` asserts both
+the scalar and batched backends still reproduce every frozen number.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.costmodel import CostModel
+from repro.costmodel.accelerator import default_accelerator
+from repro.mapspace import MapSpace
+from repro.workloads import TABLE1_PROBLEMS
+
+#: Deterministic per-problem sample seed.  Arbitrary but frozen: changing it
+#: invalidates the fixtures for no reason.
+CANONICAL_SEED = 2021
+
+GOLDEN_PATH = Path(__file__).parent / "costmodel_golden.json"
+
+
+def build_golden() -> dict:
+    accelerator = default_accelerator()
+    model = CostModel(accelerator)
+    entries = {}
+    for problem in TABLE1_PROBLEMS:
+        mapping = MapSpace(problem, accelerator).sample(CANONICAL_SEED)
+        stats = model.evaluate(mapping, problem)
+        entries[problem.name] = {
+            "mapping": mapping.to_dict(),
+            "stats": {
+                "records": [
+                    [r.tensor, r.level, r.accesses, r.energy_pj]
+                    for r in stats.records
+                ],
+                "noc_energy_pj": stats.noc_energy_pj,
+                "mac_energy_pj": stats.mac_energy_pj,
+                "cycles": stats.cycles,
+                "utilization": stats.utilization,
+                "spatial_pes": stats.spatial_pes,
+                "clock_ghz": stats.clock_ghz,
+                "total_energy_pj": stats.total_energy_pj,
+                "edp": stats.edp,
+            },
+        }
+    return {
+        "accelerator_fingerprint": accelerator.fingerprint(),
+        "canonical_seed": CANONICAL_SEED,
+        "problems": entries,
+    }
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.write_text(json.dumps(build_golden(), indent=1) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -66,6 +66,25 @@ class TestGenerateDataset:
         np.testing.assert_array_equal(a.inputs_raw, b.inputs_raw)
         np.testing.assert_array_equal(a.targets_raw, b.targets_raw)
 
+    def test_uniform_chunk_size_does_not_change_output(
+        self, accelerator, cnn_training_problems, monkeypatch
+    ):
+        """Batch-pricing flush boundaries are an implementation detail: the
+        batched kernels are row-independent, so shrinking the chunk to force
+        many partial flushes must reproduce the dataset bit-for-bit."""
+        import repro.core.dataset as dataset_module
+
+        a = generate_dataset(
+            "cnn-layer", accelerator, 60, problems=cnn_training_problems, seed=3
+        )
+        monkeypatch.setattr(dataset_module, "_UNIFORM_CHUNK", 7)
+        b = generate_dataset(
+            "cnn-layer", accelerator, 60, problems=cnn_training_problems, seed=3
+        )
+        np.testing.assert_array_equal(a.inputs_raw, b.inputs_raw)
+        np.testing.assert_array_equal(a.targets_raw, b.targets_raw)
+        assert a.problem_names == b.problem_names
+
     def test_whitened_statistics(self, cnn_dataset):
         inputs, targets = cnn_dataset.whitened()
         np.testing.assert_allclose(np.abs(inputs.mean(axis=0)), 0.0, atol=1e-8)

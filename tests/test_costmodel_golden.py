@@ -1,0 +1,80 @@
+"""Golden regression fixtures for the analytical cost model (tier 1).
+
+One canonical mapping per Table 1 workload with its complete frozen
+:class:`~repro.costmodel.stats.CostStats` lives in
+``tests/golden/costmodel_golden.json``.  Both the scalar reference model
+and the vectorized batch backend must keep reproducing every number —
+per-tensor/per-level accesses and energies, NoC/MAC energy, cycles,
+utilization, EDP.  This is the guard against *silent semantic drift*: a
+rewrite that stays self-consistent (scalar/batch parity holds) but changes
+what the model actually computes fails here.
+
+To regenerate after an intentional model change:
+``PYTHONPATH=src python tests/golden/generate_costmodel_golden.py``.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.costmodel import CostModel, evaluate_batch
+from repro.costmodel.accelerator import default_accelerator
+from repro.mapspace.mapping import Mapping
+from repro.workloads import TABLE1_PROBLEMS, problem_by_name
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "costmodel_golden.json"
+
+#: Tight tolerance: the fixtures were produced by this code on this
+#: arithmetic; anything beyond a few ulps of platform noise is drift.
+GOLDEN_RTOL = 1e-12
+
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+_ACCELERATOR = default_accelerator()
+_MODEL = CostModel(_ACCELERATOR)
+
+
+def test_fixture_covers_every_workload():
+    assert set(GOLDEN["problems"]) == {p.name for p in TABLE1_PROBLEMS}
+
+
+def test_fixture_matches_this_accelerator():
+    assert GOLDEN["accelerator_fingerprint"] == _ACCELERATOR.fingerprint()
+
+
+def _check_stats(stats, frozen):
+    for tensor, level, accesses, energy_pj in frozen["records"]:
+        np.testing.assert_allclose(
+            stats.accesses_for(tensor, level), accesses, rtol=GOLDEN_RTOL
+        )
+        np.testing.assert_allclose(
+            stats.energy_pj_for(tensor, level), energy_pj, rtol=GOLDEN_RTOL
+        )
+    assert len(stats.records) == len(frozen["records"])
+    np.testing.assert_allclose(stats.noc_energy_pj, frozen["noc_energy_pj"], rtol=GOLDEN_RTOL)
+    np.testing.assert_allclose(stats.mac_energy_pj, frozen["mac_energy_pj"], rtol=GOLDEN_RTOL)
+    np.testing.assert_allclose(stats.cycles, frozen["cycles"], rtol=GOLDEN_RTOL)
+    np.testing.assert_allclose(stats.utilization, frozen["utilization"], rtol=GOLDEN_RTOL)
+    np.testing.assert_allclose(
+        stats.total_energy_pj, frozen["total_energy_pj"], rtol=GOLDEN_RTOL
+    )
+    np.testing.assert_allclose(stats.edp, frozen["edp"], rtol=GOLDEN_RTOL)
+    assert stats.spatial_pes == frozen["spatial_pes"]
+    assert stats.clock_ghz == frozen["clock_ghz"]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN["problems"]))
+def test_scalar_model_reproduces_golden(name):
+    entry = GOLDEN["problems"][name]
+    mapping = Mapping.from_dict(entry["mapping"])
+    _check_stats(_MODEL.evaluate(mapping, problem_by_name(name)), entry["stats"])
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN["problems"]))
+def test_batch_backend_reproduces_golden(name):
+    entry = GOLDEN["problems"][name]
+    mapping = Mapping.from_dict(entry["mapping"])
+    batch_stats = evaluate_batch(_ACCELERATOR, [mapping], problem_by_name(name))
+    _check_stats(batch_stats.stats_at(0), entry["stats"])
