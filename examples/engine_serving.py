@@ -8,15 +8,18 @@ The serving pattern the engine exists for:
 * an on-disk artifact cache — rerunning this script skips Phase 1 because
   the surrogate is found under ``.repro-artifacts/`` keyed by the
   accelerator fingerprint (delete the directory to retrain),
-* a single ``map_batch`` fanning requests across worker threads, mixing
-  searcher backends by registry name.
+* a single ``map_batch`` coalescing the requests through the serve-layer
+  scheduler (same-problem oracle searches share vectorized evaluation
+  rounds), mixing searcher backends by registry name.
+
+For the full traffic front-end — queueing, backpressure, HTTP — see
+``examples/serve_demo.py``.
 
 Usage::
 
-    python examples/engine_serving.py [workers]
+    python examples/engine_serving.py
 """
 
-import sys
 import time
 from pathlib import Path
 
@@ -36,7 +39,6 @@ SEARCHERS = ("gradient", "annealing", "random")
 
 
 def main() -> None:
-    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 4
     artifact_dir = Path(".repro-artifacts")
     engine = MappingEngine(
         default_accelerator(),
@@ -60,10 +62,10 @@ def main() -> None:
         for name in PROBLEMS
         for searcher in SEARCHERS
     ]
-    print(f"Serving {len(requests)} requests with {workers} workers "
+    print(f"Serving {len(requests)} coalesced requests "
           f"(artifacts under {artifact_dir}/)...")
     started = time.perf_counter()
-    responses = engine.map_batch(requests, workers=workers)
+    responses = engine.map_batch(requests)
     elapsed = time.perf_counter() - started
 
     rows = [

@@ -39,7 +39,7 @@ def main() -> None:
         MappingRequest(problem, searcher="gradient", iterations=400, seed=1)
         for problem in mttkrp_problems()
     ]
-    responses = engine.map_batch(requests, workers=2)
+    responses = engine.map_batch(requests)
 
     surrogate = engine.surrogate_for("mttkrp")
     # The MTTKRP mapping vector is 40 values (4 dims x 8 + 4 tensors x 2),

@@ -13,7 +13,9 @@ re-implements the method and every substrate it depends on from scratch:
 * :mod:`repro.search`     — SA / GA / RL / random / exhaustive baselines,
 * :mod:`repro.engine`     — the serving façade: searcher registry,
   pluggable cost oracles, and :class:`MappingEngine` with surrogate
-  artifact caching and concurrent ``map_batch``,
+  artifact caching and coalesced ``map_batch``,
+* :mod:`repro.serve`      — the traffic layer: dynamic micro-batching,
+  backpressure, duplicate collapsing, live metrics, HTTP gateway,
 * :mod:`repro.harness`    — iso-iteration & iso-time experiment harness.
 
 Quickstart (engine API)::
@@ -28,8 +30,10 @@ Quickstart (engine API)::
 
 Any registered searcher serves the same request shape — swap
 ``searcher="annealing" | "genetic" | "rl" | "random" | "exhaustive"`` — and
-``engine.map_batch(requests, workers=4)`` serves many requests
-concurrently.  The paper-shaped two-phase API remains::
+``engine.map_batch(requests)`` serves many requests through the
+:mod:`repro.serve` coalescing scheduler (same-problem searches share
+vectorized evaluation rounds, results bit-identical to solo serving).
+The paper-shaped two-phase API remains::
 
     from repro import MindMappings, default_accelerator
 
@@ -80,11 +84,13 @@ from repro.search import (
 from repro.workloads import (
     Problem,
     TABLE1_PROBLEMS,
+    TRANSFORMER_PROBLEMS,
     make_cnn_layer,
     make_conv1d,
     make_gemm,
     make_mttkrp,
     problem_by_name,
+    transformer_problems,
 )
 
 __version__ = "1.0.0"
@@ -116,6 +122,7 @@ __all__ = [
     "Surrogate",
     "SurrogateOracle",
     "TABLE1_PROBLEMS",
+    "TRANSFORMER_PROBLEMS",
     "TrainingConfig",
     "algorithmic_minimum",
     "default_accelerator",
@@ -129,4 +136,5 @@ __all__ = [
     "register_searcher",
     "searcher_names",
     "train_surrogate",
+    "transformer_problems",
 ]

@@ -26,12 +26,21 @@ from repro.workloads.problem import Problem
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Counters snapshot: queries answered from cache vs. the inner oracle."""
+    """Counters snapshot: queries answered from cache vs. the inner oracle.
+
+    ``prewarmed`` counts entries inserted by the scheduler's
+    :meth:`CachedOracle.prewarm` hook; those insertions are *not* queries,
+    so they appear in neither ``hits`` nor ``misses`` — but the searcher
+    lookups they later answer do count as hits, which is why a coalesced
+    serving run reports a higher hit rate than the same requests served
+    solo (same totals, different attribution).
+    """
 
     hits: int
     misses: int
     size: int
     maxsize: Optional[int]
+    prewarmed: int = 0
 
     @property
     def queries(self) -> int:
@@ -62,7 +71,7 @@ def problem_key(problem: Problem) -> Hashable:
 
 
 class CachedOracle:
-    """LRU-memoized view of a cost oracle, safe for concurrent readers.
+    """LRU-memoized view of a cost oracle, safe for concurrent callers.
 
     ``inner`` is anything with ``evaluate(mapping, problem) -> CostStats``
     and ``evaluate_edp(mapping, problem) -> float`` — typically a
@@ -70,6 +79,19 @@ class CachedOracle:
     :mod:`repro.engine.oracle`.  ``maxsize=None`` (the default) caches
     without bound, matching the old harness behaviour; a positive bound
     evicts least-recently-used entries.
+
+    **Concurrency contract** (audited for the ``repro.serve`` worker pool):
+    every access to the LRU store *and* to the hit/miss/prewarm counters
+    happens under ``self._lock`` — lookups, insertions, eviction,
+    ``move_to_end`` recency updates, ``stats()``, and ``clear()``.  The
+    lock is released while the inner oracle computes, so concurrent misses
+    on the *same* key may each pay one inner query (both counted as
+    misses, last insert wins); that duplicated work is benign because the
+    inner oracle is deterministic — both threads observe the same value,
+    and the store never holds torn state.  The regression hammer in
+    ``tests/test_costmodel_cache.py`` drives mixed ``evaluate`` /
+    ``evaluate_edp`` / ``evaluate_many`` / ``prewarm`` traffic from many
+    threads and checks counters and values stay exact.
 
     EDP queries are answered from a cached :class:`CostStats` when one
     exists (EDP is derived from stats), so mixed ``evaluate`` /
@@ -87,6 +109,7 @@ class CachedOracle:
         self._store: "OrderedDict[Tuple[Hashable, Mapping], object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._prewarmed = 0
 
     # ------------------------------------------------------------------
     # Oracle interface
@@ -175,6 +198,52 @@ class CachedOracle:
             values[index] = values[source]
         return [float(value) for value in values]
 
+    def prewarm(self, mappings: Sequence[Mapping], problem: Problem) -> int:
+        """Price every uncached mapping in one inner batch, counter-neutral.
+
+        The scheduler hook behind request coalescing
+        (:mod:`repro.serve.cohort`): a lockstep cohort unions the candidate
+        batches of many concurrent searches and prewarms them here, so each
+        search's own metered ``evaluate_many`` is answered from cache while
+        the union rides the widest vectorized path through the inner
+        oracle.  Prewarm insertions touch neither ``hits`` nor ``misses``
+        (they are not queries — ``CacheStats.prewarmed`` counts them), and
+        existing entries are left untouched, including their LRU recency.
+        Returns the number of entries inserted.
+        """
+        pkey = problem_key(problem)
+        todo: List[Mapping] = []
+        with self._lock:
+            seen = set()
+            for mapping in mappings:
+                key = (pkey, mapping)
+                if key in self._store or key in seen:
+                    continue
+                seen.add(key)
+                todo.append(mapping)
+        if not todo:
+            return 0
+        inner_many = getattr(self.inner, "evaluate_many", None)
+        if inner_many is not None:
+            values = [float(v) for v in inner_many(todo, problem)]
+        else:
+            values = [
+                float(self.inner.evaluate_edp(mapping, problem)) for mapping in todo
+            ]
+        inserted = 0
+        with self._lock:
+            for mapping, value in zip(todo, values):
+                key = (pkey, mapping)
+                # Re-check: a concurrent evaluate() may have landed a full
+                # CostStats here while we computed; never downgrade it to a
+                # bare float (or touch its recency).
+                if key in self._store:
+                    continue
+                self._insert(key, value)
+                inserted += 1
+            self._prewarmed += inserted
+        return inserted
+
     # ------------------------------------------------------------------
     # Introspection / management
     # ------------------------------------------------------------------
@@ -186,6 +255,7 @@ class CachedOracle:
                 misses=self._misses,
                 size=len(self._store),
                 maxsize=self.maxsize,
+                prewarmed=self._prewarmed,
             )
 
     def clear(self) -> None:
@@ -194,6 +264,7 @@ class CachedOracle:
             self._store.clear()
             self._hits = 0
             self._misses = 0
+            self._prewarmed = 0
 
     def _insert(self, key, value) -> None:
         self._store[key] = value

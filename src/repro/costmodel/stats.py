@@ -122,5 +122,50 @@ class CostStats:
             f"util={self.utilization:.2%}, PEs={self.spatial_pes}"
         )
 
+    # ---- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dict (inverse of :meth:`from_dict`).
+
+        Floats survive a JSON round-trip exactly (shortest-repr encoding),
+        so serialized statistics compare bit-equal after
+        ``from_dict(json.loads(json.dumps(to_dict())))`` — the property the
+        serving-layer response codec relies on.
+        """
+        return {
+            "problem_name": self.problem_name,
+            "records": [
+                [r.tensor, r.level, r.accesses, r.energy_pj] for r in self.records
+            ],
+            "noc_energy_pj": self.noc_energy_pj,
+            "mac_energy_pj": self.mac_energy_pj,
+            "cycles": self.cycles,
+            "utilization": self.utilization,
+            "spatial_pes": self.spatial_pes,
+            "clock_ghz": self.clock_ghz,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CostStats":
+        """Rebuild full statistics from :meth:`to_dict` output."""
+        return cls(
+            problem_name=str(payload["problem_name"]),
+            records=tuple(
+                TensorLevelEnergy(
+                    tensor=str(tensor),
+                    level=str(level),
+                    accesses=float(accesses),
+                    energy_pj=float(energy),
+                )
+                for tensor, level, accesses, energy in payload["records"]
+            ),
+            noc_energy_pj=float(payload["noc_energy_pj"]),
+            mac_energy_pj=float(payload["mac_energy_pj"]),
+            cycles=float(payload["cycles"]),
+            utilization=float(payload["utilization"]),
+            spatial_pes=int(payload["spatial_pes"]),
+            clock_ghz=float(payload.get("clock_ghz", 1.0)),
+        )
+
 
 __all__ = ["CostStats", "TensorLevelEnergy"]

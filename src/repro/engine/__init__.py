@@ -14,7 +14,8 @@ cost-oracle backends:
 * :mod:`repro.engine.engine` — :class:`MappingEngine`, which lazily
   trains-or-loads surrogates per (algorithm, accelerator-fingerprint) and
   serves :class:`MappingRequest` → :class:`MappingResponse`, one at a time
-  (``engine.map``) or concurrently (``engine.map_batch``).
+  (``engine.map``) or as a coalesced batch (``engine.map_batch``, routed
+  through the :mod:`repro.serve` scheduler).
 
 Quickstart::
 

@@ -4,9 +4,9 @@ Exercises the full serving path end to end in well under a minute: tiny
 surrogate training, every registered searcher through the registry (each
 running the batched ask/tell driver), the batched oracle path (stacked
 surrogate forward + cache hit/miss partitioning checked against the scalar
-path), a concurrent batch, determinism across worker counts, and the
-response serialization codec.  Exits non-zero on any failure, so CI can
-gate on it without pytest.
+path), a coalesced batch checked bit-identical against solo serving, and
+the response serialization codec.  Exits non-zero on any failure, so CI
+can gate on it without pytest.
 """
 
 from __future__ import annotations
@@ -119,17 +119,23 @@ def selftest(verbose: bool = True) -> int:
            "ask/tell driver diverged from run()")
     say("ask/tell: hand-rolled driver == run()")
 
-    # Concurrent batch matches the sequential run bit-for-bit.
+    # Coalesced batch matches solo serving bit-for-bit: the serve-layer
+    # cohort unions same-problem oracle batches, gradient requests run
+    # their own fused path — neither may change any response.
     requests = [
-        MappingRequest(problem, searcher="gradient", iterations=40, seed=seed, tag=str(seed))
-        for seed in range(4)
+        MappingRequest(problem, searcher=searcher, iterations=40, seed=seed,
+                       tag=f"{searcher}/{seed}")
+        for searcher in ("gradient", "annealing", "random")
+        for seed in range(2)
     ]
-    sequential = engine.map_batch(requests, workers=1)
-    concurrent = engine.map_batch(requests, workers=4)
-    for left, right in zip(sequential, concurrent):
+    sequential = [engine.map(request) for request in requests]
+    coalesced = engine.map_batch(requests)
+    for left, right in zip(sequential, coalesced):
         _check(left.mapping == right.mapping, "map_batch nondeterministic")
         _check(left.stats.edp == right.stats.edp, "map_batch EDP mismatch")
-    say("map_batch: 4 workers == sequential")
+        _check(left.result.objective_values == right.result.objective_values,
+               "map_batch changed a search trace")
+    say("map_batch: coalesced cohort == solo serving (traces bit-identical)")
 
     # Serialization round-trip of the full response trace.
     from repro.search.base import SearchResult

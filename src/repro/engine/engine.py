@@ -15,16 +15,21 @@ hand:
 * **Lower bounds** — per-problem algorithmic minima, cached for normalized
   EDP reporting.
 
-``map`` serves one request; ``map_batch`` serves many concurrently (thread
-pool — the autograd engine is thread-safe via thread-local inference mode
-and atomic gradient accumulation into shared parameter tensors).  Within
-each request the search itself is *batched*: searchers run through the
-ask/tell driver, handing whole candidate populations to the shared oracle's
+``map`` serves one request; ``map_batch`` serves many by handing the whole
+batch to the :mod:`repro.serve` coalescing scheduler, which groups
+same-problem requests into lockstep evaluation cohorts — each round, the
+candidate batches of every search in the cohort are unioned into one
+prewarmed ``evaluate_many`` over the shared memoized oracle, so concurrent
+callers share a single vectorized cost-model pass.  Within each request the
+search itself is also *batched*: searchers run through the ask/tell driver,
+handing whole candidate populations to the shared oracle's
 ``evaluate_many`` (cache-partitioned) or to the surrogate's stacked
 forward pass, instead of scalar queries in a loop.
-Responses are deterministic per request seed regardless of worker count or
-scheduling order: searchers read shared surrogate weights but never write
-them, and each search's own state is thread-local.
+Responses are deterministic per request seed regardless of batch
+composition or scheduling order: the batched cost kernels are row-exact
+(each mapping's row is bitwise independent of its batchmates), searchers
+read shared surrogate weights but never write them, and each search's own
+state is private.
 """
 
 from __future__ import annotations
@@ -33,7 +38,6 @@ import hashlib
 import threading
 import time
 import warnings
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import (
@@ -151,7 +155,13 @@ class MappingResponse:
         return self.result.best_so_far()
 
     def to_dict(self, include_trace: bool = False) -> dict:
-        """JSON-compatible dict; ``include_trace`` embeds the full trace."""
+        """JSON-compatible dict; ``include_trace`` embeds the full trace.
+
+        The flat ``edp``/``total_energy_pj``/``cycles``/``utilization``
+        fields are reading conveniences; ``stats`` carries the full
+        :meth:`CostStats.to_dict` codec so :meth:`from_dict` can rebuild
+        the response losslessly (the HTTP gateway's wire format).
+        """
         payload = {
             "tag": self.tag,
             "problem": self.problem,
@@ -161,6 +171,7 @@ class MappingResponse:
             "total_energy_pj": self.stats.total_energy_pj,
             "cycles": self.stats.cycles,
             "utilization": self.stats.utilization,
+            "stats": self.stats.to_dict(),
             "norm_edp": self.norm_edp,
             "best_objective": self.best_objective,
             "n_evaluations": self.n_evaluations,
@@ -171,6 +182,70 @@ class MappingResponse:
         if include_trace:
             payload["result"] = self.result.to_dict()
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: MappingType[str, Any]) -> "MappingResponse":
+        """Rebuild a response from :meth:`to_dict` output.
+
+        When the payload was serialized without ``include_trace``, the
+        trace is reconstructed as a minimal single-point
+        :class:`SearchResult` holding the winning mapping and objective, so
+        ``response.result.best_mapping`` and ``convergence`` stay usable;
+        ``n_evaluations`` (a stored field) still reports the true count.
+        """
+        mapping = Mapping.from_dict(payload["mapping"])
+        best_objective = float(payload["best_objective"])
+        search_time = float(payload["search_time_s"])
+        if "result" in payload:
+            result = SearchResult.from_dict(payload["result"])
+        else:
+            result = SearchResult(
+                searcher=str(payload["searcher"]),
+                problem=str(payload["problem"]),
+                mappings=[mapping],
+                objective_values=[best_objective],
+                eval_times=[search_time],
+                wall_time=search_time,
+            )
+        return cls(
+            tag=str(payload["tag"]),
+            problem=str(payload["problem"]),
+            searcher=str(payload["searcher"]),
+            mapping=mapping,
+            stats=CostStats.from_dict(payload["stats"]),
+            norm_edp=float(payload["norm_edp"]),
+            best_objective=best_objective,
+            n_evaluations=int(payload["n_evaluations"]),
+            search_time_s=search_time,
+            total_time_s=float(payload["total_time_s"]),
+            result=result,
+            provenance={
+                str(k): str(v) for k, v in payload.get("provenance", {}).items()
+            },
+        )
+
+
+@dataclass
+class PreparedSearch:
+    """A request resolved into a ready-to-run searcher.
+
+    The scheduler hook behind :mod:`repro.serve`: preparing (registry
+    resolution, surrogate/oracle injection, searcher construction) is
+    separated from running so an external driver can interleave many
+    prepared searches in lockstep — coalescing their per-round candidate
+    batches into one oracle call — and still finalize each one through
+    exactly the code path :meth:`MappingEngine.map` uses.
+    ``uses_engine_oracle`` records that the engine injected its own shared
+    oracle as the searcher's ``cost_model`` (the precondition for
+    cache-prewarm coalescing).
+    """
+
+    request: MappingRequest
+    name: str
+    searcher: Any
+    surrogate_source: str
+    uses_engine_oracle: bool
+    started: float
 
 
 class MappingEngine:
@@ -321,15 +396,8 @@ class MappingEngine:
     # Serving
     # ------------------------------------------------------------------
 
-    def map(self, request: MappingRequest) -> MappingResponse:
-        """Serve one request: search, score the winner, report provenance.
-
-        The search runs through the generic ask/tell driver
-        (:meth:`repro.search.base.Searcher.run`), so population evaluation
-        is batched end to end: searchers propose whole generations, and the
-        engine's oracle prices each generation in one ``evaluate_many``
-        call.
-        """
+    def _prepare_search(self, request: MappingRequest) -> PreparedSearch:
+        """Resolve a request into a constructed searcher (no evaluation yet)."""
         started = time.perf_counter()
         name = resolve_searcher(request.searcher)
         space = MapSpace(request.problem, self.accelerator)
@@ -341,25 +409,32 @@ class MappingEngine:
             surrogate_source = self._pipeline_sources.get(
                 request.problem.algorithm, ""
             )
+        uses_engine_oracle = False
         if "cost_model" in parameters and "cost_model" not in config:
             # Oracle-driven searchers share the engine's memoized oracle.
             # Their ask/tell driver prices whole populations through
             # ``oracle.evaluate_many``, so each generation is one partitioned
             # cache query (hits answered in place, only misses forwarded).
             config["cost_model"] = self.oracle
+            uses_engine_oracle = True
         searcher = make_searcher(name, space, **config)
-
-        search_started = time.perf_counter()
-        result = searcher.run(
-            request.iterations,
-            seed=request.seed,
-            time_budget_s=request.time_budget_s,
+        return PreparedSearch(
+            request=request,
+            name=name,
+            searcher=searcher,
+            surrogate_source=surrogate_source,
+            uses_engine_oracle=uses_engine_oracle,
+            started=started,
         )
-        search_time = time.perf_counter() - search_started
 
+    def _finalize_search(
+        self, prepared: PreparedSearch, result: SearchResult, search_time: float
+    ) -> MappingResponse:
+        """Score the winner with the true oracle and assemble the response."""
+        request = prepared.request
         if result.n_evaluations == 0:
             raise RuntimeError(
-                f"searcher {name!r} returned no evaluations for "
+                f"searcher {prepared.name!r} returned no evaluations for "
                 f"{request.problem.name!r} — time_budget_s="
                 f"{request.time_budget_s} expired before the first candidate "
                 f"was scored; raise the budget"
@@ -375,52 +450,78 @@ class MappingEngine:
         norm_edp = stats.edp / self._lower_bound_edp(request.problem)
         provenance = {
             "engine": "repro.engine",
-            "searcher": name,
+            "searcher": prepared.name,
             "accelerator": self.accelerator.name,
             "accel_fingerprint": self.accelerator.fingerprint(),
         }
-        if surrogate_source:
-            provenance["surrogate"] = surrogate_source
+        if prepared.surrogate_source:
+            provenance["surrogate"] = prepared.surrogate_source
         return MappingResponse(
             tag=request.tag,
             problem=request.problem.name,
-            searcher=name,
+            searcher=prepared.name,
             mapping=best,
             stats=stats,
             norm_edp=norm_edp,
             best_objective=result.best_objective,
             n_evaluations=result.n_evaluations,
             search_time_s=search_time,
-            total_time_s=time.perf_counter() - started,
+            total_time_s=time.perf_counter() - prepared.started,
             result=result,
             provenance=provenance,
         )
 
+    def map(self, request: MappingRequest) -> MappingResponse:
+        """Serve one request: search, score the winner, report provenance.
+
+        The search runs through the generic ask/tell driver
+        (:meth:`repro.search.base.Searcher.run`), so population evaluation
+        is batched end to end: searchers propose whole generations, and the
+        engine's oracle prices each generation in one ``evaluate_many``
+        call.
+        """
+        prepared = self._prepare_search(request)
+        search_started = time.perf_counter()
+        result = prepared.searcher.run(
+            request.iterations,
+            seed=request.seed,
+            time_budget_s=request.time_budget_s,
+        )
+        search_time = time.perf_counter() - search_started
+        return self._finalize_search(prepared, result, search_time)
+
     def map_batch(
         self, requests: Sequence[MappingRequest], workers: int = 1
     ) -> List[MappingResponse]:
-        """Serve ``requests`` with ``workers`` threads, preserving order.
+        """Serve ``requests`` through the coalescing scheduler, in order.
 
-        Surrogates needed by the batch are materialized up front (training
-        is the one mutation; doing it before the fan-out keeps workers
-        lock-free on the hot path).  Per-request seeds make the output
-        independent of scheduling.
+        Delegates to :func:`repro.serve.cohort.serve_batch`: surrogates
+        needed by the batch are materialized up front, same-problem
+        oracle-driven searches run in an evaluation cohort (their per-round
+        candidate batches unioned into one prewarmed ``evaluate_many``),
+        and everything else runs through :meth:`map`.  Responses are
+        bit-identical to serving each request solo — per-request seeds and
+        row-exact batched kernels make the output independent of batch
+        composition.
+
+        ``workers`` is deprecated: the thread-pool fan-out it used to
+        control has been replaced by evaluation coalescing, which beats it
+        on throughput without giving up single-process determinism.  The
+        parameter is validated and otherwise ignored.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        algorithms = {
-            request.problem.algorithm
-            for request in requests
-            if _wants_engine_surrogate(
-                searcher_parameters(request.searcher), request.searcher_config
+        if workers != 1:
+            warnings.warn(
+                "MappingEngine.map_batch(workers=...) is deprecated: batches "
+                "are served by the repro.serve coalescing scheduler and the "
+                "thread-pool path is gone; drop the argument",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        }
-        for algorithm in algorithms:
-            self.pipeline_for(algorithm)
-        if workers == 1 or len(requests) <= 1:
-            return [self.map(request) for request in requests]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self.map, requests))
+        from repro.serve.cohort import serve_batch
+
+        return serve_batch(self, requests)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -447,4 +548,10 @@ class MappingEngine:
         return bound
 
 
-__all__ = ["EngineConfig", "MappingEngine", "MappingRequest", "MappingResponse"]
+__all__ = [
+    "EngineConfig",
+    "MappingEngine",
+    "MappingRequest",
+    "MappingResponse",
+    "PreparedSearch",
+]

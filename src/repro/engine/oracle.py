@@ -11,7 +11,11 @@ remote/timeloop-backed oracle) without touching request handling:
   (approximate, but differentiable and orders of magnitude cheaper for the
   paper's real Timeloop-class reference models),
 * :class:`~repro.costmodel.cache.CachedOracle` — LRU memoization around any
-  other oracle (re-exported here for discoverability).
+  other oracle (re-exported here for discoverability).  Beyond the
+  protocol it offers ``prewarm(mappings, problem)``, the counter-neutral
+  bulk-insert hook the serving layer's lockstep cohorts
+  (:mod:`repro.serve.cohort`) use to price the union of many concurrent
+  searches' candidate batches in one vectorized pass.
 
 Every oracle speaks **batched** as well as scalar: ``evaluate_many`` prices
 a whole population per call.  The ask/tell searchers

@@ -25,7 +25,9 @@ from repro.harness.export import (
     curves_to_csv,
     curves_to_json,
     load_curves_json,
+    load_response_json,
     load_result_json,
+    response_to_json,
     result_to_json,
 )
 
@@ -40,7 +42,9 @@ __all__ = [
     "curves_to_json",
     "format_table",
     "load_curves_json",
+    "load_response_json",
     "load_result_json",
+    "response_to_json",
     "result_to_json",
     "geomean_ratios",
     "run_iso_iteration",

@@ -32,6 +32,26 @@ def load_result_json(path: Path) -> SearchResult:
     return SearchResult.from_dict(json.loads(Path(path).read_text()))
 
 
+def response_to_json(response, path: Path, include_trace: bool = True) -> None:
+    """Write a full engine/serving response as JSON.
+
+    Uses the serving wire codec (:meth:`MappingResponse.to_dict` with the
+    embedded full ``CostStats``), so files written here and payloads
+    fetched from the HTTP gateway load through the same
+    :func:`load_response_json` / :meth:`MappingResponse.from_dict` path.
+    """
+    Path(path).write_text(
+        json.dumps(response.to_dict(include_trace=include_trace), indent=2)
+    )
+
+
+def load_response_json(path: Path):
+    """Inverse of :func:`response_to_json`."""
+    from repro.engine.engine import MappingResponse
+
+    return MappingResponse.from_dict(json.loads(Path(path).read_text()))
+
+
 def curves_to_csv(curves: MappingType[str, MethodCurve], path: Path) -> None:
     """Write curves as long-format CSV: method, grid, mean, std."""
     path = Path(path)
@@ -86,6 +106,8 @@ __all__ = [
     "curves_to_csv",
     "curves_to_json",
     "load_curves_json",
+    "load_response_json",
     "load_result_json",
+    "response_to_json",
     "result_to_json",
 ]

@@ -1,0 +1,183 @@
+"""Dynamic micro-batcher: coalesce compatible requests, flush on size or deadline.
+
+The batcher is a *pure* data structure — no threads, no wall clock of its
+own.  The server's dispatcher drives it with explicit timestamps, which is
+also what makes the flush policy unit-testable with a fake clock:
+
+* :meth:`MicroBatcher.add` files a pending request under its group key
+  (same problem ⇒ same group ⇒ coalescible into one vectorized evaluation
+  cohort, see :mod:`repro.serve.cohort`) and returns a flushed
+  :class:`Batch` immediately when the group hits ``max_batch`` (size
+  trigger) or the request is high-priority (priority lane: latency beats
+  batching).
+* :meth:`MicroBatcher.poll` flushes every group whose oldest member has
+  waited ``max_wait_s`` (deadline trigger), so a lone request is never
+  stuck behind a batch that isn't filling.
+* :meth:`MicroBatcher.next_deadline` tells the dispatcher how long it may
+  sleep.
+
+Within a flushed batch, items are ordered by ``(priority, arrival)`` so
+high-priority requests are also served first inside their cohort.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.costmodel.cache import problem_key
+from repro.engine.engine import MappingRequest
+
+
+class Priority(enum.IntEnum):
+    """Request lanes; lower values are served (and flushed) sooner."""
+
+    HIGH = 0
+    NORMAL = 1
+
+
+_SEQUENCE = itertools.count()
+
+
+@dataclass(order=False)
+class PendingRequest:
+    """One enqueued request: the work item the batcher and server share."""
+
+    request: MappingRequest
+    future: "Future"
+    priority: Priority = Priority.NORMAL
+    enqueued_at: float = 0.0
+    #: Collapse identity (``codec.request_key``); ``None`` when not collapsible.
+    key: Optional[Hashable] = None
+    seq: int = field(default_factory=lambda: next(_SEQUENCE))
+
+    def order_key(self):
+        return (int(self.priority), self.seq)
+
+
+@dataclass
+class Batch:
+    """A flushed group of pending requests, ready for a worker."""
+
+    group: Hashable
+    items: List[PendingRequest]
+    trigger: str  # "size" | "deadline" | "priority" | "drain"
+    flushed_at: float
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def priority(self) -> Priority:
+        return min((item.priority for item in self.items), default=Priority.NORMAL)
+
+    def order_key(self):
+        return (int(self.priority), min(item.seq for item in self.items))
+
+
+def default_group_key(request: MappingRequest) -> Hashable:
+    """Group by problem identity: one group = one evaluation cohort.
+
+    Requests over the same problem share the batched oracle rounds and the
+    surrogate, whatever their searcher; requests over different problems
+    can't share a stacked evaluation, so batching them together would only
+    add latency.
+    """
+    return problem_key(request.problem)
+
+
+class MicroBatcher:
+    """Size-or-deadline request coalescing over per-group queues."""
+
+    def __init__(
+        self,
+        max_batch: int = 32,
+        max_wait_s: float = 0.005,
+        group_key: Callable[[MappingRequest], Hashable] = default_group_key,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.group_key = group_key
+        # Group insertion order is flush tie-break order (oldest first).
+        self._groups: "OrderedDict[Hashable, List[PendingRequest]]" = OrderedDict()
+
+    @property
+    def depth(self) -> int:
+        """Pending requests currently waiting in the batcher."""
+        return sum(len(items) for items in self._groups.values())
+
+    def add(self, pending: PendingRequest, now: float) -> Optional[Batch]:
+        """File ``pending``; return a batch when its group must flush now.
+
+        Size trigger: the group reached ``max_batch``.  Priority lane: a
+        high-priority arrival flushes its group immediately — it still
+        rides with whatever compatible requests were already waiting, but
+        never waits out ``max_wait_s`` itself.
+        """
+        pending.enqueued_at = now
+        group = self.group_key(pending.request)
+        items = self._groups.setdefault(group, [])
+        items.append(pending)
+        if len(items) >= self.max_batch:
+            return self._flush(group, "size", now)
+        if pending.priority == Priority.HIGH:
+            return self._flush(group, "priority", now)
+        return None
+
+    def poll(self, now: float) -> List[Batch]:
+        """Flush every group whose oldest member hit the deadline."""
+        due = [
+            group
+            for group, items in self._groups.items()
+            if now - items[0].enqueued_at >= self.max_wait_s
+        ]
+        return [self._flush(group, "deadline", now) for group in due]
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest instant a group becomes due, or ``None`` when empty."""
+        oldest = [items[0].enqueued_at for items in self._groups.values()]
+        return min(oldest) + self.max_wait_s if oldest else None
+
+    def flush_all(self, now: float) -> List[Batch]:
+        """Flush everything regardless of size/age (drain path)."""
+        return [self._flush(group, "drain", now) for group in list(self._groups)]
+
+    def flush_group(self, group: Hashable, now: float) -> Optional[Batch]:
+        """Flush one group immediately, or ``None`` if it holds nothing.
+
+        The server's escape hatch for priority upgrades: when a
+        high-priority request collapses onto an in-flight duplicate whose
+        leader is still waiting here, the leader's group must ship now.
+        """
+        if group not in self._groups:
+            return None
+        return self._flush(group, "priority", now)
+
+    def group_has_key(self, group: Hashable, key: Hashable) -> bool:
+        """True when ``group`` currently holds a request with collapse
+        identity ``key`` (lets the server flush a group only when the
+        in-flight leader it cares about is actually waiting in it)."""
+        items = self._groups.get(group)
+        return bool(items) and any(item.key == key for item in items)
+
+    def _flush(self, group: Hashable, trigger: str, now: float) -> Batch:
+        items = self._groups.pop(group)
+        items.sort(key=PendingRequest.order_key)
+        return Batch(group=group, items=items, trigger=trigger, flushed_at=now)
+
+
+__all__ = [
+    "Batch",
+    "MicroBatcher",
+    "PendingRequest",
+    "Priority",
+    "default_group_key",
+]

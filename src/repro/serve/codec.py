@@ -1,0 +1,150 @@
+"""JSON codecs for serving traffic: problems, requests, responses.
+
+The HTTP gateway, the load generator, and remote clients all speak one wire
+format, built from the value types' own ``to_dict``/``from_dict`` codecs
+(:meth:`Mapping.to_dict`, :meth:`SearchResult.to_dict`,
+:meth:`CostStats.to_dict`, :meth:`MappingResponse.to_dict`).  This module
+adds the two pieces those types don't carry themselves — the
+:class:`~repro.workloads.problem.Problem` codec and the
+:class:`~repro.engine.MappingRequest` envelope — plus :func:`request_key`,
+the identity the server uses to collapse duplicate in-flight requests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, Mapping as MappingType, Optional
+
+from repro.costmodel.cache import problem_key
+from repro.engine.engine import MappingRequest, MappingResponse
+from repro.engine.registry import resolve_searcher
+from repro.workloads.problem import Dimension, Problem, TensorSpec
+
+
+def problem_to_dict(problem: Problem) -> Dict[str, Any]:
+    """JSON-compatible dict (inverse of :func:`problem_from_dict`)."""
+    return {
+        "name": problem.name,
+        "algorithm": problem.algorithm,
+        "dims": [[d.name, d.bound] for d in problem.dims],
+        "tensors": [
+            {
+                "name": t.name,
+                "axes": [list(axis) for axis in t.axes],
+                "is_output": t.is_output,
+            }
+            for t in problem.tensors
+        ],
+        "ops_per_point": problem.ops_per_point,
+        "extra": dict(problem.extra),
+    }
+
+
+def problem_from_dict(payload: MappingType[str, Any]) -> Problem:
+    """Rebuild a problem (revalidates dimension/tensor invariants)."""
+    return Problem(
+        name=str(payload["name"]),
+        algorithm=str(payload["algorithm"]),
+        dims=tuple(
+            Dimension(str(name), int(bound)) for name, bound in payload["dims"]
+        ),
+        tensors=tuple(
+            TensorSpec(
+                name=str(t["name"]),
+                axes=tuple(tuple(str(d) for d in axis) for axis in t["axes"]),
+                is_output=bool(t.get("is_output", False)),
+            )
+            for t in payload["tensors"]
+        ),
+        ops_per_point=int(payload.get("ops_per_point", 1)),
+        extra={str(k): int(v) for k, v in payload.get("extra", {}).items()},
+    )
+
+
+def request_to_dict(request: MappingRequest) -> Dict[str, Any]:
+    """JSON-compatible dict (inverse of :func:`request_from_dict`).
+
+    ``searcher_config`` must be JSON-serializable; requests carrying live
+    objects (an injected surrogate, a custom oracle) are in-process-only
+    and raise here rather than silently dropping fields on the wire.
+    """
+    config = dict(request.searcher_config)
+    json.dumps(config)  # raises TypeError for non-wire-safe configs
+    return {
+        "problem": problem_to_dict(request.problem),
+        "searcher": request.searcher,
+        "iterations": request.iterations,
+        "seed": request.seed,
+        "time_budget_s": request.time_budget_s,
+        "searcher_config": config,
+        "tag": request.tag,
+    }
+
+
+def request_from_dict(payload: MappingType[str, Any]) -> MappingRequest:
+    """Rebuild a request (revalidates via ``MappingRequest.__post_init__``)."""
+    seed = payload.get("seed")
+    budget = payload.get("time_budget_s")
+    return MappingRequest(
+        problem=problem_from_dict(payload["problem"]),
+        searcher=str(payload.get("searcher", "gradient")),
+        iterations=int(payload.get("iterations", 500)),
+        seed=None if seed is None else int(seed),
+        time_budget_s=None if budget is None else float(budget),
+        searcher_config=dict(payload.get("searcher_config", {})),
+        tag=str(payload.get("tag", "")),
+    )
+
+
+def response_to_dict(
+    response: MappingResponse, include_trace: bool = False
+) -> Dict[str, Any]:
+    """Alias of :meth:`MappingResponse.to_dict` for codec symmetry."""
+    return response.to_dict(include_trace=include_trace)
+
+
+def response_from_dict(payload: MappingType[str, Any]) -> MappingResponse:
+    """Alias of :meth:`MappingResponse.from_dict` for codec symmetry."""
+    return MappingResponse.from_dict(payload)
+
+
+def request_key(request: MappingRequest) -> Optional[Hashable]:
+    """Collapse identity for duplicate-request coalescing, or ``None``.
+
+    Two requests share a key exactly when the engine is guaranteed to
+    produce the same response for both (up to the opaque ``tag``, which is
+    re-stamped per caller): same problem, same canonical searcher, same
+    budget, same config, and an explicit seed.  Unseeded or time-budgeted
+    requests are not idempotent — their results depend on entropy or
+    wall-clock — and configs that don't canonicalize through JSON (live
+    objects) have no stable identity; all of those return ``None`` and are
+    never collapsed.
+    """
+    if request.seed is None or request.time_budget_s is not None:
+        return None
+    try:
+        config = json.dumps(dict(request.searcher_config), sort_keys=True)
+    except (TypeError, ValueError):
+        return None
+    try:
+        searcher = resolve_searcher(request.searcher)
+    except KeyError:
+        return None
+    return (
+        problem_key(request.problem),
+        searcher,
+        request.iterations,
+        request.seed,
+        config,
+    )
+
+
+__all__ = [
+    "problem_from_dict",
+    "problem_to_dict",
+    "request_from_dict",
+    "request_key",
+    "request_to_dict",
+    "response_from_dict",
+    "response_to_dict",
+]

@@ -1,0 +1,203 @@
+"""Lockstep evaluation cohorts: many concurrent searches, one oracle batch.
+
+A *cohort* is a set of prepared searches over the same problem, driven
+through the batched ask/tell protocol in lockstep.  Each round, every live
+search proposes its candidate batch; the union of all batches is prewarmed
+into the engine's shared :class:`~repro.costmodel.cache.CachedOracle` with
+a single ``evaluate_many`` — one partitioned cache query, one vectorized
+cost-model pass over the whole union — and then each search's own metered
+budget replays its batch from cache.  Independent requests thereby share
+the wide vectorized path the backend is fastest at (PR 3's batched
+analytical kernels) while every per-search decision stays untouched.
+
+**Determinism.**  Each member runs *exactly* the generic driver loop of
+:meth:`repro.search.base.Searcher.run` — same reset, same
+ask → ``budget.evaluate_many`` → tell sequence, same budget truncation —
+so the only thing coalescing changes is which inner batch computed a
+cached value first.  The batched cost kernels are row-exact (a mapping's
+row is bitwise independent of its batchmates; pinned by
+``tests/test_serve_cohort.py``), so the values a search is told, and hence
+its full trace and response, are bit-identical to serving it solo.
+
+Cohort-ineligible requests (surrogate-driven searchers whose evaluation is
+already one stacked forward per round, caller-supplied oracles, wall-clock
+time budgets) fall back to :meth:`MappingEngine.map` unchanged.
+
+**Timing semantics.**  Bit-identity covers mappings, statistics, and
+objective traces — not clocks.  A cohort member's ``search_time_s``,
+``result.wall_time``, and ``eval_times`` are wall-clock measurements of a
+*shared* execution, so they include the rounds of interleaved cohort
+mates — exactly the latency the request actually experienced on a batched
+server.  Iso-time *experiments* should keep driving ``searcher.run``
+directly (as ``repro.harness`` does); serving timestamps describe service,
+not isolated compute.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.costmodel.cache import CachedOracle, problem_key
+from repro.engine.engine import (
+    MappingEngine,
+    MappingRequest,
+    MappingResponse,
+    PreparedSearch,
+    _wants_engine_surrogate,
+)
+from repro.engine.registry import searcher_parameters
+from repro.mapspace.mapping import Mapping
+from repro.search.base import BudgetedObjective
+from repro.workloads.problem import Problem
+
+#: Smallest union worth a prewarm round-trip.  Below this the vectorized
+#: pass can't amortize the extra cache bookkeeping (each member's metered
+#: ``evaluate_many`` re-touches every entry the prewarm just inserted) —
+#: e.g. a cohort of sequential SA chains proposes one candidate each, and
+#: merging three singletons buys nothing.  Members still share the cache
+#: either way, so skipping the prewarm never changes any value.
+MIN_PREWARM_UNION = 8
+
+
+@dataclass
+class _Member:
+    """One cohort member: a prepared search plus its metered budget."""
+
+    index: int
+    prepared: PreparedSearch
+    budget: BudgetedObjective = field(init=False)
+
+    def __post_init__(self) -> None:
+        request = self.prepared.request
+        self.budget = self.prepared.searcher.make_budget(
+            request.iterations, request.time_budget_s
+        )
+        self.prepared.searcher.reset(request.seed, iterations=request.iterations)
+
+
+def coalescible(engine: MappingEngine, prepared: PreparedSearch) -> bool:
+    """True when this search may join a prewarm cohort.
+
+    Requires the engine's own memoizing oracle on the search path (the
+    prewarm writes there) and no wall-clock time budget (deadline
+    truncation depends on elapsed time, which coalescing would change —
+    such requests run solo so their traces stay self-consistent).
+    """
+    return (
+        prepared.uses_engine_oracle
+        and isinstance(engine.oracle, CachedOracle)
+        and prepared.request.time_budget_s is None
+    )
+
+
+def run_cohort(
+    engine: MappingEngine, members: Sequence[_Member], problem: Problem
+) -> List[Tuple[_Member, MappingResponse]]:
+    """Drive ``members`` in lockstep over one problem; returns responses.
+
+    The per-member loop is the :meth:`Searcher.run` driver verbatim; the
+    rounds of different members are interleaved only so their candidate
+    batches can be unioned into one prewarmed oracle query.
+    """
+    oracle = engine.oracle
+    search_started = time.perf_counter()
+    live = list(members)
+    finished: List[Tuple[_Member, MappingResponse]] = []
+
+    def finish(member: _Member) -> None:
+        result = member.budget.result(
+            member.prepared.searcher.name, problem.name
+        )
+        response = engine._finalize_search(
+            member.prepared, result, time.perf_counter() - search_started
+        )
+        finished.append((member, response))
+
+    while live:
+        round_pairs: List[Tuple[_Member, List[Mapping]]] = []
+        for member in live:
+            if member.budget.exhausted:
+                finish(member)
+                continue
+            batch = member.prepared.searcher.ask()
+            if not batch:
+                finish(member)
+                continue
+            round_pairs.append((member, batch))
+        if not round_pairs:
+            break
+        if len(round_pairs) > 1:
+            # The whole round in one vectorized pass.  Budget truncation is
+            # anticipated (prefixes only) so the last round never prices
+            # candidates no member will record.
+            union: List[Mapping] = []
+            for member, batch in round_pairs:
+                union.extend(batch[: member.budget.remaining])
+            if len(union) >= MIN_PREWARM_UNION:
+                oracle.prewarm(union, problem)
+        for member, batch in round_pairs:
+            values = member.budget.evaluate_many(batch)
+            member.prepared.searcher.tell(batch[: len(values)], values)
+        live = [member for member, _ in round_pairs]
+    return finished
+
+
+def serve_batch(
+    engine: MappingEngine, requests: Sequence[MappingRequest]
+) -> List[MappingResponse]:
+    """Serve ``requests`` with cohort coalescing, preserving input order.
+
+    Surrogates needed anywhere in the batch are materialized up front
+    (training is the one engine mutation; front-loading it keeps the rest
+    of the batch read-only on shared state).  Requests are grouped by
+    problem identity; within a group, cohort-eligible searches run in
+    lockstep sharing prewarmed oracle batches, everything else goes
+    through :meth:`MappingEngine.map` unchanged.
+    """
+    requests = list(requests)
+    algorithms = {
+        request.problem.algorithm
+        for request in requests
+        if _wants_engine_surrogate(
+            searcher_parameters(request.searcher), request.searcher_config
+        )
+    }
+    for algorithm in algorithms:
+        engine.pipeline_for(algorithm)
+
+    responses: List[Optional[MappingResponse]] = [None] * len(requests)
+    groups: Dict[Hashable, List[int]] = {}
+    for index, request in enumerate(requests):
+        groups.setdefault(problem_key(request.problem), []).append(index)
+
+    for indices in groups.values():
+        cohort: List[_Member] = []
+        for index in indices:
+            prepared = engine._prepare_search(requests[index])
+            if coalescible(engine, prepared):
+                cohort.append(_Member(index=index, prepared=prepared))
+            else:
+                search_started = time.perf_counter()
+                result = prepared.searcher.run(
+                    requests[index].iterations,
+                    seed=requests[index].seed,
+                    time_budget_s=requests[index].time_budget_s,
+                )
+                responses[index] = engine._finalize_search(
+                    prepared, result, time.perf_counter() - search_started
+                )
+        if cohort:
+            problem = requests[cohort[0].index].problem
+            for member, response in run_cohort(engine, cohort, problem):
+                responses[member.index] = response
+    unanswered = [i for i, response in enumerate(responses) if response is None]
+    if unanswered:  # -O-safe: the gateway must never relay a None response
+        raise RuntimeError(
+            f"serve_batch scheduling bug: requests {unanswered} got no response"
+        )
+    return responses  # type: ignore[return-value]
+
+
+__all__ = ["coalescible", "run_cohort", "serve_batch"]

@@ -1,0 +1,266 @@
+"""Live serving metrics: counters, histograms, and streaming quantiles.
+
+Everything here is stdlib-only and cheap enough to sit on the request hot
+path: counters are one lock-protected integer add, the batch-size histogram
+is a bucket increment, and latency percentiles come from the P² streaming
+quantile estimator (Jain & Chlamtac 1985) — five markers per quantile,
+O(1) per observation, no sample buffer to grow.  ``MetricsRegistry``
+aggregates all of it into the one ``snapshot()`` dict the HTTP gateway and
+the load generator read.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+
+class Counter:
+    """Monotonic thread-safe counter."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm.
+
+    Tracks one quantile ``q`` with five markers whose heights approximate
+    the empirical quantile curve; each ``observe`` adjusts marker positions
+    with the piecewise-parabolic update.  Exact (sorted-buffer) until five
+    observations, then O(1) per observation and O(1) memory forever.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+        self._increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        if len(self._heights) < 5:
+            self._heights.append(value)
+            self._heights.sort()
+            return
+        heights, positions = self._heights, self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = next(i for i in range(4) if value < heights[i + 1])
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                sign = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    # Parabolic prediction left the bracket: linear update.
+                    j = i + (1 if sign > 0 else -1)
+                    heights[i] += sign * (heights[j] - heights[i]) / (
+                        positions[j] - positions[i]
+                    )
+                positions[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + sign / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + sign)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - sign)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def value(self) -> Optional[float]:
+        """Current estimate, or ``None`` before the first observation."""
+        if not self._heights:
+            return None
+        if self._count <= 5:
+            # Exact small-sample quantile (nearest-rank on the buffer).
+            ordered = sorted(self._heights)
+            rank = min(int(self.q * len(ordered)), len(ordered) - 1)
+            return ordered[rank]
+        return self._heights[2]
+
+
+class LatencyTracker:
+    """p50/p95/p99 (plus count/mean/max) over a stream of latencies."""
+
+    QUANTILES = (0.50, 0.95, 0.99)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._estimators = {q: P2Quantile(q) for q in self.QUANTILES}
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        with self._lock:
+            for estimator in self._estimators.values():
+                estimator.observe(seconds)
+            self._count += 1
+            self._sum += seconds
+            self._max = max(self._max, seconds)
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        """Quantiles in milliseconds, as the gateway reports them."""
+        with self._lock:
+            def ms(value: Optional[float]) -> Optional[float]:
+                return None if value is None else value * 1e3
+
+            return {
+                "count": self._count,
+                "mean_ms": ms(self._sum / self._count) if self._count else None,
+                "max_ms": ms(self._max) if self._count else None,
+                "p50_ms": ms(self._estimators[0.50].value()),
+                "p95_ms": ms(self._estimators[0.95].value()),
+                "p99_ms": ms(self._estimators[0.99].value()),
+            }
+
+
+class SizeHistogram:
+    """Power-of-two bucketed histogram (1, 2, 4, ... , >top)."""
+
+    def __init__(self, top: int = 256) -> None:
+        if top < 1:
+            raise ValueError(f"top must be >= 1, got {top}")
+        self._bounds: List[int] = []
+        bound = 1
+        while bound <= top:
+            self._bounds.append(bound)
+            bound *= 2
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._total = 0
+        self._sum = 0
+
+    def observe(self, size: int) -> None:
+        size = int(size)
+        with self._lock:
+            for index, bound in enumerate(self._bounds):
+                if size <= bound:
+                    self._counts[index] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+            self._total += 1
+            self._sum += size
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            buckets = {
+                f"<={bound}": count
+                for bound, count in zip(self._bounds, self._counts)
+                if count
+            }
+            if self._counts[-1]:
+                buckets[f">{self._bounds[-1]}"] = self._counts[-1]
+            return {
+                "count": self._total,
+                "mean": self._sum / self._total if self._total else None,
+                "buckets": buckets,
+            }
+
+
+class MetricsRegistry:
+    """All serving metrics behind one ``snapshot()``.
+
+    Counter names are fixed (``submitted``, ``served``, ``rejected``,
+    ``collapsed``, ``response_cache_hits``, ``errors``, ``batches``) so the
+    snapshot schema is stable for scrapers; unknown names raise rather than
+    silently creating drifting series.
+    """
+
+    COUNTERS = (
+        "submitted",
+        "served",
+        "rejected",
+        "collapsed",
+        "response_cache_hits",
+        "errors",
+        "batches",
+    )
+
+    def __init__(self) -> None:
+        self._started = time.monotonic()
+        self._counters = {name: Counter() for name in self.COUNTERS}
+        self.latency = LatencyTracker()
+        self.batch_sizes = SizeHistogram()
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name].inc(amount)
+
+    def count(self, name: str) -> int:
+        return self._counters[name].value
+
+    def observe_batch(self, size: int) -> None:
+        self._counters["batches"].inc()
+        self.batch_sizes.observe(size)
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latency.observe(seconds)
+
+    def snapshot(
+        self,
+        queue_depth: Optional[int] = None,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """One JSON-compatible dict with every live metric."""
+        served = self.count("served")
+        uptime = time.monotonic() - self._started
+        payload: Dict[str, object] = {
+            "uptime_s": uptime,
+            "throughput_rps": served / uptime if uptime > 0 else 0.0,
+            "counters": {name: self.count(name) for name in self.COUNTERS},
+            "batch_size": self.batch_sizes.snapshot(),
+            "latency": self.latency.snapshot(),
+        }
+        if queue_depth is not None:
+            payload["queue_depth"] = queue_depth
+        if extra:
+            payload.update(extra)
+        return payload
+
+
+__all__ = [
+    "Counter",
+    "LatencyTracker",
+    "MetricsRegistry",
+    "P2Quantile",
+    "SizeHistogram",
+]

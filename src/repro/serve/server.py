@@ -1,0 +1,525 @@
+"""The serving front-end: bounded queue, micro-batching, workers, metrics.
+
+``MappingServer`` is the traffic layer in front of one
+:class:`~repro.engine.MappingEngine`:
+
+* **Admission control** — ``submit`` returns a future; when the house is
+  full (queued + running ≥ ``max_queue``) it raises
+  :class:`ServerOverloaded` carrying a ``retry_after_s`` hint instead of
+  letting the queue grow without bound (the HTTP gateway maps this to
+  ``429`` + ``Retry-After``).
+* **Duplicate collapsing** — identical idempotent requests (same problem,
+  searcher, budget, config, explicit seed) in flight at the same time are
+  served by one search; followers get the same response re-stamped with
+  their own tag.  A small LRU response cache extends the same idea across
+  time.
+* **Micro-batching** — admitted requests flow through a
+  :class:`~repro.serve.batcher.MicroBatcher` grouping same-problem
+  requests, flushed on size, deadline, or high-priority arrival, then
+  served by :func:`~repro.serve.cohort.serve_batch` so the whole batch
+  shares vectorized oracle rounds.
+* **Workers** — a small thread pool drains flushed batches in
+  ``(priority, arrival)`` order; per-request responses are bit-identical
+  to solo serving regardless of scheduling (seeded requests + row-exact
+  kernels), so concurrency never changes answers.
+* **Lifecycle** — ``drain()`` stops admission and waits for in-flight
+  work; ``shutdown()`` drains and joins the threads.  The server is a
+  context manager.
+
+Every stage feeds the :class:`~repro.serve.metrics.MetricsRegistry`
+snapshot: queue depth, batch-size histogram, latency quantiles, collapse
+and rejection counters, plus the engine's oracle cache hit rate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.engine.engine import MappingEngine, MappingRequest, MappingResponse
+from repro.engine.registry import resolve_searcher
+from repro.serve.batcher import (
+    Batch,
+    MicroBatcher,
+    PendingRequest,
+    Priority,
+    default_group_key,
+)
+from repro.serve.codec import request_key
+from repro.serve.cohort import serve_batch
+from repro.serve.metrics import MetricsRegistry
+
+
+def _resolve_future(future: Future, value=None, error=None) -> None:
+    """Resolve a future, tolerating client-side cancellation.
+
+    A client may ``cancel()`` a future while its request is still queued;
+    the work is cheap enough that the batch runs anyway (collapsed
+    followers may still want the result), but setting a result on a
+    cancelled future raises — and an exception here would kill the worker
+    thread mid-batch and strand its batchmates.
+    """
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(value)
+    except InvalidStateError:
+        pass  # cancelled while queued; nothing is owed
+
+
+class ServerOverloaded(RuntimeError):
+    """Admission rejected: the queue is full.  Retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float, depth: int) -> None:
+        super().__init__(
+            f"server overloaded ({depth} requests in flight); "
+            f"retry after {retry_after_s:.2f}s"
+        )
+        self.retry_after_s = retry_after_s
+        self.depth = depth
+
+
+class ServerClosed(RuntimeError):
+    """Submission after ``drain``/``shutdown``."""
+
+
+@dataclass
+class ServeConfig:
+    """Serving-layer knobs (engine knobs live on :class:`EngineConfig`)."""
+
+    #: Flush a group at this many requests (size trigger).
+    max_batch: int = 32
+    #: Flush a group when its oldest request has waited this long.
+    max_wait_s: float = 0.005
+    #: Admission bound: queued + running requests before rejection.
+    max_queue: int = 256
+    #: Worker threads draining flushed batches.
+    workers: int = 2
+    #: Collapse identical in-flight requests onto one search.
+    collapse_duplicates: bool = True
+    #: Entries in the response LRU (0 disables response caching).
+    response_cache_size: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.response_cache_size < 0:
+            raise ValueError(
+                f"response_cache_size must be >= 0, got {self.response_cache_size}"
+            )
+
+
+@dataclass(order=True)
+class _Job:
+    """Heap entry: flushed batch ordered by (priority, arrival)."""
+
+    sort_key: Tuple[int, int]
+    batch: Batch = field(compare=False)
+
+
+class MappingServer:
+    """High-throughput serving layer over one :class:`MappingEngine`."""
+
+    def __init__(
+        self,
+        engine: MappingEngine,
+        config: Optional[ServeConfig] = None,
+        runner: Optional[
+            Callable[[MappingEngine, Sequence[MappingRequest]], List[MappingResponse]]
+        ] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """``runner`` replaces the batch executor (tests inject stubs);
+        ``clock`` replaces the monotonic clock for deterministic tests."""
+        self.engine = engine
+        self.config = config or ServeConfig()
+        self.metrics = MetricsRegistry()
+        self._runner = runner or serve_batch
+        self._clock = clock
+        self._batcher = MicroBatcher(
+            max_batch=self.config.max_batch, max_wait_s=self.config.max_wait_s
+        )
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._dispatch_wake = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._ready: List[_Job] = []
+        #: key -> [(tag, future, enqueued_at)] of collapsed followers.
+        self._inflight: Dict[Hashable, List[Tuple[str, Future, float]]] = {}
+        #: Followers across all keys; counted against ``max_queue`` so a
+        #: duplicate-request storm can't grow state past admission control.
+        self._follower_count = 0
+        self._response_cache: "OrderedDict[Hashable, MappingResponse]" = OrderedDict()
+        self._idle_workers = self.config.workers
+        self._running_batches = 0
+        self._running_requests = 0
+        self._accepting = True
+        self._stopping = False
+        # EMA of per-request service time, feeding the retry-after hint.
+        self._service_ema_s = 0.05
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._workers = [
+            threading.Thread(
+                target=self._work_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            for i in range(self.config.workers)
+        ]
+        self._dispatcher.start()
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, request: MappingRequest, priority: Priority = Priority.NORMAL
+    ) -> "Future[MappingResponse]":
+        """Enqueue one request; returns a future for its response.
+
+        Raises :class:`ServerClosed` after drain/shutdown,
+        :class:`ServerOverloaded` (with a retry hint) when the queue is
+        full, and ``KeyError`` for an unregistered searcher — validated
+        here so one bad request is refused at the door instead of
+        poisoning the batch it would have been coalesced into.  Duplicate
+        in-flight requests and response-cache hits resolve without
+        touching the queue.
+        """
+        resolve_searcher(request.searcher)
+        future: "Future[MappingResponse]" = Future()
+        now = self._clock()
+        key = request_key(request) if (
+            self.config.collapse_duplicates or self.config.response_cache_size
+        ) else None
+        cached_response: Optional[MappingResponse] = None
+        with self._lock:
+            if not self._accepting:
+                raise ServerClosed("server is draining; not accepting requests")
+            self.metrics.inc("submitted")
+            if key is not None and self.config.response_cache_size:
+                cached = self._response_cache.get(key)
+                if cached is not None:
+                    self._response_cache.move_to_end(key)
+                    self.metrics.inc("response_cache_hits")
+                    self.metrics.inc("served")
+                    self.metrics.observe_latency(0.0)
+                    cached_response = replace(cached, tag=request.tag)
+            if cached_response is None:
+                if key is not None and self.config.collapse_duplicates:
+                    followers = self._inflight.get(key)
+                    if followers is not None:
+                        # Collapsing is cheap but not free: followers hold
+                        # futures and fan-out state, so they count against
+                        # the same admission bound as queued requests.
+                        depth = self._depth_locked()
+                        if depth >= self.config.max_queue:
+                            self.metrics.inc("rejected")
+                            raise ServerOverloaded(
+                                self._retry_after_locked(depth), depth
+                            )
+                        followers.append((request.tag, future, now))
+                        self._follower_count += 1
+                        self.metrics.inc("collapsed")
+                        if priority == Priority.HIGH:
+                            # A HIGH duplicate must not wait out the
+                            # batching delay behind its NORMAL leader.
+                            # Flush the leader's group only if the leader
+                            # is actually still in it (a newer same-problem
+                            # group must not jump the queue by accident);
+                            # otherwise upgrade the queued job carrying it.
+                            group = default_group_key(request)
+                            if self._batcher.group_has_key(group, key):
+                                flushed = self._batcher.flush_group(group, now)
+                                if flushed is not None:
+                                    self._enqueue_batch_locked(
+                                        flushed, priority=Priority.HIGH
+                                    )
+                            else:
+                                self._promote_ready_job_locked(key)
+                        return future
+                depth = self._depth_locked()
+                if depth >= self.config.max_queue:
+                    self.metrics.inc("rejected")
+                    retry_after = self._retry_after_locked(depth)
+                    raise ServerOverloaded(retry_after, depth)
+                pending = PendingRequest(
+                    request=request, future=future, priority=priority, key=key
+                )
+                if key is not None and self.config.collapse_duplicates:
+                    self._inflight[key] = []
+                flushed = self._batcher.add(pending, now)
+                if flushed is not None:
+                    self._enqueue_batch_locked(flushed)
+                else:
+                    # New deadline may be earlier than the dispatcher's nap.
+                    self._dispatch_wake.notify()
+        if cached_response is not None:
+            # Outside the lock: set_result runs client done-callbacks,
+            # which must be free to call back into this server.
+            _resolve_future(future, value=cached_response)
+        return future
+
+    def map(
+        self,
+        request: MappingRequest,
+        priority: Priority = Priority.NORMAL,
+        timeout: Optional[float] = None,
+    ) -> MappingResponse:
+        """Blocking convenience: ``submit`` and wait for the response."""
+        return self.submit(request, priority=priority).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission, flush the batcher, wait for in-flight work.
+
+        Returns ``True`` when everything finished within ``timeout``.
+        Already-admitted requests are always served (their futures
+        resolve); new submissions raise :class:`ServerClosed`.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._lock:
+            self._accepting = False
+            for batch in self._batcher.flush_all(self._clock()):
+                self._enqueue_batch_locked(batch)
+            self._dispatch_wake.notify_all()
+            while self._ready or self._running_batches or self._batcher.depth:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(timeout=remaining)
+        return True
+
+    def shutdown(self, timeout: Optional[float] = None) -> bool:
+        """Drain, then stop and join dispatcher and workers."""
+        finished = self.drain(timeout=timeout)
+        with self._lock:
+            self._stopping = True
+            self._dispatch_wake.notify_all()
+            self._work_available.notify_all()
+        self._dispatcher.join(timeout=5.0)
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        return finished
+
+    def __enter__(self) -> "MappingServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._depth_locked()
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The live metrics dict the gateway serves at ``/metrics``."""
+        with self._lock:
+            depth = self._depth_locked()
+        oracle = self.engine.oracle_stats()
+        extra: Dict[str, object] = {
+            "oracle_cache": None
+            if oracle is None
+            else {
+                "hits": oracle.hits,
+                "misses": oracle.misses,
+                "prewarmed": oracle.prewarmed,
+                "hit_rate": oracle.hit_rate,
+                "size": oracle.size,
+            },
+            "response_cache_entries": len(self._response_cache),
+        }
+        return self.metrics.snapshot(queue_depth=depth, extra=extra)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _depth_locked(self) -> int:
+        queued = self._batcher.depth + sum(len(job.batch) for job in self._ready)
+        return queued + self._running_requests + self._follower_count
+
+    def _retry_after_locked(self, depth: int) -> float:
+        workers = max(self.config.workers, 1)
+        return max(self.config.max_wait_s, depth * self._service_ema_s / workers)
+
+    def _promote_ready_job_locked(self, key: Hashable) -> None:
+        """Re-key any queued job carrying ``key``'s leader to HIGH priority."""
+        promoted = False
+        for job in self._ready:
+            if any(item.key == key for item in job.batch.items):
+                job.sort_key = (int(Priority.HIGH), job.sort_key[1])
+                promoted = True
+        if promoted:
+            heapq.heapify(self._ready)
+
+    def _enqueue_batch_locked(
+        self, batch: Batch, priority: Optional[Priority] = None
+    ) -> None:
+        sort_key = batch.order_key()
+        if priority is not None:
+            # Upgrade (never downgrade) — e.g. a HIGH duplicate collapsing
+            # onto a NORMAL leader promotes the leader's whole batch.
+            sort_key = (min(int(priority), sort_key[0]), sort_key[1])
+        heapq.heappush(self._ready, _Job(sort_key=sort_key, batch=batch))
+        self._work_available.notify()
+
+    def _dispatch_loop(self) -> None:
+        """Flush deadline-due groups — but only into spare worker capacity.
+
+        ``max_wait_s`` bounds *added* latency: a request never waits out
+        the deadline when a worker sits idle.  When every worker is busy,
+        flushing early would buy nothing (the batch would just queue), so
+        due groups are left in the batcher to keep coalescing — they grow
+        toward ``max_batch`` (the size trigger still fires under the lock
+        at admission) and flush the moment a worker frees up.  This is
+        what makes batch sizes adapt to load: singletons when idle, full
+        batches under saturation.
+        """
+        with self._lock:
+            while not self._stopping:
+                now = self._clock()
+                if self._idle_workers > 0:
+                    for batch in self._batcher.poll(now):
+                        self._enqueue_batch_locked(batch)
+                deadline = self._batcher.next_deadline()
+                # With no spare capacity there is nothing to do at the
+                # deadline; sleep until a worker's idle notification.
+                wait = None
+                if self._idle_workers > 0 and deadline is not None:
+                    wait = max(deadline - now, 0.0)
+                self._dispatch_wake.wait(timeout=wait)
+
+    def _work_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._ready and not self._stopping:
+                    self._work_available.wait()
+                if self._stopping and not self._ready:
+                    return
+                job = heapq.heappop(self._ready)
+                self._idle_workers -= 1
+                self._running_batches += 1
+                self._running_requests += len(job.batch)
+            try:
+                self._execute(job.batch)
+            except BaseException as error:  # noqa: BLE001 — workers never die
+                # _execute handles runner failures itself; anything landing
+                # here is a server bug, but killing the thread would strand
+                # every queued request.  Fail this batch's futures (no-op
+                # for any already resolved) and keep serving.
+                for item in job.batch.items:
+                    self._fail_item(item, error)
+            finally:
+                with self._lock:
+                    self._idle_workers += 1
+                    self._running_batches -= 1
+                    self._running_requests -= len(job.batch)
+                    # A worker just freed up: due groups may now flush.
+                    self._dispatch_wake.notify()
+                    self._idle.notify_all()
+
+    def _execute(self, batch: Batch) -> None:
+        started = self._clock()
+        items = batch.items
+        self.metrics.observe_batch(len(items))
+        try:
+            responses = self._runner(
+                self.engine, [item.request for item in items]
+            )
+        except BaseException as error:  # noqa: BLE001 — isolate, then report
+            if len(items) == 1:
+                self._fail_item(items[0], error)
+            else:
+                # Fault isolation: one poisoned request (bad config, a
+                # searcher that raises mid-run) must not take down the
+                # innocent requests coalesced into its batch — rerun each
+                # solo so every future gets its own fate.
+                for item in items:
+                    self._execute_solo(item)
+            return
+        finished = self._clock()
+        elapsed = finished - started
+        if items:
+            # EMA over per-request service time steers the retry-after hint.
+            per_request = elapsed / len(items)
+            self._service_ema_s += 0.2 * (per_request - self._service_ema_s)
+        for item, response in zip(items, responses):
+            self._finish_item(item, response, finished)
+
+    def _execute_solo(self, item: PendingRequest) -> None:
+        try:
+            [response] = self._runner(self.engine, [item.request])
+        except BaseException as error:  # noqa: BLE001 — per-item fate
+            self._fail_item(item, error)
+        else:
+            self._finish_item(item, response, self._clock())
+
+    def _finish_item(
+        self, item: PendingRequest, response: MappingResponse, finished: float
+    ) -> None:
+        self.metrics.inc("served")
+        self.metrics.observe_latency(finished - item.enqueued_at)
+        followers = self._pop_followers(item.key)
+        self._cache_response(item.key, response)
+        _resolve_future(item.future, value=response)
+        for tag, future, enqueued_at in followers:
+            self.metrics.inc("served")
+            self.metrics.observe_latency(finished - enqueued_at)
+            _resolve_future(future, value=replace(response, tag=tag))
+
+    def _fail_item(self, item: PendingRequest, error: BaseException) -> None:
+        self.metrics.inc("errors")
+        _resolve_future(item.future, error=error)
+        for _tag, future, _enqueued_at in self._pop_followers(item.key):
+            self.metrics.inc("errors")
+            _resolve_future(future, error=error)
+
+    def _pop_followers(
+        self, key: Optional[Hashable]
+    ) -> List[Tuple[str, Future, float]]:
+        if key is None:
+            return []
+        with self._lock:
+            followers = self._inflight.pop(key, [])
+            self._follower_count -= len(followers)
+            return followers
+
+    def _cache_response(
+        self, key: Optional[Hashable], response: MappingResponse
+    ) -> None:
+        if key is None or not self.config.response_cache_size:
+            return
+        with self._lock:
+            self._response_cache[key] = response
+            self._response_cache.move_to_end(key)
+            while len(self._response_cache) > self.config.response_cache_size:
+                self._response_cache.popitem(last=False)
+
+
+__all__ = [
+    "MappingServer",
+    "Priority",
+    "ServeConfig",
+    "ServerClosed",
+    "ServerOverloaded",
+]

@@ -19,13 +19,21 @@ from repro.workloads.conv2d import make_cnn_layer
 from repro.workloads.gemm import make_gemm
 from repro.workloads.mttkrp import make_mttkrp
 from repro.workloads.sampler import ProblemSampler, sampler_for_algorithm
-from repro.workloads.zoo import TABLE1_PROBLEMS, cnn_problems, mttkrp_problems, problem_by_name
+from repro.workloads.zoo import (
+    TABLE1_PROBLEMS,
+    TRANSFORMER_PROBLEMS,
+    cnn_problems,
+    mttkrp_problems,
+    problem_by_name,
+    transformer_problems,
+)
 
 __all__ = [
     "Dimension",
     "Problem",
     "ProblemSampler",
     "TABLE1_PROBLEMS",
+    "TRANSFORMER_PROBLEMS",
     "TensorSpec",
     "cnn_problems",
     "make_cnn_layer",
@@ -35,4 +43,5 @@ __all__ = [
     "mttkrp_problems",
     "problem_by_name",
     "sampler_for_algorithm",
+    "transformer_problems",
 ]

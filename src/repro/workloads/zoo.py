@@ -1,4 +1,4 @@
-"""Table 1 problem zoo: the paper's evaluated target problems.
+"""Problem zoo: the paper's Table 1 targets plus serving-mix extensions.
 
 The paper evaluates six CNN layers drawn from ResNet, Inception-V3, VGG, and
 AlexNet, plus two MTTKRP shapes (one "tall", one "skinny").  Column mapping
@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.workloads.conv2d import make_cnn_layer
+from repro.workloads.gemm import make_gemm
 from repro.workloads.mttkrp import make_mttkrp
 from repro.workloads.problem import Problem
 
@@ -48,16 +49,41 @@ def _build_table1() -> Tuple[Problem, ...]:
 #: All eight Table 1 problems, in the paper's row order.
 TABLE1_PROBLEMS: Tuple[Problem, ...] = _build_table1()
 
-_BY_NAME: Dict[str, Problem] = {p.name: p for p in TABLE1_PROBLEMS}
+
+def _build_transformers() -> Tuple[Problem, ...]:
+    """BERT-base encoder GEMMs (hidden 768, FFN 3072, sequence 512).
+
+    Beyond the paper: the serving load mix wants transformer-shaped
+    traffic, and every encoder layer is four dense GEMMs over the token
+    matrix — the fused QKV projection, the attention output projection,
+    and the two FFN matmuls.  Shapes follow BERT-base with the canonical
+    512-token sequence; framework-wise they are plain ``gemm`` problems,
+    so the map space, cost model, and every searcher serve them unchanged.
+    """
+    rows = (
+        ("BERT_QKV", 512, 2304, 768),    # x @ W_qkv (fused Q,K,V heads)
+        ("BERT_AttnOut", 512, 768, 768),  # attn @ W_o
+        ("BERT_FFN1", 512, 3072, 768),   # x @ W_1 (expand)
+        ("BERT_FFN2", 512, 768, 3072),   # h @ W_2 (contract)
+    )
+    return tuple(make_gemm(name, m=m, n=n, k=k) for name, m, n, k in rows)
+
+
+#: BERT-base encoder-layer GEMMs — the transformer slice of the zoo.
+TRANSFORMER_PROBLEMS: Tuple[Problem, ...] = _build_transformers()
+
+_BY_NAME: Dict[str, Problem] = {
+    p.name: p for p in TABLE1_PROBLEMS + TRANSFORMER_PROBLEMS
+}
 
 
 def problem_by_name(name: str) -> Problem:
-    """Look up a Table 1 problem by its row name (e.g. ``"ResNet_Conv4"``)."""
+    """Look up a zoo problem by name (e.g. ``"ResNet_Conv4"``, ``"BERT_FFN1"``)."""
     try:
         return _BY_NAME[name]
     except KeyError:
         raise KeyError(
-            f"unknown Table 1 problem {name!r}; choose from {sorted(_BY_NAME)}"
+            f"unknown zoo problem {name!r}; choose from {sorted(_BY_NAME)}"
         ) from None
 
 
@@ -71,4 +97,16 @@ def mttkrp_problems() -> Tuple[Problem, ...]:
     return tuple(p for p in TABLE1_PROBLEMS if p.algorithm == "mttkrp")
 
 
-__all__ = ["TABLE1_PROBLEMS", "cnn_problems", "mttkrp_problems", "problem_by_name"]
+def transformer_problems() -> Tuple[Problem, ...]:
+    """The BERT-base GEMM entries (serving-mix extension, not Table 1)."""
+    return TRANSFORMER_PROBLEMS
+
+
+__all__ = [
+    "TABLE1_PROBLEMS",
+    "TRANSFORMER_PROBLEMS",
+    "cnn_problems",
+    "mttkrp_problems",
+    "problem_by_name",
+    "transformer_problems",
+]

@@ -231,3 +231,121 @@ class TestEvaluateMany:
         assert oracle.evaluate_many([], cnn_problem) == []
         stats = oracle.stats()
         assert stats.hits == 0 and stats.misses == 0
+
+
+class TestPrewarm:
+    """The scheduler's counter-neutral bulk insert (repro.serve cohorts)."""
+
+    def test_prewarm_inserts_without_counting_queries(
+        self, cost_model, cnn_problem, sampled
+    ):
+        oracle = CachedOracle(cost_model)
+        inserted = oracle.prewarm(sampled, cnn_problem)
+        stats = oracle.stats()
+        assert inserted == len(sampled)
+        assert stats.hits == 0 and stats.misses == 0
+        assert stats.prewarmed == len(sampled)
+        assert stats.size == len(sampled)
+
+    def test_prewarmed_entries_answer_as_hits(
+        self, cost_model, cnn_problem, sampled
+    ):
+        oracle = CachedOracle(cost_model)
+        oracle.prewarm(sampled, cnn_problem)
+        values = oracle.evaluate_many(sampled, cnn_problem)
+        expected = [cost_model.evaluate_edp(m, cnn_problem) for m in sampled]
+        assert values == pytest.approx(expected)
+        # Bit-exact vs the path an uncoalesced batch would have taken: both
+        # route misses through the same vectorized kernels, whose rows are
+        # independent of batch composition.
+        assert values == CachedOracle(cost_model).evaluate_many(
+            sampled, cnn_problem
+        )
+        stats = oracle.stats()
+        assert stats.hits == len(sampled) and stats.misses == 0
+
+    def test_prewarm_skips_cached_and_duplicate_entries(
+        self, cost_model, cnn_problem, sampled
+    ):
+        oracle = CachedOracle(cost_model)
+        oracle.evaluate_edp(sampled[0], cnn_problem)
+        inserted = oracle.prewarm(
+            [sampled[0], sampled[1], sampled[1]], cnn_problem
+        )
+        assert inserted == 1  # sampled[0] cached, sampled[1] deduplicated
+        assert oracle.stats().prewarmed == 1
+
+    def test_prewarm_empty_is_free(self, cost_model, cnn_problem):
+        oracle = CachedOracle(cost_model)
+        assert oracle.prewarm([], cnn_problem) == 0
+        assert oracle.stats().size == 0
+
+
+class TestConcurrentHammer:
+    """Satellite regression: the lock really covers store + counters under
+    mixed multi-threaded traffic from scheduler workers."""
+
+    def test_hammer_preserves_values_and_counter_invariants(
+        self, cost_model, cnn_problem, cnn_space
+    ):
+        import threading
+
+        population = cnn_space.sample_many(24, seed=11)
+        truth = {
+            mapping: cost_model.evaluate_edp(mapping, cnn_problem)
+            for mapping in population
+        }
+        oracle = CachedOracle(cost_model, maxsize=16)
+        queries = []  # one entry per metered query issued, across threads
+        queries_lock = threading.Lock()
+        errors = []
+
+        def worker(seed: int) -> None:
+            import math
+            import random
+
+            def close(a, b):
+                return math.isclose(a, b, rel_tol=1e-9)
+
+            rng = random.Random(seed)
+            try:
+                for step in range(60):
+                    kind = rng.randrange(4)
+                    if kind == 0:
+                        mapping = rng.choice(population)
+                        value = oracle.evaluate_edp(mapping, cnn_problem)
+                        assert close(value, truth[mapping])
+                        with queries_lock:
+                            queries.append(1)
+                    elif kind == 1:
+                        mapping = rng.choice(population)
+                        stats = oracle.evaluate(mapping, cnn_problem)
+                        assert close(stats.edp, truth[mapping])
+                        with queries_lock:
+                            queries.append(1)
+                    elif kind == 2:
+                        batch = rng.sample(population, rng.randrange(1, 6))
+                        values = oracle.evaluate_many(batch, cnn_problem)
+                        assert all(
+                            close(v, truth[m]) for v, m in zip(values, batch)
+                        )
+                        with queries_lock:
+                            queries.append(len(batch))
+                    else:
+                        batch = rng.sample(population, rng.randrange(1, 6))
+                        oracle.prewarm(batch, cnn_problem)  # never a query
+            except BaseException as error:  # noqa: BLE001 — surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[0]
+        stats = oracle.stats()
+        # Every metered query is exactly one hit or one miss, races included.
+        assert stats.hits + stats.misses == sum(queries)
+        assert stats.size <= 16

@@ -157,8 +157,9 @@ class TestMap:
 
 
 class TestBatchDeterminism:
-    """Acceptance: an 8-request batch across >=2 problems matches the
-    equivalent sequential MindMappings.find_mapping calls, seed for seed."""
+    """Acceptance: batched serving matches sequential serving bit for bit —
+    against MindMappings.find_mapping for gradient requests, and against
+    solo engine.map for coalesced oracle-searcher cohorts."""
 
     def test_map_batch_matches_sequential_mindmappings(self, engine):
         requests = [
@@ -166,7 +167,7 @@ class TestBatchDeterminism:
                            seed=seed)
             for i, seed in enumerate(range(8))
         ]
-        responses = engine.map_batch(requests, workers=4)
+        responses = engine.map_batch(requests)
         assert [r.problem for r in responses] == [
             req.problem.name for req in requests
         ]
@@ -188,24 +189,34 @@ class TestBatchDeterminism:
             bound = algorithmic_minimum(request.problem, engine.accelerator).edp
             assert response.norm_edp == pytest.approx(stats.edp / bound)
 
-    def test_worker_count_does_not_change_results(self, engine):
+    def test_coalesced_cohort_bit_identical_to_solo(self, engine):
+        """The core serving guarantee: a same-problem cohort of oracle
+        searchers shares prewarmed vectorized oracle rounds, yet every
+        response — winner, true stats, and the full objective trace — is
+        bit-identical to serving that request alone."""
         requests = [
-            MappingRequest(TARGETS[i % 2], searcher="gradient", iterations=25,
-                           seed=i)
-            for i in range(6)
+            MappingRequest(TARGETS[0], searcher=name, iterations=25, seed=seed)
+            for name in ("random", "annealing", "genetic")
+            for seed in range(3)
         ]
-        sequential = engine.map_batch(requests, workers=1)
-        concurrent = engine.map_batch(requests, workers=4)
-        for left, right in zip(sequential, concurrent):
+        engine.oracle.clear()
+        solo = [engine.map(request) for request in requests]
+        engine.oracle.clear()
+        coalesced = engine.map_batch(requests)
+        for left, right in zip(solo, coalesced):
             assert left.mapping == right.mapping
-            assert left.stats.edp == right.stats.edp
+            assert left.stats == right.stats
+            assert left.result.mappings == right.result.mappings
+            assert left.result.objective_values == right.result.objective_values
+        # The cohort actually coalesced: the scheduler prewarmed entries.
+        assert engine.oracle_stats().prewarmed > 0
 
     def test_mixed_searcher_batch(self, engine):
         requests = [
             MappingRequest(TARGETS[0], searcher=name, iterations=15, seed=4)
             for name in ("gradient", "random", "annealing", "genetic")
         ]
-        responses = engine.map_batch(requests, workers=2)
+        responses = engine.map_batch(requests)
         assert [r.searcher for r in responses] == [
             "gradient", "random", "annealing", "genetic"
         ]
@@ -213,6 +224,14 @@ class TestBatchDeterminism:
     def test_invalid_workers_rejected(self, engine):
         with pytest.raises(ValueError):
             engine.map_batch([], workers=0)
+
+    def test_workers_argument_deprecated(self, engine):
+        requests = [
+            MappingRequest(TARGETS[0], searcher="random", iterations=5, seed=0)
+        ]
+        with pytest.warns(DeprecationWarning, match="workers"):
+            responses = engine.map_batch(requests, workers=4)
+        assert len(responses) == 1
 
 
 class TestArtifactCache:

@@ -72,3 +72,44 @@ class TestSearchResultJson:
         assert loaded.objective_values == result.objective_values
         assert loaded.best_mapping == result.best_mapping
         assert loaded.wall_time == result.wall_time
+
+
+class TestResponseExport:
+    def test_response_file_roundtrip(self, tmp_path):
+        """response_to_json and the HTTP gateway share one codec: files
+        written here load back bit-equal through MappingResponse.from_dict."""
+        from repro.costmodel.accelerator import small_accelerator
+        from repro.engine import EngineConfig, MappingEngine, MappingRequest
+        from repro.harness import load_response_json, response_to_json
+        from repro.workloads import make_conv1d
+
+        engine = MappingEngine(small_accelerator(), EngineConfig())
+        response = engine.map(
+            MappingRequest(make_conv1d("export_t", w=32, r=3),
+                           searcher="random", iterations=10, seed=4,
+                           tag="export")
+        )
+        path = tmp_path / "response.json"
+        response_to_json(response, path)
+        loaded = load_response_json(path)
+        assert loaded.tag == "export"
+        assert loaded.mapping == response.mapping
+        assert loaded.stats == response.stats
+        assert loaded.result.objective_values == response.result.objective_values
+
+    def test_traceless_export(self, tmp_path):
+        from repro.costmodel.accelerator import small_accelerator
+        from repro.engine import EngineConfig, MappingEngine, MappingRequest
+        from repro.harness import load_response_json, response_to_json
+        from repro.workloads import make_conv1d
+
+        engine = MappingEngine(small_accelerator(), EngineConfig())
+        response = engine.map(
+            MappingRequest(make_conv1d("export_u", w=32, r=3),
+                           searcher="random", iterations=10, seed=4)
+        )
+        path = tmp_path / "response.json"
+        response_to_json(response, path, include_trace=False)
+        loaded = load_response_json(path)
+        assert loaded.mapping == response.mapping
+        assert loaded.n_evaluations == response.n_evaluations

@@ -1,0 +1,181 @@
+"""Wire codec: problem/request round-trips, MappingResponse.from_dict identity."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.stats import CostStats, TensorLevelEnergy
+from repro.engine import MappingRequest, MappingResponse
+from repro.mapspace import MapSpace, Mapping
+from repro.costmodel.accelerator import small_accelerator
+from repro.search import SearchResult
+from repro.serve import (
+    problem_from_dict,
+    problem_to_dict,
+    request_from_dict,
+    request_key,
+    request_to_dict,
+)
+from repro.workloads import (
+    TABLE1_PROBLEMS,
+    TRANSFORMER_PROBLEMS,
+    make_conv1d,
+    problem_by_name,
+)
+
+PROBLEM = make_conv1d("codec_target", w=32, r=5)
+SPACE = MapSpace(PROBLEM, small_accelerator())
+
+
+class TestProblemCodec:
+    @pytest.mark.parametrize(
+        "problem",
+        TABLE1_PROBLEMS + TRANSFORMER_PROBLEMS + (PROBLEM,),
+        ids=lambda p: p.name,
+    )
+    def test_round_trip_through_json(self, problem):
+        payload = json.loads(json.dumps(problem_to_dict(problem)))
+        restored = problem_from_dict(payload)
+        assert restored == problem
+
+    def test_rejects_invalid_problem(self):
+        payload = problem_to_dict(PROBLEM)
+        payload["tensors"] = payload["tensors"][:1]  # drops the output tensor
+        with pytest.raises(ValueError):
+            problem_from_dict(payload)
+
+
+class TestRequestCodec:
+    def test_round_trip(self):
+        request = MappingRequest(
+            PROBLEM, searcher="sa", iterations=123, seed=9,
+            searcher_config={"probe_moves": 4}, tag="abc",
+        )
+        restored = request_from_dict(json.loads(json.dumps(request_to_dict(request))))
+        assert restored == request
+
+    def test_non_wire_safe_config_raises(self):
+        request = MappingRequest(
+            PROBLEM, searcher="random", searcher_config={"cost_model": object()}
+        )
+        with pytest.raises(TypeError):
+            request_to_dict(request)
+
+    def test_defaults_fill_in(self):
+        payload = {"problem": problem_to_dict(PROBLEM)}
+        request = request_from_dict(payload)
+        assert request.searcher == "gradient"
+        assert request.iterations == 500
+        assert request.seed is None
+
+
+class TestRequestKey:
+    def test_identical_requests_share_a_key(self):
+        a = MappingRequest(PROBLEM, searcher="sa", iterations=50, seed=1, tag="x")
+        b = MappingRequest(PROBLEM, searcher="annealing", iterations=50, seed=1,
+                           tag="y")
+        # Aliases canonicalize and tags are excluded: same work, same key.
+        assert request_key(a) == request_key(b) is not None
+
+    def test_differences_change_the_key(self):
+        base = MappingRequest(PROBLEM, searcher="random", iterations=50, seed=1)
+        for other in (
+            MappingRequest(PROBLEM, searcher="random", iterations=51, seed=1),
+            MappingRequest(PROBLEM, searcher="random", iterations=50, seed=2),
+            MappingRequest(PROBLEM, searcher="genetic", iterations=50, seed=1),
+            MappingRequest(problem_by_name("BERT_QKV"), searcher="random",
+                           iterations=50, seed=1),
+            MappingRequest(PROBLEM, searcher="random", iterations=50, seed=1,
+                           searcher_config={"batch_size": 4}),
+        ):
+            assert request_key(base) != request_key(other)
+
+    def test_non_idempotent_requests_have_no_key(self):
+        assert request_key(
+            MappingRequest(PROBLEM, searcher="random", iterations=5, seed=None)
+        ) is None
+        assert request_key(
+            MappingRequest(PROBLEM, searcher="random", iterations=5, seed=1,
+                           time_budget_s=1.0)
+        ) is None
+        assert request_key(
+            MappingRequest(PROBLEM, searcher="random", iterations=5, seed=1,
+                           searcher_config={"cost_model": object()})
+        ) is None
+
+
+def _mapping(seed: int) -> Mapping:
+    return SPACE.sample(seed)
+
+
+@st.composite
+def responses(draw):
+    """Synthesize structurally-valid MappingResponses with arbitrary floats."""
+    finite = st.floats(min_value=1e-12, max_value=1e12, allow_nan=False)
+    n_trace = draw(st.integers(min_value=1, max_value=4))
+    mappings = [_mapping(draw(st.integers(0, 7))) for _ in range(n_trace)]
+    values = [draw(finite) for _ in range(n_trace)]
+    times = sorted(draw(finite) for _ in range(n_trace))
+    result = SearchResult(
+        searcher="Random", problem=PROBLEM.name, mappings=mappings,
+        objective_values=values, eval_times=times, wall_time=draw(finite),
+    )
+    records = tuple(
+        TensorLevelEnergy(tensor, level, draw(finite), draw(finite))
+        for tensor in ("W", "I", "O")
+        for level in ("L1", "L2", "DRAM")
+    )
+    stats = CostStats(
+        problem_name=PROBLEM.name, records=records,
+        noc_energy_pj=draw(finite), mac_energy_pj=draw(finite),
+        cycles=draw(finite), utilization=draw(st.floats(0.01, 1.0)),
+        spatial_pes=draw(st.integers(1, 4096)),
+    )
+    return MappingResponse(
+        tag=draw(st.text(max_size=8)),
+        problem=PROBLEM.name,
+        searcher="Random",
+        mapping=result.best_mapping,
+        stats=stats,
+        norm_edp=draw(finite),
+        best_objective=result.best_objective,
+        n_evaluations=n_trace,
+        search_time_s=draw(finite),
+        total_time_s=draw(finite),
+        result=result,
+        provenance={"engine": "repro.engine"},
+    )
+
+
+class TestResponseCodec:
+    @settings(max_examples=40, deadline=None)
+    @given(response=responses())
+    def test_to_dict_from_dict_identity(self, response):
+        """Satellite acceptance: to_dict → (JSON) → from_dict is lossless,
+        trace included, and re-encoding reproduces the payload exactly."""
+        payload = json.loads(json.dumps(response.to_dict(include_trace=True)))
+        restored = MappingResponse.from_dict(payload)
+        assert restored.tag == response.tag
+        assert restored.mapping == response.mapping
+        assert restored.stats == response.stats
+        assert restored.norm_edp == response.norm_edp
+        assert restored.best_objective == response.best_objective
+        assert restored.n_evaluations == response.n_evaluations
+        assert restored.result.mappings == response.result.mappings
+        assert restored.result.objective_values == response.result.objective_values
+        assert restored.result.eval_times == response.result.eval_times
+        assert restored.provenance == response.provenance
+        assert restored.to_dict(include_trace=True) == payload
+
+    @settings(max_examples=10, deadline=None)
+    @given(response=responses())
+    def test_traceless_payload_still_loads(self, response):
+        payload = json.loads(json.dumps(response.to_dict(include_trace=False)))
+        restored = MappingResponse.from_dict(payload)
+        assert restored.mapping == response.mapping
+        assert restored.stats == response.stats
+        # The reconstructed minimal trace keeps the winner reachable.
+        assert restored.result.best_mapping == response.mapping
+        assert restored.convergence == [response.best_objective]

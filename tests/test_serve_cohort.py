@@ -1,0 +1,136 @@
+"""Cohort coalescing: row-exact kernels, eligibility gating, solo parity."""
+
+import pytest
+
+from repro.costmodel import CostModel
+from repro.costmodel.accelerator import small_accelerator
+from repro.engine import AnalyticalOracle, EngineConfig, MappingEngine, MappingRequest
+from repro.mapspace import MapSpace
+from repro.serve.cohort import coalescible, serve_batch
+from repro.workloads import make_conv1d, problem_by_name
+
+PROBLEM = make_conv1d("cohort_target", w=32, r=5)
+
+
+@pytest.fixture()
+def engine():
+    return MappingEngine(small_accelerator(), EngineConfig())
+
+
+class TestRowExactness:
+    """The determinism foundation: a mapping's batched cost is bitwise
+    independent of which other mappings share its batch, so prewarming a
+    union cannot change what any single search observes."""
+
+    @pytest.mark.parametrize("problem", [PROBLEM, problem_by_name("BERT_QKV")],
+                             ids=lambda p: p.name)
+    def test_rows_independent_of_batch_composition(self, problem):
+        accelerator = small_accelerator()
+        model = CostModel(accelerator)
+        space = MapSpace(problem, accelerator)
+        population = space.sample_many(48, seed=0)
+        union = model.evaluate_many(population, problem)
+        # Prefix, suffix, and interleaved sub-batches all reproduce the
+        # union's rows exactly.
+        assert model.evaluate_many(population[:7], problem) == union[:7]
+        assert model.evaluate_many(population[31:], problem) == union[31:]
+        sub = population[1::5]
+        assert model.evaluate_many(sub, problem) == union[1::5]
+
+
+class TestEligibility:
+    def test_oracle_searchers_are_coalescible(self, engine):
+        prepared = engine._prepare_search(
+            MappingRequest(PROBLEM, searcher="random", iterations=5, seed=0)
+        )
+        assert coalescible(engine, prepared)
+
+    def test_time_budgeted_requests_run_solo(self, engine):
+        prepared = engine._prepare_search(
+            MappingRequest(PROBLEM, searcher="random", iterations=5, seed=0,
+                           time_budget_s=10.0)
+        )
+        assert not coalescible(engine, prepared)
+
+    def test_caller_supplied_oracle_runs_solo(self, engine):
+        prepared = engine._prepare_search(
+            MappingRequest(
+                PROBLEM, searcher="random", iterations=5, seed=0,
+                searcher_config={"cost_model": CostModel(engine.accelerator)},
+            )
+        )
+        assert not coalescible(engine, prepared)
+
+    def test_uncached_engine_oracle_disables_coalescing(self):
+        accelerator = small_accelerator()
+        engine = MappingEngine(
+            accelerator, EngineConfig(), oracle=AnalyticalOracle(accelerator)
+        )
+        prepared = engine._prepare_search(
+            MappingRequest(PROBLEM, searcher="random", iterations=5, seed=0)
+        )
+        assert not coalescible(engine, prepared)
+        # ... but serving still works, just without prewarmed rounds.
+        requests = [
+            MappingRequest(PROBLEM, searcher="random", iterations=10, seed=s)
+            for s in range(3)
+        ]
+        solo = [engine.map(request) for request in requests]
+        batched = serve_batch(engine, requests)
+        for left, right in zip(solo, batched):
+            assert left.mapping == right.mapping
+            assert left.stats == right.stats
+
+
+class TestServeBatch:
+    def test_preserves_input_order_across_groups(self, engine):
+        other = make_conv1d("cohort_other", w=48, r=3)
+        requests = [
+            MappingRequest(PROBLEM, searcher="random", iterations=8, seed=0,
+                           tag="a"),
+            MappingRequest(other, searcher="annealing", iterations=8, seed=1,
+                           tag="b"),
+            MappingRequest(PROBLEM, searcher="annealing", iterations=8, seed=2,
+                           tag="c"),
+            MappingRequest(other, searcher="random", iterations=8, seed=3,
+                           tag="d"),
+        ]
+        responses = serve_batch(engine, requests)
+        assert [r.tag for r in responses] == ["a", "b", "c", "d"]
+        assert [r.problem for r in responses] == [
+            PROBLEM.name, other.name, PROBLEM.name, other.name,
+        ]
+
+    def test_single_member_cohort_matches_run(self, engine):
+        request = MappingRequest(PROBLEM, searcher="genetic", iterations=20,
+                                 seed=5)
+        solo = engine.map(request)
+        [batched] = serve_batch(engine, [request])
+        assert batched.mapping == solo.mapping
+        assert batched.result.objective_values == solo.result.objective_values
+
+    def test_time_budget_member_served_inside_batch(self, engine):
+        requests = [
+            MappingRequest(PROBLEM, searcher="random", iterations=10, seed=0),
+            MappingRequest(PROBLEM, searcher="random", iterations=10, seed=1,
+                           time_budget_s=30.0),
+        ]
+        responses = serve_batch(engine, requests)
+        assert all(r.stats.edp > 0 for r in responses)
+
+    def test_empty_batch(self, engine):
+        assert serve_batch(engine, []) == []
+
+    def test_exhaustive_early_termination_in_cohort(self, engine):
+        """A searcher whose ask() dries up (exhaustive enumeration on a tiny
+        space) must finish cleanly while its cohort-mates continue."""
+        requests = [
+            MappingRequest(PROBLEM, searcher="exhaustive", iterations=5000,
+                           seed=0),
+            MappingRequest(PROBLEM, searcher="random", iterations=40, seed=1),
+        ]
+        solo = [engine.map(request) for request in requests]
+        batched = serve_batch(engine, requests)
+        for left, right in zip(solo, batched):
+            assert left.mapping == right.mapping
+            assert left.n_evaluations == right.n_evaluations

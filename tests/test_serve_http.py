@@ -1,0 +1,194 @@
+"""HTTP gateway: smoke (the CI fast-lane serving check), errors, backpressure."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.costmodel.accelerator import small_accelerator
+from repro.engine import EngineConfig, MappingEngine, MappingRequest, MappingResponse
+from repro.serve import MappingServer, ServeConfig, request_to_dict, start_gateway
+from repro.workloads import make_conv1d
+
+PROBLEM = make_conv1d("http_target", w=32, r=5)
+
+
+def _post(url, payload, timeout=60):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+def _get(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+@pytest.fixture()
+def stack():
+    engine = MappingEngine(small_accelerator(), EngineConfig())
+    server = MappingServer(
+        engine, ServeConfig(max_batch=8, max_wait_s=0.01, workers=1)
+    )
+    gateway = start_gateway(server)
+    yield engine, server, gateway
+    gateway.shutdown()
+    server.shutdown(timeout=30.0)
+
+
+class TestSmoke:
+    def test_post_map_returns_valid_response(self, stack):
+        """The fast-lane serving smoke: start server, POST one request,
+        assert 200 + a response that decodes and matches solo serving."""
+        engine, _server, gateway = stack
+        request = MappingRequest(
+            PROBLEM, searcher="random", iterations=15, seed=1, tag="smoke"
+        )
+        status, payload = _post(
+            f"{gateway.address}/v1/map",
+            {"request": request_to_dict(request), "include_trace": True},
+        )
+        assert status == 200
+        response = MappingResponse.from_dict(payload["response"])
+        assert response.tag == "smoke"
+        solo = engine.map(request)
+        assert response.mapping == solo.mapping
+        assert response.stats.edp == solo.stats.edp
+        assert response.result.objective_values == solo.result.objective_values
+
+    def test_healthz_and_metrics(self, stack):
+        _engine, _server, gateway = stack
+        status, health = _get(f"{gateway.address}/healthz")
+        assert status == 200 and health["status"] == "ok"
+        request = MappingRequest(PROBLEM, searcher="random", iterations=10, seed=2)
+        _post(f"{gateway.address}/v1/map", {"request": request_to_dict(request)})
+        status, metrics = _get(f"{gateway.address}/v1/metrics")
+        assert status == 200
+        assert metrics["counters"]["served"] >= 1
+        assert "buckets" in metrics["batch_size"]
+        assert "p99_ms" in metrics["latency"]
+        assert metrics["oracle_cache"]["hits"] >= 0
+
+    def test_high_priority_accepted(self, stack):
+        _engine, _server, gateway = stack
+        request = MappingRequest(PROBLEM, searcher="random", iterations=5, seed=3)
+        status, _payload = _post(
+            f"{gateway.address}/v1/map",
+            {"request": request_to_dict(request), "priority": "high"},
+        )
+        assert status == 200
+
+
+class TestErrors:
+    def test_invalid_json_is_400(self, stack):
+        _engine, _server, gateway = stack
+        request = urllib.request.Request(
+            f"{gateway.address}/v1/map",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_missing_request_field_is_400(self, stack):
+        _engine, _server, gateway = stack
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{gateway.address}/v1/map", {"nope": 1})
+        assert excinfo.value.code == 400
+
+    def test_unknown_searcher_is_400(self, stack):
+        _engine, _server, gateway = stack
+        request = MappingRequest(PROBLEM, searcher="random", iterations=5, seed=0)
+        payload = {"request": request_to_dict(request)}
+        payload["request"]["searcher"] = "definitely-not-registered"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{gateway.address}/v1/map", payload)
+        assert excinfo.value.code == 400
+        assert "definitely-not-registered" in json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_path_is_404(self, stack):
+        _engine, _server, gateway = stack
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{gateway.address}/v1/unknown")
+        assert excinfo.value.code == 404
+
+    def test_keep_alive_survives_early_reply_with_body(self, stack):
+        """A 404'd POST must drain its body so the next request on the
+        same persistent connection still parses."""
+        import http.client
+
+        _engine, _server, gateway = stack
+        host, port = gateway.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            body = json.dumps({"request": {"junk": True}})
+            connection.request("POST", "/nope", body=body,
+                               headers={"Content-Type": "application/json"})
+            first = connection.getresponse()
+            assert first.status == 404
+            first.read()
+            # Same socket: framing must be intact.
+            connection.request("GET", "/v1/healthz")
+            second = connection.getresponse()
+            assert second.status == 200
+            assert json.loads(second.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_overload_maps_to_429_with_retry_after(self):
+        gate = threading.Event()
+
+        def gated_runner(engine, requests):
+            gate.wait(timeout=10.0)
+            from repro.serve.cohort import serve_batch
+
+            return serve_batch(engine, requests)
+
+        engine = MappingEngine(small_accelerator(), EngineConfig())
+        server = MappingServer(
+            engine,
+            ServeConfig(max_batch=1, max_wait_s=0.0, max_queue=1, workers=1,
+                        collapse_duplicates=False, response_cache_size=0),
+            runner=gated_runner,
+        )
+        gateway = start_gateway(server)
+        try:
+            first = MappingRequest(PROBLEM, searcher="random", iterations=5, seed=0)
+            background = threading.Thread(
+                target=lambda: _post(
+                    f"{gateway.address}/v1/map",
+                    {"request": request_to_dict(first)},
+                ),
+                daemon=True,
+            )
+            background.start()
+            # Wait until the gated request occupies the whole queue ...
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and server.queue_depth < 1:
+                time.sleep(0.01)
+            assert server.queue_depth >= 1, "gated request never admitted"
+            # ... then the next request must bounce with a retry hint.
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(
+                    f"{gateway.address}/v1/map",
+                    {"request": request_to_dict(
+                        MappingRequest(PROBLEM, searcher="random",
+                                       iterations=5, seed=1)
+                    )},
+                    timeout=10,
+                )
+            assert excinfo.value.code == 429
+            assert int(excinfo.value.headers.get("Retry-After")) >= 1
+            assert json.loads(excinfo.value.read())["retry_after_s"] > 0
+        finally:
+            gate.set()
+            background.join(timeout=30)
+            gateway.shutdown()
+            server.shutdown(timeout=30.0)

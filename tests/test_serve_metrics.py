@@ -1,0 +1,125 @@
+"""Metrics primitives: P² quantiles vs exact, histograms, registry snapshot."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.metrics import (
+    Counter,
+    LatencyTracker,
+    MetricsRegistry,
+    P2Quantile,
+    SizeHistogram,
+)
+
+
+class TestP2Quantile:
+    @pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+    @pytest.mark.parametrize("dist", ["uniform", "exponential", "lognormal"])
+    def test_tracks_numpy_percentile(self, q, dist):
+        rng = np.random.default_rng(7)
+        samples = getattr(rng, dist)(size=5000)
+        estimator = P2Quantile(q)
+        for value in samples:
+            estimator.observe(value)
+        exact = float(np.percentile(samples, q * 100))
+        spread = float(np.percentile(samples, 99.5) - np.percentile(samples, 0.5))
+        assert estimator.value() == pytest.approx(exact, abs=0.08 * spread)
+
+    def test_exact_for_small_samples(self):
+        estimator = P2Quantile(0.5)
+        for value in (3.0, 1.0, 2.0):
+            estimator.observe(value)
+        assert estimator.value() == 2.0
+
+    def test_empty_returns_none(self):
+        assert P2Quantile(0.5).value() is None
+
+    def test_rejects_degenerate_quantile(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_monotone_quantiles_on_same_stream(self):
+        rng = np.random.default_rng(3)
+        p50, p95, p99 = P2Quantile(0.5), P2Quantile(0.95), P2Quantile(0.99)
+        for value in rng.normal(size=2000):
+            p50.observe(value)
+            p95.observe(value)
+            p99.observe(value)
+        assert p50.value() <= p95.value() <= p99.value()
+
+
+class TestSizeHistogram:
+    def test_power_of_two_buckets(self):
+        hist = SizeHistogram(top=8)
+        for size in (1, 2, 2, 3, 8, 9, 100):
+            hist.observe(size)
+        snapshot = hist.snapshot()
+        assert snapshot["count"] == 7
+        assert snapshot["buckets"]["<=1"] == 1
+        assert snapshot["buckets"]["<=2"] == 2
+        assert snapshot["buckets"]["<=4"] == 1
+        assert snapshot["buckets"]["<=8"] == 1
+        assert snapshot["buckets"][">8"] == 2
+        assert snapshot["mean"] == pytest.approx(125 / 7)
+
+    def test_empty_snapshot(self):
+        snapshot = SizeHistogram().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["mean"] is None
+        assert snapshot["buckets"] == {}
+
+
+class TestLatencyTracker:
+    def test_snapshot_fields_in_ms(self):
+        tracker = LatencyTracker()
+        for seconds in (0.010, 0.020, 0.030, 0.040, 0.100):
+            tracker.observe(seconds)
+        snapshot = tracker.snapshot()
+        assert snapshot["count"] == 5
+        assert snapshot["max_ms"] == pytest.approx(100.0)
+        assert snapshot["p50_ms"] == pytest.approx(30.0)
+        assert snapshot["p99_ms"] == pytest.approx(100.0)
+
+    def test_empty_snapshot(self):
+        snapshot = LatencyTracker().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50_ms"] is None
+
+
+class TestRegistry:
+    def test_snapshot_schema(self):
+        registry = MetricsRegistry()
+        registry.inc("submitted", 3)
+        registry.inc("served", 2)
+        registry.observe_batch(4)
+        registry.observe_latency(0.05)
+        snapshot = registry.snapshot(queue_depth=1, extra={"oracle_cache": None})
+        assert snapshot["counters"]["submitted"] == 3
+        assert snapshot["counters"]["served"] == 2
+        assert snapshot["queue_depth"] == 1
+        assert snapshot["batch_size"]["count"] == 1
+        assert snapshot["latency"]["count"] == 1
+        assert snapshot["oracle_cache"] is None
+        assert snapshot["uptime_s"] >= 0
+
+    def test_unknown_counter_raises(self):
+        with pytest.raises(KeyError):
+            MetricsRegistry().inc("made_up_series")
+
+    def test_counter_thread_safety(self):
+        counter = Counter()
+
+        def spin():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 80_000

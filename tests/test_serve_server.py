@@ -1,0 +1,377 @@
+"""MappingServer: determinism, collapsing, backpressure, priority, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.costmodel.accelerator import small_accelerator
+from repro.engine import EngineConfig, MappingEngine, MappingRequest
+from repro.serve import (
+    MappingServer,
+    Priority,
+    ServeConfig,
+    ServerClosed,
+    ServerOverloaded,
+)
+from repro.workloads import make_conv1d
+
+PROBLEM_A = make_conv1d("serve_a", w=32, r=5)
+PROBLEM_B = make_conv1d("serve_b", w=48, r=3)
+
+
+@pytest.fixture()
+def engine():
+    return MappingEngine(small_accelerator(), EngineConfig())
+
+
+def _request(problem=PROBLEM_A, searcher="random", seed=0, tag="", iterations=15):
+    return MappingRequest(
+        problem, searcher=searcher, iterations=iterations, seed=seed, tag=tag
+    )
+
+
+class _GatedRunner:
+    """Stub runner that blocks until released and records execution order."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.order = []
+        self.lock = threading.Lock()
+
+    def __call__(self, engine, requests):
+        self.gate.wait(timeout=10.0)
+        with self.lock:
+            self.order.extend(request.tag for request in requests)
+        return [None] * len(requests)
+
+
+class TestDeterminism:
+    def test_batched_serving_bit_identical_to_solo(self, engine):
+        """Acceptance: solo map, map_batch, and server-coalesced serving
+        produce bit-identical responses per seed."""
+        requests = [
+            _request(problem, searcher, seed, tag=f"{searcher}/{seed}")
+            for problem in (PROBLEM_A, PROBLEM_B)
+            for searcher in ("random", "annealing")
+            for seed in range(3)
+        ]
+        solo = [engine.map(request) for request in requests]
+        via_batch = engine.map_batch(requests)
+        with MappingServer(
+            engine, ServeConfig(max_batch=16, max_wait_s=0.05, workers=2)
+        ) as server:
+            futures = [server.submit(request) for request in requests]
+            via_server = [future.result(timeout=60) for future in futures]
+        for a, b, c in zip(solo, via_batch, via_server):
+            assert a.mapping == b.mapping == c.mapping
+            assert a.stats == b.stats == c.stats
+            assert (
+                a.result.objective_values
+                == b.result.objective_values
+                == c.result.objective_values
+            )
+
+    def test_batches_actually_formed(self, engine):
+        with MappingServer(
+            engine, ServeConfig(max_batch=8, max_wait_s=0.1, workers=1)
+        ) as server:
+            futures = [
+                server.submit(_request(seed=seed)) for seed in range(8)
+            ]
+            for future in futures:
+                future.result(timeout=60)
+            snapshot = server.metrics_snapshot()
+        assert snapshot["counters"]["served"] == 8
+        # Eight same-problem requests submitted together ride few batches.
+        assert snapshot["batch_size"]["count"] <= 3
+        assert snapshot["latency"]["p50_ms"] is not None
+
+
+class TestCollapsing:
+    def test_duplicate_inflight_requests_collapse(self, engine):
+        config = ServeConfig(
+            max_batch=16, max_wait_s=0.05, workers=1, response_cache_size=0
+        )
+        with MappingServer(engine, config) as server:
+            first = server.submit(_request(seed=7, tag="original"))
+            duplicate = server.submit(_request(seed=7, tag="duplicate"))
+            distinct = server.submit(_request(seed=8, tag="distinct"))
+            a = first.result(timeout=60)
+            b = duplicate.result(timeout=60)
+            c = distinct.result(timeout=60)
+            snapshot = server.metrics_snapshot()
+        assert snapshot["counters"]["collapsed"] == 1
+        assert a.tag == "original" and b.tag == "duplicate"
+        assert a.mapping == b.mapping and a.stats == b.stats
+        assert c.mapping != a.mapping or c.stats != a.stats
+
+    def test_response_cache_hits_across_time(self, engine):
+        with MappingServer(
+            engine, ServeConfig(max_batch=4, max_wait_s=0.01, workers=1)
+        ) as server:
+            cold = server.submit(_request(seed=3, tag="cold")).result(timeout=60)
+            warm = server.submit(_request(seed=3, tag="warm")).result(timeout=60)
+            snapshot = server.metrics_snapshot()
+        assert snapshot["counters"]["response_cache_hits"] == 1
+        assert warm.tag == "warm"
+        assert warm.mapping == cold.mapping
+
+    def test_high_priority_duplicate_flushes_the_waiting_leader(self, engine):
+        """A HIGH request collapsing onto a NORMAL in-flight duplicate must
+        not wait out the batching delay: the leader's group ships now."""
+        with MappingServer(
+            engine,
+            # Leader would otherwise sit for the full 10s deadline.
+            ServeConfig(max_batch=64, max_wait_s=10.0, workers=1),
+        ) as server:
+            started = time.monotonic()
+            leader = server.submit(_request(seed=7, tag="leader"))
+            urgent = server.submit(
+                _request(seed=7, tag="urgent"), priority=Priority.HIGH
+            )
+            a = leader.result(timeout=30)
+            b = urgent.result(timeout=30)
+            elapsed = time.monotonic() - started
+            snapshot = server.metrics_snapshot()
+        assert elapsed < 5.0, "HIGH duplicate waited out the batching deadline"
+        assert snapshot["counters"]["collapsed"] == 1
+        assert a.mapping == b.mapping
+        assert b.tag == "urgent"
+
+    def test_unseeded_requests_never_collapse(self, engine):
+        with MappingServer(
+            engine, ServeConfig(max_batch=4, max_wait_s=0.01, workers=1)
+        ) as server:
+            futures = [
+                server.submit(_request(seed=None, iterations=5))
+                for _ in range(3)
+            ]
+            for future in futures:
+                future.result(timeout=60)
+            snapshot = server.metrics_snapshot()
+        assert snapshot["counters"]["collapsed"] == 0
+        assert snapshot["counters"]["response_cache_hits"] == 0
+
+
+class TestBackpressure:
+    def test_overload_rejects_with_retry_hint(self, engine):
+        runner = _GatedRunner()
+        server = MappingServer(
+            engine,
+            ServeConfig(max_batch=1, max_wait_s=0.0, max_queue=2, workers=1,
+                        collapse_duplicates=False, response_cache_size=0),
+            runner=runner,
+        )
+        try:
+            server.submit(_request(seed=0, tag="a"))
+            server.submit(_request(seed=1, tag="b"))
+            deadline = time.monotonic() + 5.0
+            rejected = None
+            while time.monotonic() < deadline:
+                try:
+                    server.submit(_request(seed=99, tag="overflow"))
+                except ServerOverloaded as error:
+                    rejected = error
+                    break
+                time.sleep(0.005)
+            assert rejected is not None, "queue never filled"
+            assert rejected.retry_after_s > 0
+            assert server.metrics_snapshot()["counters"]["rejected"] >= 1
+        finally:
+            runner.gate.set()
+            server.shutdown(timeout=10.0)
+
+    def test_collapsed_followers_count_against_admission(self, engine):
+        """A duplicate-request storm can't grow follower state without
+        bound: followers occupy queue slots and overflow is rejected."""
+        from repro.serve.cohort import serve_batch
+
+        gate = threading.Event()
+
+        def gated_real_runner(engine_, reqs):
+            gate.wait(timeout=10.0)
+            return serve_batch(engine_, reqs)
+
+        server = MappingServer(
+            engine,
+            ServeConfig(max_batch=1, max_wait_s=0.0, max_queue=3, workers=1,
+                        response_cache_size=0),
+            runner=gated_real_runner,
+        )
+        try:
+            leader = server.submit(_request(seed=5, tag="leader"))
+            deadline = time.monotonic() + 5.0
+            rejected = None
+            collapsed = 0
+            while time.monotonic() < deadline and rejected is None:
+                try:
+                    server.submit(_request(seed=5, tag=f"dup{collapsed}"))
+                    collapsed += 1
+                except ServerOverloaded as error:
+                    rejected = error
+            assert rejected is not None, "follower growth was never bounded"
+            assert collapsed <= 3  # max_queue, not arrival count, is the cap
+            gate.set()
+            assert leader.result(timeout=30).tag == "leader"
+        finally:
+            gate.set()
+            server.shutdown(timeout=10.0)
+
+    def test_priority_served_before_backlog(self, engine):
+        runner = _GatedRunner()
+        server = MappingServer(
+            engine,
+            ServeConfig(max_batch=1, max_wait_s=0.0, max_queue=64, workers=1,
+                        collapse_duplicates=False, response_cache_size=0),
+            runner=runner,
+        )
+        try:
+            futures = [
+                server.submit(_request(seed=i, tag=f"normal-{i}"))
+                for i in range(4)
+            ]
+            futures.append(
+                server.submit(
+                    _request(seed=99, tag="urgent"), priority=Priority.HIGH
+                )
+            )
+            runner.gate.set()
+            for future in futures:
+                future.result(timeout=30)
+        finally:
+            server.shutdown(timeout=10.0)
+        # At most one normal batch was already running when "urgent"
+        # arrived; everything else queued behind it must yield to HIGH.
+        assert runner.order.index("urgent") <= 1
+
+
+    def test_high_duplicate_promotes_already_flushed_leader(self, engine):
+        """If the leader's batch already flushed into the ready queue, a
+        HIGH duplicate re-keys that job ahead of the NORMAL backlog."""
+        from repro.serve.cohort import serve_batch
+
+        gate = threading.Event()
+        order = []
+
+        def gated_recording_runner(engine_, reqs):
+            gate.wait(timeout=10.0)
+            order.extend(r.tag for r in reqs)
+            return serve_batch(engine_, reqs)
+
+        server = MappingServer(
+            engine,
+            ServeConfig(max_batch=1, max_wait_s=0.0, max_queue=64, workers=1,
+                        response_cache_size=0),
+            runner=gated_recording_runner,
+        )
+        try:
+            blocker = server.submit(_request(seed=0, tag="blocker"))
+            backlog = [
+                server.submit(_request(seed=10 + i, tag=f"normal-{i}"))
+                for i in range(3)
+            ]
+            leader = server.submit(_request(seed=5, tag="leader"))
+            urgent = server.submit(
+                _request(seed=5, tag="urgent"), priority=Priority.HIGH
+            )
+            gate.set()
+            assert urgent.result(timeout=30).tag == "urgent"
+            for future in [blocker, leader] + backlog:
+                future.result(timeout=30)
+        finally:
+            gate.set()
+            server.shutdown(timeout=10.0)
+        # Leader (carrying the HIGH follower) ran right after the batch
+        # that was already in flight, ahead of the earlier NORMAL backlog.
+        assert order.index("leader") <= 1
+
+
+class TestLifecycle:
+    def test_drain_serves_admitted_then_closes(self, engine):
+        server = MappingServer(
+            engine, ServeConfig(max_batch=8, max_wait_s=5.0, workers=1)
+        )
+        futures = [server.submit(_request(seed=seed)) for seed in range(3)]
+        # max_wait is long: requests are still sitting in the batcher.
+        assert server.drain(timeout=60.0)
+        for future in futures:
+            assert future.done()
+            assert future.result().stats.edp > 0
+        with pytest.raises(ServerClosed):
+            server.submit(_request(seed=9))
+        server.shutdown(timeout=10.0)
+
+    def test_context_manager_shuts_down(self, engine):
+        with MappingServer(engine, ServeConfig(workers=1)) as server:
+            response = server.map(_request(seed=1), timeout=60)
+            assert response.stats.edp > 0
+        with pytest.raises(ServerClosed):
+            server.submit(_request(seed=2))
+
+    def test_unknown_searcher_rejected_at_admission(self, engine):
+        """A bad searcher name is refused at submit, before it can be
+        coalesced into (and poison) a batch of innocent requests."""
+        with MappingServer(
+            engine, ServeConfig(max_batch=1, max_wait_s=0.0, workers=1)
+        ) as server:
+            with pytest.raises(KeyError, match="no-such-searcher"):
+                server.submit(
+                    MappingRequest(PROBLEM_A, searcher="no-such-searcher",
+                                   iterations=5, seed=0)
+                )
+
+    def test_one_poisoned_request_does_not_fail_its_batchmates(self, engine):
+        """A request that passes admission but fails during preparation
+        (bogus searcher config) errors alone; everything coalesced with it
+        is re-run solo and succeeds."""
+        with MappingServer(
+            engine,
+            ServeConfig(max_batch=8, max_wait_s=0.05, workers=1,
+                        collapse_duplicates=False, response_cache_size=0),
+        ) as server:
+            good = [server.submit(_request(seed=seed)) for seed in range(3)]
+            bad = server.submit(
+                MappingRequest(PROBLEM_A, searcher="random", iterations=5,
+                               seed=9, searcher_config={"bogus_knob": 1})
+            )
+            for future in good:
+                assert future.result(timeout=60).stats.edp > 0
+            with pytest.raises(Exception, match="bogus_knob"):
+                bad.result(timeout=60)
+            snapshot = server.metrics_snapshot()
+        assert snapshot["counters"]["errors"] == 1
+        assert snapshot["counters"]["served"] == 3
+
+    def test_cancelled_future_does_not_kill_the_worker(self, engine):
+        """cancel() on a queued request must not crash the worker thread,
+        strand its batchmates, or wedge shutdown."""
+        runner = _GatedRunner()
+        server = MappingServer(
+            engine,
+            ServeConfig(max_batch=1, max_wait_s=0.0, max_queue=64, workers=1,
+                        collapse_duplicates=False, response_cache_size=0),
+            runner=runner,
+        )
+        try:
+            blocker = server.submit(_request(seed=0, tag="blocker"))
+            doomed = server.submit(_request(seed=1, tag="doomed"))
+            survivor = server.submit(_request(seed=2, tag="survivor"))
+            assert doomed.cancel()  # still queued behind the gated batch
+            runner.gate.set()
+            blocker.result(timeout=30)
+            # The worker survived the cancelled future and kept serving.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and "survivor" not in runner.order:
+                time.sleep(0.01)
+            assert "survivor" in runner.order
+        finally:
+            assert server.shutdown(timeout=10.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ServeConfig(max_queue=0)
+        with pytest.raises(ValueError):
+            ServeConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServeConfig(response_cache_size=-1)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.workloads import (
     TABLE1_PROBLEMS,
+    TRANSFORMER_PROBLEMS,
     cnn_problems,
     make_cnn_layer,
     make_conv1d,
@@ -12,6 +13,7 @@ from repro.workloads import (
     mttkrp_problems,
     problem_by_name,
     sampler_for_algorithm,
+    transformer_problems,
 )
 
 
@@ -118,8 +120,44 @@ class TestZoo:
             problem_by_name("NoSuchLayer")
 
     def test_unique_names(self):
-        names = [p.name for p in TABLE1_PROBLEMS]
+        names = [p.name for p in TABLE1_PROBLEMS + TRANSFORMER_PROBLEMS]
         assert len(set(names)) == len(names)
+
+    def test_table1_untouched_by_extensions(self):
+        """The transformer entries extend the zoo without rewriting the
+        paper's Table 1 tuple."""
+        assert len(TABLE1_PROBLEMS) == 8
+        assert all(p.algorithm != "gemm" for p in TABLE1_PROBLEMS)
+
+
+class TestTransformerZoo:
+    def test_four_bert_gemms(self):
+        assert len(TRANSFORMER_PROBLEMS) == 4
+        assert transformer_problems() == TRANSFORMER_PROBLEMS
+        assert all(p.algorithm == "gemm" for p in TRANSFORMER_PROBLEMS)
+
+    def test_bert_base_shapes(self):
+        qkv = problem_by_name("BERT_QKV")
+        assert qkv.bounds == {"M": 512, "N": 2304, "K": 768}  # 3 * 768 fused
+        ffn1 = problem_by_name("BERT_FFN1")
+        assert ffn1.bounds == {"M": 512, "N": 3072, "K": 768}
+        ffn2 = problem_by_name("BERT_FFN2")
+        assert ffn2.bounds == {"M": 512, "N": 768, "K": 3072}
+        attn = problem_by_name("BERT_AttnOut")
+        assert attn.bounds == {"M": 512, "N": 768, "K": 768}
+
+    def test_servable_end_to_end(self):
+        """A BERT GEMM flows through space sampling and the cost model."""
+        from repro.costmodel import CostModel
+        from repro.costmodel.accelerator import small_accelerator
+        from repro.mapspace import MapSpace
+
+        problem = problem_by_name("BERT_AttnOut")
+        accelerator = small_accelerator()
+        space = MapSpace(problem, accelerator)
+        mapping = space.sample(0)
+        stats = CostModel(accelerator).evaluate(mapping, problem)
+        assert stats.edp > 0
 
 
 class TestSamplers:
