@@ -1,0 +1,160 @@
+"""Online learning on cold transformer GEMMs: replayed traffic must pay.
+
+The scenario from ISSUE 5's acceptance bar: a gemm surrogate trained
+offline (Phase 1) on the *generic sampler distribution* — i.e. cold for
+the BERT-base encoder GEMMs that then arrive as serving traffic — is
+fine-tuned online from the true costs the serving path computes anyway
+(oracle misses + finalized winners), gate-validated, and hot-swapped.
+
+Measured on **fresh held-out mappings** (never seen by the replay buffer)
+of every ``TRANSFORMER_PROBLEMS`` entry: the hot-swapped surrogate must
+*strictly improve* mean Spearman rank correlation with the analytical
+oracle vs the frozen Phase-1 surrogate.  The per-problem table lands in
+the benchmark report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import add_report
+
+from repro.core import MindMappingsConfig, TrainingConfig
+from repro.core.analysis import spearman_rank_correlation
+from repro.engine import EngineConfig, MappingEngine, MappingRequest
+from repro.harness import format_table
+from repro.learn.gate import GateConfig
+from repro.learn.lifecycle import LearnConfig, OnlineLearner
+from repro.learn.replay import ReplayConfig
+from repro.learn.trainer import OnlineTrainerConfig
+from repro.mapspace import MapSpace
+from repro.workloads import TRANSFORMER_PROBLEMS
+
+TRAFFIC_SEARCHERS = ("random", "annealing", "genetic")
+TRAFFIC_SEEDS = 3
+TRAFFIC_ITERATIONS = 96
+MAX_ROUNDS = 8
+EVAL_SAMPLES = 200
+EVAL_SEED = 987_654
+
+
+def _engine(accelerator) -> MappingEngine:
+    """Phase 1 from the generic gemm sampler: cold for BERT shapes."""
+    return MappingEngine(
+        accelerator,
+        EngineConfig(
+            mm_config=MindMappingsConfig(
+                dataset_samples=12_000,
+                n_problems=8,
+                training=TrainingConfig(epochs=20),
+            ),
+            train_seed=0,
+        ),
+    )
+
+
+def _spearman_on_fresh_samples(surrogate, problem, accelerator, cost_model):
+    """Rank fidelity on mappings the learner never saw."""
+    space = MapSpace(problem, accelerator)
+    mappings = space.sample_many(EVAL_SAMPLES, seed=EVAL_SEED)
+    truth = np.log2(np.asarray(cost_model.evaluate_batch(mappings, problem).edp))
+    predicted = surrogate.predict_log2_norm_edp(
+        surrogate.whiten_mappings(mappings, problem)
+    )
+    return spearman_rank_correlation(truth, predicted)
+
+
+@pytest.mark.slow
+def test_online_learning_beats_frozen_phase1_on_transformers(accelerator):
+    engine = _engine(accelerator)
+    learner = OnlineLearner(
+        engine,
+        LearnConfig(
+            replay=ReplayConfig(
+                capacity_per_problem=512,
+                holdout_capacity_per_problem=128,
+                holdout_every=5,
+            ),
+            trainer=OnlineTrainerConfig(steps=400, batch_size=64),
+            gate=GateConfig(min_samples=64),
+            min_new_samples=512,
+        ),
+    ).attach()
+
+    frozen = engine.surrogate_for("gemm")
+
+    # Serve BERT traffic; the taps turn every true cost into a sample.
+    for round_index in range(MAX_ROUNDS):
+        for problem in TRANSFORMER_PROBLEMS:
+            for searcher_index, searcher in enumerate(TRAFFIC_SEARCHERS):
+                for seed in range(TRAFFIC_SEEDS):
+                    engine.map(MappingRequest(
+                        problem,
+                        searcher=searcher,
+                        iterations=TRAFFIC_ITERATIONS,
+                        seed=10_000 * round_index + 100 * seed + searcher_index,
+                    ))
+        learner.step()
+        if learner.swaps.value >= 2:
+            break
+    assert learner.swaps.value >= 1, (
+        f"no gate-validated swap after {MAX_ROUNDS} traffic rounds "
+        f"(rejected={learner.rejected_swaps.value})"
+    )
+    tuned = engine.surrogate_for("gemm")
+    assert tuned is not frozen
+
+    rows = []
+    frozen_scores = []
+    tuned_scores = []
+    for problem in TRANSFORMER_PROBLEMS:
+        frozen_rho = _spearman_on_fresh_samples(
+            frozen, problem, engine.accelerator, engine.cost_model
+        )
+        tuned_rho = _spearman_on_fresh_samples(
+            tuned, problem, engine.accelerator, engine.cost_model
+        )
+        frozen_scores.append(frozen_rho)
+        tuned_scores.append(tuned_rho)
+        rows.append((
+            problem.name, f"{frozen_rho:.3f}", f"{tuned_rho:.3f}",
+            f"{tuned_rho - frozen_rho:+.3f}",
+        ))
+    mean_frozen = float(np.mean(frozen_scores))
+    mean_tuned = float(np.mean(tuned_scores))
+    rows.append(("MEAN", f"{mean_frozen:.3f}", f"{mean_tuned:.3f}",
+                 f"{mean_tuned - mean_frozen:+.3f}"))
+
+    snapshot = learner.metrics_snapshot()
+    report = learner.last_report("gemm")
+    add_report(
+        f"Online learning on cold transformer GEMMs "
+        f"({EVAL_SAMPLES} fresh mappings/problem, "
+        f"{snapshot['observed']} tapped samples, "
+        f"{snapshot['swaps']} swaps / {snapshot['rejected_swaps']} rejected)",
+        format_table(
+            ("problem", "frozen Phase-1 rho", "online-tuned rho", "delta"), rows
+        )
+        + (
+            f"\ngate (held-out): spearman "
+            f"{report.incumbent_spearman:.3f} -> {report.candidate_spearman:.3f}, "
+            f"mse {report.incumbent_mse:.3f} -> {report.candidate_mse:.3f} "
+            f"on {report.n_samples} samples"
+        ),
+    )
+
+    # The acceptance bar: strict improvement in held-out rank correlation
+    # over the frozen Phase-1 surrogate, on unseen transformer problems.
+    assert mean_tuned > mean_frozen, (
+        f"online-tuned surrogate did not improve mean Spearman on "
+        f"TRANSFORMER_PROBLEMS: {mean_frozen:.3f} -> {mean_tuned:.3f}"
+    )
+    # And it must never collapse any single problem while lifting the mean.
+    for problem, frozen_rho, tuned_rho in zip(
+        TRANSFORMER_PROBLEMS, frozen_scores, tuned_scores
+    ):
+        assert tuned_rho > frozen_rho - 0.10, (
+            f"{problem.name}: online tuning regressed rank correlation "
+            f"{frozen_rho:.3f} -> {tuned_rho:.3f}"
+        )

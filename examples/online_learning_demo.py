@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Online learning demo: a cold transformer-GEMM surrogate gets better
+the more traffic it serves.
+
+The loop ``repro.learn`` closes, end to end:
+
+1. train a deliberately *cold* Phase-1 gemm surrogate (tiny budget, shapes
+   far from BERT) — the state a new workload family arrives in,
+2. attach an ``OnlineLearner``: every oracle miss and finalized winner the
+   serving path computes anyway becomes a free labeled replay sample,
+3. serve BERT-QKV traffic through the engine, stepping the lifecycle
+   between bursts — fine-tune a clone, gate it on held-out truth, publish
+   to the model registry, hot-swap into the engine,
+4. print the gate scores per round and the final fresh-sample rank
+   fidelity of frozen vs online-tuned surrogate.
+
+Runs in well under a minute (scaled-down Phase 1 + a small BERT-shaped
+GEMM).  Usage::
+
+    python examples/online_learning_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import MappingEngine, MappingRequest
+from repro.core import MindMappingsConfig, TrainingConfig
+from repro.core.analysis import spearman_rank_correlation
+from repro.engine import EngineConfig
+from repro.harness import format_table
+from repro.learn import (
+    GateConfig,
+    LearnConfig,
+    ModelRegistry,
+    OnlineLearner,
+    OnlineTrainerConfig,
+    ReplayConfig,
+)
+from repro.mapspace import MapSpace
+from repro.workloads import make_gemm
+
+#: A BERT-QKV-shaped projection, scaled down so the demo runs in seconds.
+TARGET = make_gemm("BERT_QKV_demo", m=128, n=576, k=192)
+TRAFFIC_ROUNDS = 4
+REQUESTS_PER_ROUND = 6
+
+
+def fresh_sample_rho(surrogate, problem, engine, samples=150, seed=4242):
+    """Spearman(true cost, prediction) on mappings the learner never saw."""
+    mappings = MapSpace(problem, engine.accelerator).sample_many(samples, seed=seed)
+    truth = np.log2(np.asarray(engine.cost_model.evaluate_batch(mappings, problem).edp))
+    predicted = surrogate.predict_log2_norm_edp(
+        surrogate.whiten_mappings(mappings, problem)
+    )
+    return spearman_rank_correlation(truth, predicted)
+
+
+def main() -> None:
+    # 1. A cold Phase-1 surrogate: trained on two generic small GEMMs with
+    # a toy budget, then asked to rank BERT-shaped mappings.
+    engine = MappingEngine(config=EngineConfig(
+        mm_config=MindMappingsConfig(
+            dataset_samples=3000,
+            training=TrainingConfig(hidden_layers=(32, 64, 32), epochs=6),
+        ),
+        train_seed=0,
+        training_problems={"gemm": (
+            make_gemm("cold_a", m=16, n=24, k=32),
+            make_gemm("cold_b", m=32, n=16, k=48),
+        )},
+    ))
+    frozen = engine.surrogate_for("gemm")
+    print(f"cold Phase-1 surrogate: {frozen.network.num_parameters()} parameters, "
+          f"fresh-sample rho on {TARGET.name}: "
+          f"{fresh_sample_rho(frozen, TARGET, engine):.3f}")
+
+    # 2. The online lifecycle: taps -> replay -> fine-tune -> gate -> swap,
+    # with a versioned on-disk registry for rollback/audit.
+    registry = ModelRegistry(Path(tempfile.mkdtemp(prefix="repro-registry-")))
+    learner = OnlineLearner(
+        engine,
+        LearnConfig(
+            replay=ReplayConfig(capacity_per_problem=384,
+                                holdout_capacity_per_problem=128,
+                                holdout_every=4),
+            trainer=OnlineTrainerConfig(steps=300, batch_size=64),
+            gate=GateConfig(min_samples=32),
+            min_new_samples=128,
+        ),
+        registry=registry,
+    ).attach()
+
+    # 3. Served traffic: oracle-driven searches miss into the cached
+    # oracle; every miss and every winner is a free labeled sample.
+    rows = []
+    for round_index in range(TRAFFIC_ROUNDS):
+        for request_index in range(REQUESTS_PER_ROUND):
+            searcher = ("random", "annealing")[request_index % 2]
+            engine.map(MappingRequest(
+                TARGET, searcher=searcher, iterations=80,
+                seed=1000 * round_index + request_index,
+            ))
+        reports = learner.step()
+        buffer = learner.replay_buffer("gemm")
+        for report in reports:
+            verdict = "swap -> v%s" % learner.metrics_snapshot()["versions"].get(
+                "gemm", "?"
+            ) if report.accepted else "kept incumbent"
+            rows.append((
+                f"{round_index + 1}",
+                f"{buffer.depth}",
+                f"{report.incumbent_spearman:.3f}",
+                f"{report.candidate_spearman:.3f}",
+                verdict,
+            ))
+    print()
+    print(format_table(
+        ("round", "replay depth", "incumbent rho", "candidate rho", "gate"),
+        rows or [("-", "-", "-", "-", "no train round (not enough samples)")],
+    ))
+
+    # 4. Where did we land?
+    tuned = engine.surrogate_for("gemm")
+    print()
+    print(f"served source: {engine.loaded_algorithms()['gemm']}  "
+          f"(registry versions: {registry.versions('gemm')})")
+    print(f"fresh-sample rho on {TARGET.name}: "
+          f"frozen {fresh_sample_rho(frozen, TARGET, engine):.3f} -> "
+          f"online-tuned {fresh_sample_rho(tuned, TARGET, engine):.3f}")
+    snapshot = learner.metrics_snapshot()
+    print(f"tapped samples: {snapshot['observed']}  swaps: {snapshot['swaps']}  "
+          f"rejected: {snapshot['rejected_swaps']}")
+    learner.detach()
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,9 @@ re-implements the method and every substrate it depends on from scratch:
   artifact caching and coalesced ``map_batch``,
 * :mod:`repro.serve`      — the traffic layer: dynamic micro-batching,
   backpressure, duplicate collapsing, live metrics, HTTP gateway,
+* :mod:`repro.learn`      — the online surrogate lifecycle: traffic-driven
+  replay, background fine-tuning, validation gate, versioned registry,
+  lock-free hot-swap,
 * :mod:`repro.harness`    — iso-iteration & iso-time experiment harness.
 
 Quickstart (engine API)::

@@ -43,13 +43,52 @@ class FidelityReport:
         )
 
 
-def _spearman(a: np.ndarray, b: np.ndarray) -> float:
-    """Spearman rank correlation without scipy dependency paths."""
-    if np.std(a) == 0 or np.std(b) == 0:
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Fractional (tie-averaged) ranks of ``values``, vectorized.
+
+    Tied entries share the mean of the ranks they span — the convention
+    Spearman's rho requires; plain ``argsort(argsort(x))`` breaks ties by
+    position and biases the correlation whenever duplicates exist (common
+    for predicted costs snapped to the same lattice point).
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    order = np.argsort(values, kind="stable")
+    ordered = values[order]
+    # Group boundaries of runs of equal values in sorted order.
+    boundaries = np.empty(len(values), dtype=bool)
+    boundaries[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=boundaries[1:])
+    group = np.cumsum(boundaries) - 1
+    counts = np.bincount(group)
+    starts = np.cumsum(counts) - counts
+    mean_rank = starts + (counts - 1) / 2.0
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = mean_rank[group]
+    return ranks
+
+
+def spearman_rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman's rho between two samples, tie-aware and scipy-free.
+
+    Pearson correlation of the fractional ranks (ties averaged).  Returns
+    ``0.0`` when either side is constant (rank variance zero, rho
+    undefined) and for samples shorter than two.  Shared by the surrogate
+    fidelity report, the online-learning validation gate
+    (:mod:`repro.learn.gate`), and the harness fidelity tables.
+    """
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if len(a) < 2 or np.std(a) == 0 or np.std(b) == 0:
         return 0.0
-    ra = np.argsort(np.argsort(a)).astype(float)
-    rb = np.argsort(np.argsort(b)).astype(float)
+    ra = _average_ranks(a)
+    rb = _average_ranks(b)
     return float(np.corrcoef(ra, rb)[0, 1])
+
+
+#: Backward-compatible alias (pre-PR-5 private name).
+_spearman = spearman_rank_correlation
 
 
 def surrogate_fidelity(
@@ -95,9 +134,9 @@ def surrogate_fidelity(
         correlation=float(np.corrcoef(truth, predicted)[0, 1]),
         tail_correlation=tail_corr,
         tail_fraction=tail_fraction,
-        rank_agreement=_spearman(truth, predicted),
+        rank_agreement=spearman_rank_correlation(truth, predicted),
         mean_abs_error_log2=float(np.abs(truth - predicted).mean()),
     )
 
 
-__all__ = ["FidelityReport", "surrogate_fidelity"]
+__all__ = ["FidelityReport", "spearman_rank_correlation", "surrogate_fidelity"]

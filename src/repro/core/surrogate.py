@@ -90,6 +90,27 @@ class Surrogate:
             algorithm=algorithm,
         )
 
+    def clone(self) -> "Surrogate":
+        """An independent copy sharing the frozen codec/whitening stats.
+
+        The network weights are deep-copied, so fine-tuning the clone
+        (the online-learning trainer's warm start) never perturbs the
+        incumbent that live searches are reading.  Encoder, codec, and
+        whiteners are immutable-by-contract and shared — the clone must
+        keep the incumbent's coordinate systems or its predictions stop
+        being comparable in the validation gate.
+        """
+        network = MLP(list(self.network.layer_sizes))
+        network.load_state_dict(self.network.state_dict())
+        return Surrogate(
+            network=network,
+            encoder=self.encoder,
+            codec=self.codec,
+            input_whitener=self.input_whitener,
+            target_whitener=self.target_whitener,
+            algorithm=self.algorithm,
+        )
+
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------

@@ -15,13 +15,25 @@ runners and :class:`repro.engine.MappingEngine` share one implementation.
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.costmodel.stats import CostStats
 from repro.mapspace.mapping import Mapping
 from repro.workloads.problem import Problem
+
+#: Tap signature for the oracle's miss path: ``listener(problem, mappings,
+#: edps, stats)``.  ``stats`` is the richest label the miss path had in
+#: hand — a :class:`~repro.costmodel.batch.BatchCostStats` when the inner
+#: backend priced the batch through its vectorized kernels, a list of
+#: :class:`CostStats` for scalar ``evaluate`` misses, or ``None`` when only
+#: bare EDPs exist.  Listeners must be cheap and must never raise into the
+#: serving path; exceptions are swallowed with a warning.
+MissListener = Callable[
+    [Problem, Sequence[Mapping], Sequence[float], object], None
+]
 
 
 @dataclass(frozen=True)
@@ -110,6 +122,71 @@ class CachedOracle:
         self._hits = 0
         self._misses = 0
         self._prewarmed = 0
+        self._miss_listener: Optional[MissListener] = None
+
+    def set_miss_listener(self, listener: Optional[MissListener]) -> None:
+        """Install (or clear) the miss tap.
+
+        Every mapping the inner oracle prices — ``evaluate`` /
+        ``evaluate_edp`` / ``evaluate_many`` misses and ``prewarm``
+        insertions — is reported to ``listener`` together with the labels
+        the miss path computed anyway, so observers (the online-learning
+        replay buffer) get true-cost training samples at zero extra model
+        cost.  The listener runs outside the cache lock, on the querying
+        thread; it must enqueue and return (heavy work belongs on a
+        background thread), and its exceptions are swallowed with a
+        warning so a broken observer can never fail a query.
+        """
+        self._miss_listener = listener
+
+    def _notify_misses(
+        self,
+        problem: Problem,
+        mappings: Sequence[Mapping],
+        values: Sequence[float],
+        stats: object,
+    ) -> None:
+        listener = self._miss_listener
+        if listener is None or not len(mappings):
+            return
+        try:
+            listener(problem, mappings, values, stats)
+        except Exception as error:  # noqa: BLE001 — observers never fail queries
+            warnings.warn(
+                f"CachedOracle miss listener failed "
+                f"({error.__class__.__name__}: {error}); sample dropped"
+            )
+
+    def _price_misses(
+        self, mappings: Sequence[Mapping], problem: Problem
+    ) -> List[float]:
+        """Price uncached mappings through the widest inner path.
+
+        With a miss listener installed and an inner backend exposing
+        ``evaluate_batch`` (the analytical :class:`CostModel` does), the
+        batch is priced through the full-statistics kernels so the tap
+        receives meta-statistics labels — the EDPs are derived from the
+        same :class:`BatchCostStats` the scalar path would compute, so
+        values are bitwise unchanged.  Otherwise this is the plain
+        ``evaluate_many``/``evaluate_edp`` miss path.
+        """
+        listener = self._miss_listener
+        inner_batch = getattr(self.inner, "evaluate_batch", None)
+        if listener is not None and inner_batch is not None:
+            batch_stats = inner_batch(mappings, problem)
+            values = [float(v) for v in batch_stats.edp]
+            self._notify_misses(problem, mappings, values, batch_stats)
+            return values
+        inner_many = getattr(self.inner, "evaluate_many", None)
+        if inner_many is not None:
+            values = [float(v) for v in inner_many(mappings, problem)]
+        else:
+            values = [
+                float(self.inner.evaluate_edp(mapping, problem))
+                for mapping in mappings
+            ]
+        self._notify_misses(problem, mappings, values, None)
+        return values
 
     # ------------------------------------------------------------------
     # Oracle interface
@@ -123,11 +200,17 @@ class CachedOracle:
                 self._hits += 1
                 self._store.move_to_end(key)
                 return cached
+            was_known = cached is not None
         stats = self.inner.evaluate(mapping, problem)
         with self._lock:
             self._misses += 1
             # Upgrades an existing bare-EDP entry to the full statistics.
             self._insert(key, stats)
+        if not was_known:
+            # An upgrade miss re-prices a mapping the tap already saw when
+            # its bare EDP was inserted; reporting it again would bias the
+            # replay reservoir toward revisited (winning) mappings.
+            self._notify_misses(problem, [mapping], [stats.edp], [stats])
         return stats
 
     def evaluate_edp(self, mapping: Mapping, problem: Problem) -> float:
@@ -138,10 +221,27 @@ class CachedOracle:
                 self._hits += 1
                 self._store.move_to_end(key)
                 return cached.edp if isinstance(cached, CostStats) else cached
-        value = float(self.inner.evaluate_edp(mapping, problem))
+        stats: Optional[CostStats] = None
+        inner_evaluate = getattr(self.inner, "evaluate", None)
+        if self._miss_listener is not None and inner_evaluate is not None:
+            # The scalar EDP is defined as evaluate(...).edp, so asking the
+            # inner oracle for the full statistics returns the *same* value
+            # at the same cost — and gives the tap a full label instead of a
+            # bare float (which meta-mode replay buffers must discard).
+            try:
+                stats = inner_evaluate(mapping, problem)
+            except NotImplementedError:
+                stats = None  # e.g. a surrogate backend: scalar-only
+        if stats is not None:
+            value = float(stats.edp)
+        else:
+            value = float(self.inner.evaluate_edp(mapping, problem))
         with self._lock:
             self._misses += 1
-            self._insert(key, value)
+            self._insert(key, stats if stats is not None else value)
+        self._notify_misses(
+            problem, [mapping], [value], None if stats is None else [stats]
+        )
         return value
 
     def evaluate_many(self, mappings: Sequence[Mapping], problem: Problem) -> List[float]:
@@ -181,14 +281,7 @@ class CachedOracle:
                     miss_indices.append(index)
         if miss_indices:
             misses = [mappings[index] for index in miss_indices]
-            inner_many = getattr(self.inner, "evaluate_many", None)
-            if inner_many is not None:
-                miss_values = [float(v) for v in inner_many(misses, problem)]
-            else:
-                miss_values = [
-                    float(self.inner.evaluate_edp(mapping, problem))
-                    for mapping in misses
-                ]
+            miss_values = self._price_misses(misses, problem)
             with self._lock:
                 self._misses += len(miss_indices)
                 for index, value in zip(miss_indices, miss_values):
@@ -223,13 +316,7 @@ class CachedOracle:
                 todo.append(mapping)
         if not todo:
             return 0
-        inner_many = getattr(self.inner, "evaluate_many", None)
-        if inner_many is not None:
-            values = [float(v) for v in inner_many(todo, problem)]
-        else:
-            values = [
-                float(self.inner.evaluate_edp(mapping, problem)) for mapping in todo
-            ]
+        values = self._price_misses(todo, problem)
         inserted = 0
         with self._lock:
             for mapping, value in zip(todo, values):
@@ -273,4 +360,4 @@ class CachedOracle:
             self._store.popitem(last=False)
 
 
-__all__ = ["CacheStats", "CachedOracle", "problem_key"]
+__all__ = ["CacheStats", "CachedOracle", "MissListener", "problem_key"]

@@ -42,6 +42,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import (
     Any,
+    Callable,
     Dict,
     Hashable,
     List,
@@ -274,6 +275,9 @@ class MappingEngine:
         self._locks_guard = threading.Lock()
         self._bounds: Dict[Hashable, float] = {}
         self._bounds_lock = threading.Lock()
+        self._finalize_listeners: List[
+            Callable[[MappingRequest, Mapping, CostStats], None]
+        ] = []
 
     # ------------------------------------------------------------------
     # Surrogate lifecycle
@@ -320,7 +324,17 @@ class MappingEngine:
         verified) → train now (and persist when an artifact dir is
         configured).  Thread-safe; concurrent requests for the same
         algorithm train once.
+
+        The steady-state read is lock-free: a plain dict lookup (atomic
+        under the GIL) answers once a pipeline exists, so the online
+        learner's hot-swap (:meth:`install_pipeline`) never blocks the
+        request path — readers observe either the old or the new pipeline,
+        whole, and in-flight searches keep the surrogate object they
+        resolved at prepare time.
         """
+        pipeline = self._pipelines.get(algorithm)
+        if pipeline is not None:
+            return pipeline
         with self._algorithm_lock(algorithm):
             pipeline = self._pipelines.get(algorithm)
             if pipeline is not None:
@@ -393,6 +407,39 @@ class MappingEngine:
             self._pipeline_sources[algorithm] = source
 
     # ------------------------------------------------------------------
+    # Learning taps
+    # ------------------------------------------------------------------
+
+    def add_finalize_listener(
+        self, listener: Callable[[MappingRequest, Mapping, CostStats], None]
+    ) -> None:
+        """Observe every finalized search: ``listener(request, best, stats)``.
+
+        Fired once per served request with the winning mapping and its
+        *true* (analytical) cost statistics — the low-EDP tail samples the
+        online replay buffer values most.  Listeners must be cheap
+        (enqueue-and-return); exceptions are swallowed with a warning so an
+        observer can never fail a response.
+        """
+        self._finalize_listeners.append(listener)
+
+    def remove_finalize_listener(self, listener) -> None:
+        """Detach a listener added by :meth:`add_finalize_listener`."""
+        self._finalize_listeners.remove(listener)
+
+    def _notify_finalized(
+        self, request: MappingRequest, best: Mapping, stats: CostStats
+    ) -> None:
+        for listener in self._finalize_listeners:
+            try:
+                listener(request, best, stats)
+            except Exception as error:  # noqa: BLE001 — observers never fail serving
+                warnings.warn(
+                    f"finalize listener failed "
+                    f"({error.__class__.__name__}: {error}); sample dropped"
+                )
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
 
@@ -447,6 +494,7 @@ class MappingEngine:
             # fine for search-time scoring; the one reporting query falls
             # back to the exact analytical model.
             stats = self.cost_model.evaluate(best, request.problem)
+        self._notify_finalized(request, best, stats)
         norm_edp = stats.edp / self._lower_bound_edp(request.problem)
         provenance = {
             "engine": "repro.engine",
@@ -491,7 +539,7 @@ class MappingEngine:
         return self._finalize_search(prepared, result, search_time)
 
     def map_batch(
-        self, requests: Sequence[MappingRequest], workers: int = 1
+        self, requests: Sequence[MappingRequest]
     ) -> List[MappingResponse]:
         """Serve ``requests`` through the coalescing scheduler, in order.
 
@@ -503,22 +551,7 @@ class MappingEngine:
         bit-identical to serving each request solo — per-request seeds and
         row-exact batched kernels make the output independent of batch
         composition.
-
-        ``workers`` is deprecated: the thread-pool fan-out it used to
-        control has been replaced by evaluation coalescing, which beats it
-        on throughput without giving up single-process determinism.  The
-        parameter is validated and otherwise ignored.
         """
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        if workers != 1:
-            warnings.warn(
-                "MappingEngine.map_batch(workers=...) is deprecated: batches "
-                "are served by the repro.serve coalescing scheduler and the "
-                "thread-pool path is gone; drop the argument",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         from repro.serve.cohort import serve_batch
 
         return serve_batch(self, requests)

@@ -20,7 +20,7 @@ from repro.harness.experiments import (
 )
 from repro.harness.summary import RatioSummary, geomean_ratios, summarize_final_quality
 from repro.harness.surface import CostSurface, sweep_cost_surface
-from repro.harness.tables import ascii_curve, format_table
+from repro.harness.tables import ascii_curve, fidelity_table, format_table
 from repro.harness.export import (
     curves_to_csv,
     curves_to_json,
@@ -40,6 +40,7 @@ __all__ = [
     "build_standard_methods",
     "curves_to_csv",
     "curves_to_json",
+    "fidelity_table",
     "format_table",
     "load_curves_json",
     "load_response_json",

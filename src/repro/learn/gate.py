@@ -1,0 +1,145 @@
+"""Validation gate: no candidate reaches serving without beating the bar.
+
+A fine-tuned candidate is scored against the incumbent on the replay
+buffer's *held-out* slice — samples the trainer never saw, labeled by the
+analytical oracle.  Two metrics, both in the scalar objective scale
+(log2 normalized EDP):
+
+* **Spearman rank correlation** with the true costs — the metric that
+  bounds search quality (gradient descent follows the surrogate's
+  ordering, not its absolute values), computed tie-aware via
+  :func:`repro.core.analysis.spearman_rank_correlation`.
+* **MSE** against the true costs — a calibration backstop, so a candidate
+  cannot buy rank fidelity with wildly drifting magnitudes.
+
+The gate refuses regressive swaps: a candidate must match-or-beat the
+incumbent's rank correlation (plus an optional margin) and stay within a
+bounded MSE ratio.  A deliberately poisoned candidate — scrambled weights,
+training on corrupt labels — collapses the rank correlation and is
+rejected; the incumbent keeps serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.analysis import spearman_rank_correlation
+from repro.core.surrogate import Surrogate
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """Acceptance thresholds for a candidate → incumbent swap."""
+
+    #: Minimum held-out samples before any swap is considered; below this
+    #: the scores are noise and the gate refuses (reason: insufficient).
+    min_samples: int = 32
+    #: Candidate Spearman must be >= incumbent Spearman + this margin.
+    #: 0.0 accepts non-regressive candidates (ties pass).
+    min_spearman_gain: float = 0.0
+    #: Candidate MSE must be <= incumbent MSE * ratio + slack.  The slack
+    #: keeps a near-perfect incumbent (MSE ~ 0) from auto-rejecting every
+    #: candidate over float dust.
+    max_mse_ratio: float = 1.25
+    mse_slack: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {self.min_samples}")
+        if self.max_mse_ratio <= 0:
+            raise ValueError(f"max_mse_ratio must be positive, got {self.max_mse_ratio}")
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """One gate decision with the scores behind it (metrics-friendly)."""
+
+    algorithm: str
+    n_samples: int
+    candidate_spearman: float
+    incumbent_spearman: float
+    candidate_mse: float
+    incumbent_mse: float
+    accepted: bool
+    reason: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def describe(self) -> str:
+        verdict = "ACCEPT" if self.accepted else "REJECT"
+        return (
+            f"{verdict} {self.algorithm}: spearman "
+            f"{self.incumbent_spearman:.3f} -> {self.candidate_spearman:.3f}, "
+            f"mse {self.incumbent_mse:.4f} -> {self.candidate_mse:.4f} "
+            f"({self.n_samples} held-out samples; {self.reason})"
+        )
+
+
+def validate_swap(
+    candidate: Surrogate,
+    incumbent: Surrogate,
+    holdout_inputs: np.ndarray,
+    holdout_truth: np.ndarray,
+    config: Optional[GateConfig] = None,
+    algorithm: str = "",
+) -> GateReport:
+    """Score ``candidate`` vs ``incumbent`` on held-out truth; decide.
+
+    ``holdout_inputs`` are whitened encodings (both surrogates share the
+    frozen whitening stats, so one matrix serves both); ``holdout_truth``
+    is the analytical oracle's log2-normalized EDP per row, as produced by
+    :meth:`repro.learn.replay.ReplayBuffer.holdout_truth`.
+    """
+    config = config or GateConfig()
+    algorithm = algorithm or incumbent.algorithm
+    n = int(len(holdout_truth))
+    if n < config.min_samples:
+        return GateReport(
+            algorithm=algorithm,
+            n_samples=n,
+            candidate_spearman=float("nan"),
+            incumbent_spearman=float("nan"),
+            candidate_mse=float("nan"),
+            incumbent_mse=float("nan"),
+            accepted=False,
+            reason=f"insufficient held-out samples ({n} < {config.min_samples})",
+        )
+    truth = np.asarray(holdout_truth, dtype=np.float64)
+    candidate_pred = candidate.predict_log2_norm_edp(holdout_inputs)
+    incumbent_pred = incumbent.predict_log2_norm_edp(holdout_inputs)
+    candidate_spearman = spearman_rank_correlation(truth, candidate_pred)
+    incumbent_spearman = spearman_rank_correlation(truth, incumbent_pred)
+    candidate_mse = float(np.mean((candidate_pred - truth) ** 2))
+    incumbent_mse = float(np.mean((incumbent_pred - truth) ** 2))
+
+    reasons = []
+    if not np.isfinite(candidate_pred).all():
+        reasons.append("candidate predictions are not finite")
+    if candidate_spearman < incumbent_spearman + config.min_spearman_gain:
+        reasons.append(
+            f"rank correlation regressed ({candidate_spearman:.3f} < "
+            f"{incumbent_spearman:.3f} + {config.min_spearman_gain:g})"
+        )
+    mse_bar = incumbent_mse * config.max_mse_ratio + config.mse_slack
+    if candidate_mse > mse_bar:
+        reasons.append(
+            f"MSE above bar ({candidate_mse:.4f} > {mse_bar:.4f})"
+        )
+    accepted = not reasons
+    return GateReport(
+        algorithm=algorithm,
+        n_samples=n,
+        candidate_spearman=candidate_spearman,
+        incumbent_spearman=incumbent_spearman,
+        candidate_mse=candidate_mse,
+        incumbent_mse=incumbent_mse,
+        accepted=accepted,
+        reason="all checks passed" if accepted else "; ".join(reasons),
+    )
+
+
+__all__ = ["GateConfig", "GateReport", "validate_swap"]

@@ -1,0 +1,228 @@
+"""Versioned on-disk model registry with atomic publish and rollback.
+
+Each published surrogate becomes an immutable ``.npz`` artifact (the
+existing :meth:`Surrogate.save` format, so anything that loads engine
+artifacts loads registry artifacts) named
+``{algorithm}-v{version:06d}.npz`` under one root directory.  Guarantees:
+
+* **Atomic publish** — artifacts are fully written to a temp file and
+  hard-linked into place with ``os.link`` (exclusive: fails instead of
+  overwriting), so a reader never observes a half-written model, a crash
+  mid-publish leaves the registry consistent, and concurrent publishers —
+  even in *different processes* sharing one directory — can never clobber
+  each other's artifacts.
+* **Monotonic versions** — version numbers only ever grow, *including
+  across rollbacks and process restarts* (rolled-back artifacts keep
+  their number reserved), so "v7" means the same bytes forever.
+* **Rollback** — retiring the latest version renames its artifact aside
+  (``.rolledback`` suffix, kept for audit) and restores the previous
+  version as latest; the previous artifact's bytes were never touched, so
+  restoration is byte-identical.
+* **Fingerprint safety** — artifacts embed the accelerator fingerprint
+  and the algorithm; :meth:`load` refuses a mismatch (via
+  :meth:`MindMappings.load`), so a registry directory can never silently
+  serve a surrogate trained for different hardware.
+
+The registry itself is engine-agnostic; the lifecycle manager pairs
+``publish`` with :meth:`MappingEngine.install_pipeline` for the hot-swap.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pipeline import MindMappings
+from repro.core.surrogate import Surrogate
+from repro.costmodel.accelerator import Accelerator
+
+_ARTIFACT_RE = re.compile(r"^(?P<slug>.+)-v(?P<version>\d{6})\.npz(?P<retired>\.rolledback)?$")
+
+
+def _slug(algorithm: str) -> str:
+    return algorithm.replace("/", "-")
+
+
+class ModelRegistry:
+    """Versioned surrogate artifacts for many algorithms under one root."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        #: slug -> sorted list of *live* (not rolled back) versions.
+        self._versions: Dict[str, List[int]] = {}
+        #: slug -> highest version number ever used (live or retired).
+        self._highwater: Dict[str, int] = {}
+        self._scan()
+
+    def _scan(self) -> None:
+        for path in self.root.iterdir():
+            match = _ARTIFACT_RE.match(path.name)
+            if match is None:
+                continue
+            slug = match.group("slug")
+            version = int(match.group("version"))
+            self._highwater[slug] = max(self._highwater.get(slug, 0), version)
+            if match.group("retired") is None:
+                self._versions.setdefault(slug, []).append(version)
+        for versions in self._versions.values():
+            versions.sort()
+
+    # ------------------------------------------------------------------
+    # Paths / introspection
+    # ------------------------------------------------------------------
+
+    def path_for(self, algorithm: str, version: int) -> Path:
+        return self.root / f"{_slug(algorithm)}-v{version:06d}.npz"
+
+    def algorithms(self) -> List[str]:
+        """Slugs with at least one live version."""
+        with self._lock:
+            return sorted(slug for slug, v in self._versions.items() if v)
+
+    def versions(self, algorithm: str) -> List[int]:
+        """Live versions for ``algorithm``, ascending (empty when none)."""
+        with self._lock:
+            return list(self._versions.get(_slug(algorithm), []))
+
+    def latest_version(self, algorithm: str) -> Optional[int]:
+        with self._lock:
+            versions = self._versions.get(_slug(algorithm))
+            return versions[-1] if versions else None
+
+    def metadata(self, algorithm: str, version: int) -> Dict[str, str]:
+        """The metadata dict stored with one artifact."""
+        return Surrogate.read_metadata(self.path_for(algorithm, version))
+
+    # ------------------------------------------------------------------
+    # Publish / load / rollback
+    # ------------------------------------------------------------------
+
+    def _next_free_version(self, algorithm: str, slug: str) -> int:
+        """Smallest unused version number, checking the directory too.
+
+        The in-memory high-water mark covers this process; the on-disk
+        probe covers *other* processes sharing the registry directory
+        (e.g. two ``--learn`` servers pointed at one ``--registry-dir``):
+        a number is only eligible when neither its live artifact nor its
+        rolled-back tombstone exists.
+        """
+        version = self._highwater.get(slug, 0) + 1
+        while True:
+            final = self.path_for(algorithm, version)
+            retired = final.with_name(final.name + ".rolledback")
+            if not final.exists() and not retired.exists():
+                return version
+            version += 1
+
+    def publish(
+        self,
+        pipeline: MindMappings,
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> int:
+        """Persist ``pipeline``'s surrogate as the next version; return it.
+
+        The artifact lands atomically: it is fully written to a temp file,
+        then hard-linked into its final name with ``os.link`` — which
+        *fails* rather than overwrites if another process claimed the same
+        version concurrently, in which case the next free number is tried.
+        Published bytes are therefore never replaced ("v7 means the same
+        bytes forever"), even with several processes sharing one registry
+        directory.  Artifacts carry the accelerator fingerprint, the
+        algorithm, the version, and any caller ``metadata`` (e.g. gate
+        scores) for audit.
+        """
+        algorithm = pipeline.surrogate.algorithm
+        slug = _slug(algorithm)
+        with self._lock:
+            # pid + instance id: two registries over one directory — even in
+            # the same process — never share an in-flight temp file (writes
+            # within one instance are serialized by the lock).
+            tmp = self.root / f".{slug}.tmp-{os.getpid()}-{id(self):x}.npz"
+            try:
+                while True:
+                    version = self._next_free_version(algorithm, slug)
+                    payload = {
+                        "accel_fingerprint": pipeline.accelerator.fingerprint(),
+                        "algorithm": algorithm,
+                        "version": str(version),
+                    }
+                    payload.update(metadata or {})
+                    pipeline.surrogate.save(tmp, metadata=payload)
+                    try:
+                        os.link(tmp, self.path_for(algorithm, version))
+                    except FileExistsError:
+                        # Lost a cross-process race for this number; the
+                        # metadata embeds the version, so rewrite and retry
+                        # with the next free one.
+                        continue
+                    break
+            finally:
+                tmp.unlink(missing_ok=True)
+            self._versions.setdefault(slug, []).append(version)
+            self._highwater[slug] = version
+            return version
+
+    def load(
+        self,
+        algorithm: str,
+        accelerator: Accelerator,
+        version: Optional[int] = None,
+    ) -> Tuple[MindMappings, int]:
+        """Load ``version`` (default: latest) for ``algorithm``.
+
+        Raises ``LookupError`` when the version doesn't exist and
+        ``ValueError`` when the artifact's accelerator fingerprint or
+        recorded algorithm doesn't match — a registry must never hand out
+        a surrogate for the wrong hardware or the wrong workload family.
+        """
+        slug = _slug(algorithm)
+        with self._lock:
+            versions = self._versions.get(slug, [])
+            if version is None:
+                if not versions:
+                    raise LookupError(f"no published versions for {algorithm!r}")
+                version = versions[-1]
+            elif version not in versions:
+                raise LookupError(
+                    f"version {version} of {algorithm!r} is not live "
+                    f"(live: {versions})"
+                )
+        path = self.path_for(algorithm, version)
+        pipeline = MindMappings.load(path, accelerator)
+        recorded = Surrogate.read_metadata(path).get("algorithm")
+        if recorded is not None and recorded != algorithm:
+            raise ValueError(
+                f"artifact {path} records algorithm {recorded!r}, "
+                f"expected {algorithm!r}"
+            )
+        return pipeline, version
+
+    def rollback(self, algorithm: str) -> int:
+        """Retire the latest version; return the restored prior version.
+
+        The retired artifact is renamed aside (``.rolledback``) so its
+        number stays reserved; the prior version's file is untouched —
+        loading it yields the bytes exactly as published.
+        """
+        slug = _slug(algorithm)
+        with self._lock:
+            versions = self._versions.get(slug, [])
+            if not versions:
+                raise LookupError(f"no published versions for {algorithm!r}")
+            if len(versions) < 2:
+                raise LookupError(
+                    f"{algorithm!r} has only version {versions[0]}; "
+                    f"nothing to roll back to"
+                )
+            retired = versions.pop()
+            path = self.path_for(algorithm, retired)
+            path.rename(path.with_name(path.name + ".rolledback"))
+            return versions[-1]
+
+
+__all__ = ["ModelRegistry"]

@@ -1,0 +1,133 @@
+"""Incremental fine-tuning of a cloned surrogate on replay minibatches.
+
+The online counterpart of :func:`repro.core.trainer.train_surrogate`: same
+network, same loss family, same optimizers (:mod:`repro.nn.optim`) — but
+warm-started from the incumbent's weights at a low learning rate, fed by
+:meth:`repro.learn.replay.ReplayBuffer.sample` instead of a static Phase 1
+dataset, and always operating on a **clone** so the incumbent that live
+searches are reading is never touched.  The result is a *candidate*; it
+reaches serving only through the validation gate
+(:mod:`repro.learn.gate`) and the registry hot-swap
+(:mod:`repro.learn.lifecycle`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.surrogate import Surrogate
+from repro.learn.replay import ReplayBuffer
+from repro.nn import LOSS_FUNCTIONS, SGD, Adam, Tensor
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class OnlineTrainerConfig:
+    """Knobs for one fine-tuning round.
+
+    The defaults deliberately differ from Phase 1
+    (:class:`repro.core.trainer.TrainingConfig`): a 10x lower learning
+    rate, because the round starts from trained weights and must refine —
+    not erase — what offline training learned.
+    """
+
+    learning_rate: float = 1e-3
+    momentum: float = 0.9
+    loss: str = "huber"
+    optimizer: str = "sgd"
+    steps: int = 200
+    batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.loss not in LOSS_FUNCTIONS:
+            raise ValueError(
+                f"unknown loss {self.loss!r}; options: {sorted(LOSS_FUNCTIONS)}"
+            )
+        if self.optimizer not in ("sgd", "adam"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ValueError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+
+
+@dataclass
+class TrainRound:
+    """One fine-tuning round's outcome: the candidate and its loss track."""
+
+    candidate: Surrogate
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def steps(self) -> int:
+        return len(self.losses)
+
+    @property
+    def first_loss(self) -> float:
+        return self.losses[0]
+
+    @property
+    def last_loss(self) -> float:
+        return self.losses[-1]
+
+    @property
+    def mean_loss(self) -> float:
+        return float(np.mean(self.losses))
+
+
+class OnlineTrainer:
+    """Fine-tunes cloned surrogates on replay minibatches."""
+
+    def __init__(self, config: Optional[OnlineTrainerConfig] = None) -> None:
+        self.config = config or OnlineTrainerConfig()
+
+    def fine_tune(
+        self,
+        incumbent: Surrogate,
+        buffer: ReplayBuffer,
+        seed: SeedLike = None,
+    ) -> Optional[TrainRound]:
+        """Clone ``incumbent`` and refine it on ``buffer`` minibatches.
+
+        Returns ``None`` when the buffer holds no training samples yet
+        (nothing to learn from).  The incumbent's weights are never
+        modified; the returned candidate shares its encoder, codec, and
+        whitening statistics (see :meth:`Surrogate.clone`), so candidate
+        and incumbent predictions are directly comparable in the gate.
+        """
+        config = self.config
+        rng = ensure_rng(seed)
+        candidate = incumbent.clone()
+        parameters = candidate.network.parameters()
+        if config.optimizer == "sgd":
+            optimizer = SGD(
+                parameters, lr=config.learning_rate, momentum=config.momentum
+            )
+        else:
+            optimizer = Adam(parameters, lr=config.learning_rate)
+        loss_fn = LOSS_FUNCTIONS[config.loss]
+        losses: List[float] = []
+        for _ in range(config.steps):
+            batch = buffer.sample(config.batch_size, rng)
+            if batch is None:
+                break
+            inputs, targets = batch
+            optimizer.zero_grad()
+            prediction = candidate.network(Tensor(inputs))
+            loss = loss_fn(prediction, targets)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        if not losses:
+            return None
+        return TrainRound(candidate=candidate, losses=losses)
+
+
+__all__ = ["OnlineTrainer", "OnlineTrainerConfig", "TrainRound"]

@@ -136,6 +136,13 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--artifact-dir", type=Path, default=None,
                         help="surrogate artifact cache directory")
+    parser.add_argument("--learn", action="store_true",
+                        help="run the online surrogate lifecycle: replay "
+                             "served traffic, fine-tune in the background, "
+                             "hot-swap gate-validated surrogates")
+    parser.add_argument("--registry-dir", type=Path, default=None,
+                        help="model-registry directory for --learn "
+                             "(versioned artifacts + rollback)")
     args = parser.parse_args(argv)
 
     if args.selftest:
@@ -144,6 +151,15 @@ def main(argv=None) -> int:
     engine = MappingEngine(
         config=EngineConfig(artifact_dir=args.artifact_dir)
     )
+    learner = None
+    if args.learn:
+        from repro.learn.lifecycle import OnlineLearner
+        from repro.learn.registry import ModelRegistry
+
+        registry = (
+            ModelRegistry(args.registry_dir) if args.registry_dir else None
+        )
+        learner = OnlineLearner(engine, registry=registry).start()
     server = MappingServer(
         engine,
         ServeConfig(
@@ -152,6 +168,7 @@ def main(argv=None) -> int:
             max_queue=args.max_queue,
             workers=args.workers,
         ),
+        learner=learner,
     )
     gateway = start_gateway(
         server, host=args.host, port=args.port, verbose=not args.quiet
@@ -166,6 +183,8 @@ def main(argv=None) -> int:
         print("draining...")
         gateway.shutdown()
         server.shutdown(timeout=60.0)
+        if learner is not None:
+            learner.stop()
     return 0
 
 

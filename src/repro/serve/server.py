@@ -136,12 +136,20 @@ class MappingServer:
             Callable[[MappingEngine, Sequence[MappingRequest]], List[MappingResponse]]
         ] = None,
         clock: Callable[[], float] = time.monotonic,
+        learner=None,
     ) -> None:
         """``runner`` replaces the batch executor (tests inject stubs);
-        ``clock`` replaces the monotonic clock for deterministic tests."""
+        ``clock`` replaces the monotonic clock for deterministic tests.
+        ``learner`` (an :class:`~repro.learn.OnlineLearner`, or anything
+        with ``metrics_snapshot()``) surfaces the online-learning loop —
+        replay depth, model versions, gate scores, swap counts — in this
+        server's metrics; the server observes it but does not own its
+        lifecycle (start/stop it yourself, or via ``python -m
+        repro.serve --learn``)."""
         self.engine = engine
         self.config = config or ServeConfig()
         self.metrics = MetricsRegistry()
+        self._learner = learner
         self._runner = runner or serve_batch
         self._clock = clock
         self._batcher = MicroBatcher(
@@ -331,6 +339,11 @@ class MappingServer:
         with self._lock:
             return self._depth_locked()
 
+    def attach_learner(self, learner) -> None:
+        """Surface ``learner.metrics_snapshot()`` under ``"learning"`` in
+        this server's metrics (same contract as the constructor param)."""
+        self._learner = learner
+
     def metrics_snapshot(self) -> Dict[str, object]:
         """The live metrics dict the gateway serves at ``/metrics``."""
         with self._lock:
@@ -348,6 +361,8 @@ class MappingServer:
             },
             "response_cache_entries": len(self._response_cache),
         }
+        if self._learner is not None:
+            extra["learning"] = self._learner.metrics_snapshot()
         return self.metrics.snapshot(queue_depth=depth, extra=extra)
 
     # ------------------------------------------------------------------

@@ -281,6 +281,128 @@ class TestPrewarm:
         assert oracle.stats().size == 0
 
 
+class TestMissListener:
+    """The online-learning tap: every miss reported, values untouched."""
+
+    @staticmethod
+    def _tapped(oracle):
+        seen = []
+        oracle.set_miss_listener(
+            lambda problem, mappings, edps, stats: seen.append(
+                (problem, list(mappings), list(edps), stats)
+            )
+        )
+        return seen
+
+    def test_every_miss_path_reports(self, cost_model, cnn_problem, sampled):
+        from repro.costmodel.batch import BatchCostStats
+        from repro.costmodel.stats import CostStats
+
+        oracle = CachedOracle(cost_model)
+        seen = self._tapped(oracle)
+        oracle.evaluate(sampled[0], cnn_problem)          # scalar stats miss
+        oracle.evaluate_edp(sampled[1], cnn_problem)      # scalar EDP miss
+        oracle.evaluate_many(sampled[2:5], cnn_problem)   # batch misses
+        oracle.prewarm(sampled[5:8], cnn_problem)         # prewarm inserts
+        reported = [m for _, mappings, _, _ in seen for m in mappings]
+        assert reported == list(sampled[:8])
+        # Labels: full stats on every path — the tapped evaluate_edp miss
+        # upgrades itself to evaluate() (same value, same cost, full label).
+        assert isinstance(seen[0][3][0], CostStats)
+        assert isinstance(seen[1][3][0], CostStats)
+        assert isinstance(seen[2][3], BatchCostStats)
+        assert isinstance(seen[3][3], BatchCostStats)
+
+    def test_tapped_evaluate_edp_matches_untapped_value(
+        self, cost_model, cnn_problem, sampled
+    ):
+        """Attaching a listener must not change any served value: the
+        stats-harvesting scalar path returns exactly evaluate(...).edp."""
+        plain = CachedOracle(cost_model)
+        tapped = CachedOracle(cost_model)
+        self._tapped(tapped)
+        for mapping in sampled[:4]:
+            assert tapped.evaluate_edp(mapping, cnn_problem) == plain.evaluate_edp(
+                mapping, cnn_problem
+            )
+        # And the full label is now cached: a follow-up stats query hits.
+        before = tapped.stats()
+        tapped.evaluate(sampled[0], cnn_problem)
+        after = tapped.stats()
+        assert after.hits == before.hits + 1 and after.misses == before.misses
+
+    def test_hits_and_upgrades_are_not_reported(
+        self, cost_model, cnn_problem, sampled
+    ):
+        oracle = CachedOracle(cost_model)
+        oracle.evaluate_many(sampled, cnn_problem)
+        seen = self._tapped(oracle)
+        oracle.evaluate_many(sampled, cnn_problem)       # all hits
+        # A stats query against a bare-EDP entry is an *upgrade* miss: it
+        # re-prices a mapping the tap already saw, so it must stay silent
+        # (reporting it would double-weight revisited winners).
+        oracle.evaluate(sampled[0], cnn_problem)
+        assert seen == []
+        assert oracle.stats().misses == len(sampled) + 1
+
+    def test_fresh_stats_miss_is_reported(self, cost_model, cnn_problem, sampled):
+        oracle = CachedOracle(cost_model)
+        seen = self._tapped(oracle)
+        oracle.evaluate(sampled[0], cnn_problem)
+        assert [m for _, mappings, _, _ in seen for m in mappings] == [sampled[0]]
+
+    def test_values_and_counters_unchanged_by_listener(
+        self, cost_model, cnn_problem, sampled
+    ):
+        plain = CachedOracle(cost_model)
+        tapped = CachedOracle(cost_model)
+        self._tapped(tapped)
+        assert tapped.evaluate_many(sampled, cnn_problem) == plain.evaluate_many(
+            sampled, cnn_problem
+        )
+        assert tapped.stats() == plain.stats()
+
+    def test_reported_edps_match_returned_values(
+        self, cost_model, cnn_problem, sampled
+    ):
+        oracle = CachedOracle(cost_model)
+        seen = self._tapped(oracle)
+        values = oracle.evaluate_many(sampled, cnn_problem)
+        reported = [edp for _, _, edps, _ in seen for edp in edps]
+        assert reported == values
+
+    def test_listener_exception_never_fails_a_query(
+        self, cost_model, cnn_problem, sampled
+    ):
+        oracle = CachedOracle(cost_model)
+
+        def broken(problem, mappings, edps, stats):
+            raise RuntimeError("observer bug")
+
+        oracle.set_miss_listener(broken)
+        with pytest.warns(UserWarning, match="miss listener failed"):
+            values = oracle.evaluate_many(sampled[:3], cnn_problem)
+        assert values == pytest.approx(
+            [cost_model.evaluate_edp(m, cnn_problem) for m in sampled[:3]]
+        )
+        assert oracle.stats().misses == 3
+
+    def test_listener_clearable(self, cost_model, cnn_problem, sampled):
+        oracle = CachedOracle(cost_model)
+        seen = self._tapped(oracle)
+        oracle.set_miss_listener(None)
+        oracle.evaluate_many(sampled, cnn_problem)
+        assert seen == []
+
+    def test_scalar_only_inner_reports_floats(self, cost_model, cnn_problem, sampled):
+        inner = _CountingOracle(cost_model)
+        oracle = CachedOracle(inner)
+        seen = self._tapped(oracle)
+        oracle.evaluate_many(sampled[:4], cnn_problem)
+        assert len(seen) == 1
+        assert seen[0][3] is None  # no evaluate_batch on the inner: bare EDPs
+
+
 class TestConcurrentHammer:
     """Satellite regression: the lock really covers store + counters under
     mixed multi-threaded traffic from scheduler workers."""

@@ -221,17 +221,10 @@ class TestBatchDeterminism:
             "gradient", "random", "annealing", "genetic"
         ]
 
-    def test_invalid_workers_rejected(self, engine):
-        with pytest.raises(ValueError):
-            engine.map_batch([], workers=0)
-
-    def test_workers_argument_deprecated(self, engine):
-        requests = [
-            MappingRequest(TARGETS[0], searcher="random", iterations=5, seed=0)
-        ]
-        with pytest.warns(DeprecationWarning, match="workers"):
-            responses = engine.map_batch(requests, workers=4)
-        assert len(responses) == 1
+    def test_workers_parameter_removed(self, engine):
+        """The deprecated thread-pool knob is gone, not silently ignored."""
+        with pytest.raises(TypeError):
+            engine.map_batch([], workers=2)
 
 
 class TestArtifactCache:

@@ -154,6 +154,29 @@ class TestTables:
         with pytest.raises(ValueError):
             format_table(("a",), [("1", "2")])
 
+    def test_fidelity_table_renders_reports(self):
+        from repro.core.analysis import FidelityReport
+        from repro.harness import fidelity_table
+
+        reports = [
+            FidelityReport(
+                problem="p1", samples=60, correlation=0.91,
+                tail_correlation=0.55, tail_fraction=0.2,
+                rank_agreement=0.87, mean_abs_error_log2=0.42,
+            ),
+            FidelityReport(
+                problem="p2", samples=60, correlation=0.78,
+                tail_correlation=0.31, tail_fraction=0.2,
+                rank_agreement=0.70, mean_abs_error_log2=0.80,
+            ),
+        ]
+        text = fidelity_table(reports, title="fidelity")
+        lines = text.splitlines()
+        assert lines[0] == "fidelity"
+        assert "spearman" in lines[1]
+        assert any("p1" in line and "0.870" in line for line in lines)
+        assert any("p2" in line and "0.700" in line for line in lines)
+
     def test_ascii_curve_renders(self):
         curve = MethodCurve(
             method="MM",

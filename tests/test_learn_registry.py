@@ -1,0 +1,176 @@
+"""ModelRegistry: versioning, restart persistence, fingerprints, rollback."""
+
+import numpy as np
+import pytest
+
+from repro.core import MindMappings, MindMappingsConfig, TrainingConfig
+from repro.costmodel.accelerator import default_accelerator, small_accelerator
+from repro.learn.registry import ModelRegistry
+from repro.workloads import make_conv1d
+
+ACCEL = small_accelerator()
+TRAIN_PROBLEMS = (
+    make_conv1d("reg_train_a", w=8, r=2),
+    make_conv1d("reg_train_b", w=12, r=3),
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    config = MindMappingsConfig(
+        dataset_samples=200,
+        training=TrainingConfig(hidden_layers=(8, 8), epochs=1),
+    )
+    return MindMappings.train("conv1d", ACCEL, config, problems=TRAIN_PROBLEMS, seed=0)
+
+
+def _variant(pipeline, seed):
+    """A pipeline with perturbed weights (a distinct 'version')."""
+    surrogate = pipeline.surrogate.clone()
+    rng = np.random.default_rng(seed)
+    for parameter in surrogate.network.parameters():
+        parameter.data += rng.normal(scale=1e-3, size=parameter.data.shape)
+    return MindMappings(surrogate, pipeline.accelerator)
+
+
+def _weights(surrogate):
+    return surrogate.network.state_dict()
+
+
+class TestPublishLoad:
+    def test_versions_monotonic(self, tmp_path, pipeline):
+        registry = ModelRegistry(tmp_path)
+        assert registry.latest_version("conv1d") is None
+        assert registry.publish(pipeline) == 1
+        assert registry.publish(_variant(pipeline, 1)) == 2
+        assert registry.versions("conv1d") == [1, 2]
+        assert registry.latest_version("conv1d") == 2
+        assert registry.algorithms() == ["conv1d"]
+
+    def test_load_round_trips_weights_exactly(self, tmp_path, pipeline):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(pipeline)
+        loaded, version = registry.load("conv1d", ACCEL)
+        assert version == 1
+        original = _weights(pipeline.surrogate)
+        restored = _weights(loaded.surrogate)
+        assert set(original) == set(restored)
+        for key in original:
+            np.testing.assert_array_equal(original[key], restored[key])
+
+    def test_metadata_recorded(self, tmp_path, pipeline):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(pipeline, metadata={"gate_spearman": "0.9"})
+        meta = registry.metadata("conv1d", 1)
+        assert meta["algorithm"] == "conv1d"
+        assert meta["version"] == "1"
+        assert meta["accel_fingerprint"] == ACCEL.fingerprint()
+        assert meta["gate_spearman"] == "0.9"
+
+    def test_no_temp_files_left_behind(self, tmp_path, pipeline):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(pipeline)
+        leftovers = [p.name for p in tmp_path.iterdir() if "tmp" in p.name]
+        assert leftovers == []
+
+    def test_concurrent_publisher_never_clobbered(self, tmp_path, pipeline):
+        """Another process publishing into the same directory must not be
+        overwritten: the foreign artifact's bytes survive, and this
+        registry's publish lands on the next free number."""
+        ours = ModelRegistry(tmp_path)
+        ours.publish(pipeline)  # v1
+        # A "foreign process" (a second registry over the same dir, opened
+        # after v1 so both believe v2 is next) publishes v2 first.
+        theirs = ModelRegistry(tmp_path)
+        assert theirs.publish(_variant(pipeline, 11)) == 2
+        foreign_bytes = theirs.path_for("conv1d", 2).read_bytes()
+        # Our registry's high-water still says 1; its publish must detect
+        # the on-disk v2 and claim v3 instead of clobbering it.
+        assert ours.publish(_variant(pipeline, 12)) == 3
+        assert theirs.path_for("conv1d", 2).read_bytes() == foreign_bytes
+        assert ModelRegistry(tmp_path).versions("conv1d") == [1, 2, 3]
+
+    def test_unknown_version_raises(self, tmp_path, pipeline):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(LookupError):
+            registry.load("conv1d", ACCEL)
+        registry.publish(pipeline)
+        with pytest.raises(LookupError):
+            registry.load("conv1d", ACCEL, version=7)
+
+
+class TestRestartPersistence:
+    def test_index_rebuilt_from_disk(self, tmp_path, pipeline):
+        first = ModelRegistry(tmp_path)
+        first.publish(pipeline)
+        first.publish(_variant(pipeline, 2))
+        # "Process restart": a brand-new registry over the same directory.
+        reopened = ModelRegistry(tmp_path)
+        assert reopened.versions("conv1d") == [1, 2]
+        loaded, version = reopened.load("conv1d", ACCEL)
+        assert version == 2
+        for key, value in _weights(loaded.surrogate).items():
+            np.testing.assert_array_equal(
+                value, _weights(_variant(pipeline, 2).surrogate)[key]
+            )
+
+    def test_restart_preserves_highwater_after_rollback(self, tmp_path, pipeline):
+        first = ModelRegistry(tmp_path)
+        first.publish(pipeline)
+        first.publish(_variant(pipeline, 3))
+        first.rollback("conv1d")
+        reopened = ModelRegistry(tmp_path)
+        assert reopened.versions("conv1d") == [1]
+        # v2's number stays reserved even across restart.
+        assert reopened.publish(_variant(pipeline, 4)) == 3
+
+
+class TestFingerprints:
+    def test_mismatched_accelerator_rejected(self, tmp_path, pipeline):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(pipeline)
+        with pytest.raises(ValueError, match="fingerprint"):
+            registry.load("conv1d", default_accelerator())
+
+
+class TestRollback:
+    def test_rollback_restores_prior_version_byte_identically(
+        self, tmp_path, pipeline
+    ):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(pipeline)
+        v1_bytes = registry.path_for("conv1d", 1).read_bytes()
+        registry.publish(_variant(pipeline, 5))
+        restored = registry.rollback("conv1d")
+        assert restored == 1
+        assert registry.latest_version("conv1d") == 1
+        # The artifact file was never rewritten: bytes identical.
+        assert registry.path_for("conv1d", 1).read_bytes() == v1_bytes
+        loaded, _ = registry.load("conv1d", ACCEL)
+        for key, value in _weights(loaded.surrogate).items():
+            np.testing.assert_array_equal(value, _weights(pipeline.surrogate)[key])
+
+    def test_retired_artifact_kept_for_audit(self, tmp_path, pipeline):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(pipeline)
+        registry.publish(_variant(pipeline, 6))
+        registry.rollback("conv1d")
+        retired = list(tmp_path.glob("*.rolledback"))
+        assert len(retired) == 1
+        assert "v000002" in retired[0].name
+
+    def test_rollback_requires_prior_version(self, tmp_path, pipeline):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(LookupError):
+            registry.rollback("conv1d")
+        registry.publish(pipeline)
+        with pytest.raises(LookupError):
+            registry.rollback("conv1d")
+
+    def test_versions_stay_monotonic_after_rollback(self, tmp_path, pipeline):
+        registry = ModelRegistry(tmp_path)
+        registry.publish(pipeline)                       # v1
+        registry.publish(_variant(pipeline, 7))          # v2
+        registry.rollback("conv1d")                      # back to v1
+        assert registry.publish(_variant(pipeline, 8)) == 3
+        assert registry.versions("conv1d") == [1, 3]

@@ -1,0 +1,204 @@
+"""OnlineTrainer (clone fine-tuning) and the validation gate."""
+
+import numpy as np
+import pytest
+
+from repro.core import MindMappings, MindMappingsConfig, TrainingConfig
+from repro.costmodel import CostModel
+from repro.costmodel.accelerator import small_accelerator
+from repro.learn.gate import GateConfig, GateReport, validate_swap
+from repro.learn.replay import ReplayBuffer, ReplayConfig
+from repro.learn.trainer import OnlineTrainer, OnlineTrainerConfig
+from repro.mapspace import MapSpace
+from repro.workloads import make_conv1d
+
+ACCEL = small_accelerator()
+MODEL = CostModel(ACCEL)
+TARGET = make_conv1d("tg_target", w=40, r=5)
+TRAIN_PROBLEMS = (
+    make_conv1d("tg_train_a", w=8, r=2),
+    make_conv1d("tg_train_b", w=12, r=3),
+)
+
+
+@pytest.fixture(scope="module")
+def cold_pipeline():
+    """A weak Phase-1 surrogate (off-distribution shapes, toy budget)."""
+    config = MindMappingsConfig(
+        dataset_samples=300,
+        training=TrainingConfig(hidden_layers=(16, 16), epochs=2),
+    )
+    return MindMappings.train(
+        "conv1d", ACCEL, config, problems=TRAIN_PROBLEMS, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def filled_buffer(cold_pipeline):
+    """Replay samples from the target problem's true costs."""
+    buffer = ReplayBuffer(
+        cold_pipeline.surrogate,
+        ACCEL,
+        ReplayConfig(capacity_per_problem=256, holdout_capacity_per_problem=96,
+                     holdout_every=4),
+    )
+    mappings = MapSpace(TARGET, ACCEL).sample_many(300, seed=9)
+    batch = MODEL.evaluate_batch(mappings, TARGET)
+    buffer.ingest(TARGET, mappings, [float(v) for v in batch.edp], batch)
+    return buffer
+
+
+class TestOnlineTrainer:
+    def test_incumbent_untouched_and_candidate_trained(
+        self, cold_pipeline, filled_buffer
+    ):
+        incumbent = cold_pipeline.surrogate
+        before = {k: v.copy() for k, v in incumbent.network.state_dict().items()}
+        trainer = OnlineTrainer(OnlineTrainerConfig(steps=50, batch_size=32))
+        round_ = trainer.fine_tune(incumbent, filled_buffer, seed=0)
+        assert round_ is not None and round_.steps == 50
+        after = incumbent.network.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+        # The candidate is a distinct, actually-updated network.
+        assert round_.candidate is not incumbent
+        changed = any(
+            not np.array_equal(before[k], v)
+            for k, v in round_.candidate.network.state_dict().items()
+        )
+        assert changed
+
+    def test_candidate_shares_frozen_coordinate_systems(
+        self, cold_pipeline, filled_buffer
+    ):
+        trainer = OnlineTrainer(OnlineTrainerConfig(steps=5))
+        round_ = trainer.fine_tune(cold_pipeline.surrogate, filled_buffer, seed=1)
+        candidate = round_.candidate
+        incumbent = cold_pipeline.surrogate
+        assert candidate.encoder is incumbent.encoder
+        assert candidate.codec is incumbent.codec
+        assert candidate.input_whitener is incumbent.input_whitener
+        assert candidate.target_whitener is incumbent.target_whitener
+
+    def test_fine_tuning_improves_holdout_fit(self, cold_pipeline, filled_buffer):
+        trainer = OnlineTrainer(OnlineTrainerConfig(steps=250, batch_size=64))
+        round_ = trainer.fine_tune(cold_pipeline.surrogate, filled_buffer, seed=2)
+        x, truth = filled_buffer.holdout_truth()
+        before = np.mean(
+            (cold_pipeline.surrogate.predict_log2_norm_edp(x) - truth) ** 2
+        )
+        after = np.mean((round_.candidate.predict_log2_norm_edp(x) - truth) ** 2)
+        assert after < before
+
+    def test_empty_buffer_returns_none(self, cold_pipeline):
+        empty = ReplayBuffer(cold_pipeline.surrogate, ACCEL)
+        assert OnlineTrainer().fine_tune(cold_pipeline.surrogate, empty) is None
+
+    def test_loss_track_recorded(self, cold_pipeline, filled_buffer):
+        round_ = OnlineTrainer(OnlineTrainerConfig(steps=20)).fine_tune(
+            cold_pipeline.surrogate, filled_buffer, seed=3
+        )
+        assert len(round_.losses) == 20
+        assert round_.first_loss == round_.losses[0]
+        assert round_.last_loss == round_.losses[-1]
+        assert round_.mean_loss == pytest.approx(np.mean(round_.losses))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OnlineTrainerConfig(loss="nope")
+        with pytest.raises(ValueError):
+            OnlineTrainerConfig(optimizer="rmsprop")
+        with pytest.raises(ValueError):
+            OnlineTrainerConfig(steps=0)
+        with pytest.raises(ValueError):
+            OnlineTrainerConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            OnlineTrainerConfig(learning_rate=0.0)
+
+    def test_adam_path(self, cold_pipeline, filled_buffer):
+        round_ = OnlineTrainer(
+            OnlineTrainerConfig(steps=10, optimizer="adam")
+        ).fine_tune(cold_pipeline.surrogate, filled_buffer, seed=4)
+        assert round_ is not None and round_.steps == 10
+
+
+class TestGate:
+    def _improved(self, cold_pipeline, filled_buffer):
+        trainer = OnlineTrainer(OnlineTrainerConfig(steps=250, batch_size=64))
+        return trainer.fine_tune(cold_pipeline.surrogate, filled_buffer, seed=5)
+
+    def test_improved_candidate_accepted(self, cold_pipeline, filled_buffer):
+        round_ = self._improved(cold_pipeline, filled_buffer)
+        x, truth = filled_buffer.holdout_truth()
+        report = validate_swap(
+            round_.candidate, cold_pipeline.surrogate, x, truth,
+            GateConfig(min_samples=16),
+        )
+        assert report.accepted
+        assert report.candidate_spearman >= report.incumbent_spearman
+        assert report.algorithm == "conv1d"
+        assert report.n_samples == len(truth)
+
+    def test_poisoned_candidate_rejected(self, cold_pipeline, filled_buffer):
+        poisoned = cold_pipeline.surrogate.clone()
+        rng = np.random.default_rng(0)
+        for parameter in poisoned.network.parameters():
+            parameter.data[...] = rng.normal(scale=3.0, size=parameter.data.shape)
+        x, truth = filled_buffer.holdout_truth()
+        report = validate_swap(
+            poisoned, cold_pipeline.surrogate, x, truth, GateConfig(min_samples=16)
+        )
+        assert not report.accepted
+        assert "regressed" in report.reason or "MSE" in report.reason
+
+    def test_identical_candidate_passes_default_gate(
+        self, cold_pipeline, filled_buffer
+    ):
+        """min_spearman_gain=0 means non-regression: a tie is accepted."""
+        x, truth = filled_buffer.holdout_truth()
+        clone = cold_pipeline.surrogate.clone()
+        report = validate_swap(
+            clone, cold_pipeline.surrogate, x, truth, GateConfig(min_samples=16)
+        )
+        assert report.accepted
+        assert report.candidate_spearman == pytest.approx(report.incumbent_spearman)
+
+    def test_margin_blocks_ties(self, cold_pipeline, filled_buffer):
+        x, truth = filled_buffer.holdout_truth()
+        clone = cold_pipeline.surrogate.clone()
+        report = validate_swap(
+            clone, cold_pipeline.surrogate, x, truth,
+            GateConfig(min_samples=16, min_spearman_gain=0.05),
+        )
+        assert not report.accepted
+
+    def test_insufficient_samples_rejected(self, cold_pipeline):
+        x = np.zeros((4, cold_pipeline.surrogate.encoder.length))
+        truth = np.arange(4.0)
+        report = validate_swap(
+            cold_pipeline.surrogate, cold_pipeline.surrogate, x, truth,
+            GateConfig(min_samples=32),
+        )
+        assert not report.accepted
+        assert "insufficient" in report.reason
+
+    def test_report_serializes(self, cold_pipeline, filled_buffer):
+        x, truth = filled_buffer.holdout_truth()
+        report = validate_swap(
+            cold_pipeline.surrogate.clone(), cold_pipeline.surrogate, x, truth,
+            GateConfig(min_samples=16),
+        )
+        payload = report.to_dict()
+        assert isinstance(report, GateReport)
+        assert set(payload) >= {
+            "algorithm", "n_samples", "candidate_spearman",
+            "incumbent_spearman", "candidate_mse", "incumbent_mse",
+            "accepted", "reason",
+        }
+        assert "spearman" in report.describe()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GateConfig(min_samples=1)
+        with pytest.raises(ValueError):
+            GateConfig(max_mse_ratio=0.0)
