@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import add_report
+from conftest import add_report, write_bench_json
 
 from repro.core import MindMappingsConfig, TrainingConfig
 from repro.core.analysis import spearman_rank_correlation
@@ -143,6 +143,32 @@ def test_online_learning_beats_frozen_phase1_on_transformers(accelerator):
             f"on {report.n_samples} samples"
         ),
     )
+
+    write_bench_json("online_learning", {
+        "eval_samples_per_problem": EVAL_SAMPLES,
+        "tapped_samples": snapshot["observed"],
+        "swaps": snapshot["swaps"],
+        "rejected_swaps": snapshot["rejected_swaps"],
+        "configs": {
+            problem.name: {
+                "frozen_rho": frozen_rho,
+                "tuned_rho": tuned_rho,
+                "delta_rho": tuned_rho - frozen_rho,
+            }
+            for problem, frozen_rho, tuned_rho in zip(
+                TRANSFORMER_PROBLEMS, frozen_scores, tuned_scores
+            )
+        },
+        "mean_frozen_rho": mean_frozen,
+        "mean_tuned_rho": mean_tuned,
+        "gate": {
+            "incumbent_spearman": report.incumbent_spearman,
+            "candidate_spearman": report.candidate_spearman,
+            "incumbent_mse": report.incumbent_mse,
+            "candidate_mse": report.candidate_mse,
+            "n_samples": report.n_samples,
+        },
+    })
 
     # The acceptance bar: strict improvement in held-out rank correlation
     # over the frozen Phase-1 surrogate, on unseen transformer problems.

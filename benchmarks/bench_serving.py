@@ -31,7 +31,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 import pytest
 
-from conftest import add_report
+from conftest import add_report, write_bench_json
 
 from repro.costmodel.accelerator import default_accelerator
 from repro.engine import EngineConfig, MappingEngine, MappingRequest
@@ -202,6 +202,32 @@ def test_serving_throughput_vs_per_request_map(benchmark):
             f"oracle hit rate={snapshot['oracle_cache']['hit_rate']:.0%}"
         ),
     )
+
+    write_bench_json("serving", {
+        "clients": CLIENTS,
+        "arrivals": TOTAL_ARRIVALS,
+        "iterations_per_request": ITERATIONS,
+        "offered_rate_rps": rate,
+        "configs": {
+            "zipf_mix": {
+                "baseline_rps": baseline_rps,
+                "served_rps": serve_rps,
+                "speedup": mix_ratio,
+            },
+            "all_distinct": {
+                "baseline_rps": distinct_baseline_rps,
+                "served_rps": distinct_serve_rps,
+                "speedup": distinct_ratio,
+            },
+        },
+        "latency_ms": {
+            "p50": latency["p50_ms"],
+            "p95": latency["p95_ms"],
+            "p99": latency["p99_ms"],
+        },
+        "batch_size": snapshot["batch_size"],
+        "counters": snapshot["counters"],
+    })
 
     # Metrics acceptance: histogram + quantiles populated under load.
     assert snapshot["batch_size"]["count"] >= 1

@@ -12,7 +12,11 @@ the rows survive pytest's output capture and land in ``bench_output.txt``.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
 
 import pytest
 
@@ -26,6 +30,30 @@ _REPORTS: List[Tuple[str, str]] = []
 def add_report(title: str, body: str) -> None:
     """Register a paper-style table/figure rendering for the final summary."""
     _REPORTS.append((title, body))
+
+
+def write_bench_json(name: str, payload: Dict[str, object]) -> Path:
+    """Persist a benchmark's results as machine-readable ``BENCH_<name>.json``.
+
+    Nightly CI uploads these as artifacts so throughput/latency/rho trends
+    are diffable across runs without scraping the terminal report.  Files
+    land in ``$BENCH_JSON_DIR`` (default: the working directory); the
+    payload is wrapped with a schema version, the benchmark name, and a
+    wall-clock timestamp.
+    """
+    out_dir = Path(os.environ.get("BENCH_JSON_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    document = {
+        "schema_version": 1,
+        "benchmark": name,
+        "unix_time": time.time(),
+        "results": payload,
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return path
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

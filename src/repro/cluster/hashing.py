@@ -1,0 +1,129 @@
+"""Consistent-hash routing: which shard owns which problem.
+
+The router shards traffic by *problem fingerprint* so all requests for one
+problem land on one shard.  That locality is the whole point of sharding
+this particular system: a shard's hot response cache, memoized oracle
+entries, surrogate pipelines, and replay reservoirs are all keyed by
+problem, so pinning a problem to a shard makes every per-shard cache as
+effective as the single-process one — route randomly and every cache
+would be diluted N ways.
+
+:class:`HashRing` is a classic consistent-hash ring with virtual nodes:
+
+* **Stable assignment** — a key's owner depends only on the ring
+  membership, not on insertion order or process lifetime (SHA-256, no
+  per-process seed), so every router instance and every test agrees.
+* **Minimal movement** — adding/removing one shard remaps only ~1/N of
+  the keyspace; the other shards keep their hot caches.
+* **Failover chains** — :meth:`chain_for` yields *all* nodes in ring
+  order from the key's position; the router walks it when the owning
+  shard is dead, so a key has a deterministic second (third, ...) home.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Hashable, List
+
+from repro.costmodel.cache import problem_key
+from repro.workloads.problem import Problem
+
+
+def stable_digest(payload: str) -> int:
+    """64-bit stable hash (first 8 bytes of SHA-256, big-endian)."""
+    return int.from_bytes(
+        hashlib.sha256(payload.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def problem_fingerprint(problem: Problem) -> str:
+    """The routing key: a stable hex digest of the canonical problem key.
+
+    Built on :func:`repro.costmodel.cache.problem_key` — the same identity
+    the oracle cache and replay reservoirs use — so "same fingerprint"
+    means "same caches apply".  The request's searcher/seed/config are
+    deliberately excluded: every request for a problem must meet that
+    problem's caches, whatever search it asks for.
+    """
+    return hashlib.sha256(
+        repr(problem_key(problem)).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+class HashRing:
+    """Consistent-hash ring over hashable node ids with virtual nodes."""
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: List[int] = []  # sorted virtual-node positions
+        self._owners: Dict[int, Hashable] = {}  # position -> node id
+
+    def __len__(self) -> int:
+        return len(set(self._owners.values()))
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._owners.values()
+
+    def nodes(self) -> List[Hashable]:
+        return sorted(set(self._owners.values()), key=repr)
+
+    def add(self, node: Hashable) -> None:
+        """Add ``node`` (idempotent) at its ``replicas`` virtual points."""
+        if node in self:
+            return
+        for replica in range(self.replicas):
+            point = stable_digest(f"{node!r}#{replica}")
+            # A 64-bit collision between distinct nodes is effectively
+            # impossible; skip rather than silently re-own the point.
+            if point in self._owners:
+                continue
+            bisect.insort(self._points, point)
+            self._owners[point] = node
+        if node not in self:
+            raise RuntimeError(f"all virtual points for {node!r} collided")
+
+    def remove(self, node: Hashable) -> None:
+        """Remove ``node``; its keyspace flows to the next nodes on the ring."""
+        points = [p for p, owner in self._owners.items() if owner == node]
+        for point in points:
+            del self._owners[point]
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+
+    def node_for(self, key: str) -> Hashable:
+        """The node owning ``key`` (the first virtual point at/after its hash)."""
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        position = stable_digest(key)
+        index = bisect.bisect_right(self._points, position)
+        if index == len(self._points):
+            index = 0  # wrap around
+        return self._owners[self._points[index]]
+
+    def chain_for(self, key: str) -> List[Hashable]:
+        """All distinct nodes in ring order from ``key``'s position.
+
+        ``chain_for(k)[0] == node_for(k)``; the rest is the deterministic
+        failover order — the router tries them in sequence when the owner
+        is down, so a key's fallback home is as stable as its primary.
+        """
+        if not self._points:
+            return []
+        position = stable_digest(key)
+        start = bisect.bisect_right(self._points, position)
+        chain: List[Hashable] = []
+        seen = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[
+                self._points[(start + offset) % len(self._points)]
+            ]
+            if owner not in seen:
+                seen.add(owner)
+                chain.append(owner)
+        return chain
+
+
+__all__ = ["HashRing", "problem_fingerprint", "stable_digest"]

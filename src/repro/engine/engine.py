@@ -271,6 +271,7 @@ class MappingEngine:
         )
         self._pipelines: Dict[str, MindMappings] = {}
         self._pipeline_sources: Dict[str, str] = {}
+        self._pipeline_versions: Dict[str, int] = {}
         self._locks: Dict[str, threading.Lock] = {}
         self._locks_guard = threading.Lock()
         self._bounds: Dict[Hashable, float] = {}
@@ -383,13 +384,21 @@ class MappingEngine:
         return self.pipeline_for(algorithm).surrogate
 
     def install_pipeline(
-        self, algorithm: str, pipeline: MindMappings, source: str = "installed"
+        self,
+        algorithm: str,
+        pipeline: MindMappings,
+        source: str = "installed",
+        version: Optional[int] = None,
     ) -> None:
         """Pre-load a trained pipeline instead of training lazily.
 
         For callers that already hold a trained :class:`MindMappings`
-        (benchmark sessions, warm standby engines).  The pipeline's
-        accelerator must match this engine's.
+        (benchmark sessions, warm standby engines, the online learner's
+        hot-swap, the cluster registry watcher).  The pipeline's
+        accelerator must match this engine's.  ``version`` records the
+        model-registry version this pipeline came from, surfaced by
+        :meth:`surrogate_versions` so fleet-wide swap propagation is
+        observable; ``None`` means "not from the registry".
         """
         if pipeline.accelerator.fingerprint() != self.accelerator.fingerprint():
             raise ValueError(
@@ -405,6 +414,10 @@ class MappingEngine:
         with self._algorithm_lock(algorithm):
             self._pipelines[algorithm] = pipeline
             self._pipeline_sources[algorithm] = source
+            if version is None:
+                self._pipeline_versions.pop(algorithm, None)
+            else:
+                self._pipeline_versions[algorithm] = version
 
     # ------------------------------------------------------------------
     # Learning taps
@@ -569,6 +582,27 @@ class MappingEngine:
     def loaded_algorithms(self) -> Dict[str, str]:
         """Algorithms with a live surrogate, mapped to where it came from."""
         return dict(self._pipeline_sources)
+
+    def surrogate_versions(self) -> Dict[str, Dict[str, object]]:
+        """Installed surrogate provenance per (algorithm, fingerprint).
+
+        For every algorithm with a live pipeline: the model-registry
+        ``version`` it was installed from (``None`` for lazily trained /
+        artifact-cache pipelines that never went through a registry), the
+        accelerator ``fingerprint`` it is keyed to, and the human-readable
+        ``source`` string.  Serving layers surface this in ``snapshot()``
+        and ``/v1/healthz`` so cross-process swap propagation — a version
+        published on one shard appearing on every other — is observable.
+        """
+        fingerprint = self.accelerator.fingerprint()
+        return {
+            algorithm: {
+                "version": self._pipeline_versions.get(algorithm),
+                "fingerprint": fingerprint,
+                "source": source,
+            }
+            for algorithm, source in self._pipeline_sources.items()
+        }
 
     def _lower_bound_edp(self, problem: Problem) -> float:
         key = problem_key(problem)

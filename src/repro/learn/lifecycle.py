@@ -291,7 +291,10 @@ class OnlineLearner:
                 with self._state_lock:
                     version = self._versions.get(algorithm, 0) + 1
             self.engine.install_pipeline(
-                algorithm, pipeline, source=f"online:v{version}"
+                algorithm,
+                pipeline,
+                source=f"online:v{version}",
+                version=version if self.registry is not None else None,
             )
             self.swaps.inc()
             with self._state_lock:
@@ -311,7 +314,10 @@ class OnlineLearner:
             algorithm, self.engine.accelerator, version
         )
         self.engine.install_pipeline(
-            algorithm, pipeline, source=f"online:v{version}(rollback)"
+            algorithm,
+            pipeline,
+            source=f"online:v{version}(rollback)",
+            version=version,
         )
         with self._state_lock:
             self._versions[algorithm] = version

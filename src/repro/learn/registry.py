@@ -60,6 +60,7 @@ class ModelRegistry:
         self._scan()
 
     def _scan(self) -> None:
+        versions: Dict[str, List[int]] = {}
         for path in self.root.iterdir():
             match = _ARTIFACT_RE.match(path.name)
             if match is None:
@@ -68,9 +69,24 @@ class ModelRegistry:
             version = int(match.group("version"))
             self._highwater[slug] = max(self._highwater.get(slug, 0), version)
             if match.group("retired") is None:
-                self._versions.setdefault(slug, []).append(version)
-        for versions in self._versions.values():
-            versions.sort()
+                versions.setdefault(slug, []).append(version)
+        for entries in versions.values():
+            entries.sort()
+        self._versions = versions
+
+    def refresh(self) -> None:
+        """Re-index the directory, picking up other processes' publishes.
+
+        The in-memory index only tracks this instance's own operations; a
+        registry directory is explicitly shared between processes (that is
+        what the exclusive ``os.link`` publish is for), so pollers — the
+        cluster's :class:`~repro.cluster.watcher.RegistryWatcher` — call
+        this before reading ``latest_version``.  The high-water marks only
+        ever grow, so version monotonicity survives the rescan even if an
+        artifact vanishes from disk.
+        """
+        with self._lock:
+            self._scan()
 
     # ------------------------------------------------------------------
     # Paths / introspection

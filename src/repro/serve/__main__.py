@@ -23,7 +23,7 @@ from repro.costmodel.accelerator import small_accelerator
 from repro.engine.engine import EngineConfig, MappingEngine, MappingRequest
 from repro.engine.registry import resolve_searcher
 from repro.serve.codec import request_to_dict
-from repro.serve.http import start_gateway
+from repro.serve.http import install_signal_drain, start_gateway
 from repro.serve.server import MappingServer, ServeConfig
 from repro.workloads.conv1d import make_conv1d
 
@@ -170,21 +170,24 @@ def main(argv=None) -> int:
         ),
         learner=learner,
     )
+    # SIGTERM (supervisor restart) and SIGINT (^C) both land here: stop
+    # accepting, serve everything already admitted, then exit 0 — a shard
+    # restart never drops in-flight requests.  Handlers go in BEFORE the
+    # ready banner: once a supervisor reads the banner it may signal.
+    stop = install_signal_drain()
     gateway = start_gateway(
         server, host=args.host, port=args.port, verbose=not args.quiet
     )
     print(f"serving on {gateway.address}  (POST /v1/map, GET /v1/metrics; "
           f"searchers resolve via repro.engine, e.g. "
-          f"{resolve_searcher('mm')!r} for 'mm')")
-    try:
-        while True:
-            time.sleep(3600)
-    except KeyboardInterrupt:
-        print("draining...")
-        gateway.shutdown()
-        server.shutdown(timeout=60.0)
-        if learner is not None:
-            learner.stop()
+          f"{resolve_searcher('mm')!r} for 'mm')", flush=True)
+    stop.wait()
+    print("draining...")
+    gateway.shutdown()
+    gateway.server_close()
+    server.shutdown(timeout=60.0)
+    if learner is not None:
+        learner.stop()
     return 0
 
 

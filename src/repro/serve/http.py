@@ -51,10 +51,17 @@ class GatewayHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         if self.path in ("/healthz", "/v1/healthz"):
             server = self.gateway.mapping_server
-            self._reply(200, {
-                "status": "ok" if server._accepting else "draining",
-                "queue_depth": server.queue_depth,
-            })
+            health = getattr(server, "health_snapshot", None)
+            if callable(health):
+                self._reply(200, health())
+            else:
+                # Duck-typed servers (test stubs, adapters) without the
+                # full health contract still answer basic liveness.
+                self._reply(200, {
+                    "status": "ok" if getattr(server, "accepting", True)
+                    else "draining",
+                    "queue_depth": server.queue_depth,
+                })
         elif self.path in ("/metrics", "/v1/metrics"):
             self._reply(200, self.gateway.mapping_server.metrics_snapshot())
         else:
@@ -99,6 +106,18 @@ class GatewayHandler(BaseHTTPRequestHandler):
             return
         try:
             response = future.result(timeout=self.gateway.request_timeout_s)
+        except ServerOverloaded as exc:
+            # A fronted cluster router learns about a shard's overload only
+            # when the dispatch future resolves; same verdict, same 429.
+            self._reply(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                headers=(("Retry-After", f"{max(1, round(exc.retry_after_s))}"),),
+            )
+            return
+        except ServerClosed as exc:
+            self._reply(503, {"error": str(exc)})
+            return
         except Exception as exc:  # noqa: BLE001 — search errors become 500s
             self._reply(500, {"error": f"{exc.__class__.__name__}: {exc}"})
             return
@@ -153,9 +172,15 @@ class GatewayHandler(BaseHTTPRequestHandler):
 
 
 class Gateway(ThreadingHTTPServer):
-    """A ``ThreadingHTTPServer`` bound to one :class:`MappingServer`."""
+    """A ``ThreadingHTTPServer`` bound to one :class:`MappingServer` (or
+    anything with the same ``submit``/``metrics_snapshot`` surface, e.g. a
+    :class:`~repro.cluster.router.ClusterRouter`)."""
 
     daemon_threads = True
+    #: ``SO_REUSEADDR``: a restarted shard/gateway must rebind its port
+    #: immediately instead of dying on ``EADDRINUSE`` while the previous
+    #: incarnation's sockets sit in TIME_WAIT.
+    allow_reuse_address = True
 
     def __init__(
         self,
@@ -206,4 +231,37 @@ def start_gateway(
     return gateway
 
 
-__all__ = ["Gateway", "GatewayHandler", "MAX_BODY_BYTES", "start_gateway"]
+def install_signal_drain(
+    signals: Tuple[int, ...] = None,
+) -> threading.Event:
+    """Route ``SIGTERM``/``SIGINT`` into an event instead of a hard exit.
+
+    Returns an event that is set when any of ``signals`` (default: SIGTERM
+    and SIGINT) arrives.  Serving entry points wait on it in their main
+    loop and then run the graceful sequence — ``gateway.shutdown()``, then
+    ``server.drain()`` — so a supervisor restarting a shard (or ^C at the
+    terminal) never drops in-flight requests.  Must be called from the
+    main thread (a CPython signal-handling constraint); handlers for the
+    chosen signals are replaced.
+    """
+    import signal as _signal
+
+    if signals is None:
+        signals = (_signal.SIGTERM, _signal.SIGINT)
+    stop = threading.Event()
+
+    def handler(signum, frame) -> None:  # noqa: ARG001 — signal API
+        stop.set()
+
+    for signum in signals:
+        _signal.signal(signum, handler)
+    return stop
+
+
+__all__ = [
+    "Gateway",
+    "GatewayHandler",
+    "MAX_BODY_BYTES",
+    "install_signal_drain",
+    "start_gateway",
+]

@@ -150,6 +150,7 @@ class MappingServer:
         self.config = config or ServeConfig()
         self.metrics = MetricsRegistry()
         self._learner = learner
+        self._watcher = None
         self._runner = runner or serve_batch
         self._clock = clock
         self._batcher = MicroBatcher(
@@ -290,6 +291,21 @@ class MappingServer:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    def begin_drain(self) -> None:
+        """Stop admission and flush the batcher — without waiting.
+
+        The non-blocking half of :meth:`drain`, for shutdown sequences
+        that must keep observing the server while in-flight work finishes
+        (a shard answering health checks with ``"draining"`` until its
+        last response is out).  Idempotent; already-admitted requests are
+        still served, new submissions raise :class:`ServerClosed`.
+        """
+        with self._lock:
+            self._accepting = False
+            for batch in self._batcher.flush_all(self._clock()):
+                self._enqueue_batch_locked(batch)
+            self._dispatch_wake.notify_all()
+
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Stop admission, flush the batcher, wait for in-flight work.
 
@@ -298,11 +314,8 @@ class MappingServer:
         resolve); new submissions raise :class:`ServerClosed`.
         """
         deadline = None if timeout is None else self._clock() + timeout
+        self.begin_drain()
         with self._lock:
-            self._accepting = False
-            for batch in self._batcher.flush_all(self._clock()):
-                self._enqueue_batch_locked(batch)
-            self._dispatch_wake.notify_all()
             while self._ready or self._running_batches or self._batcher.depth:
                 remaining = None
                 if deadline is not None:
@@ -339,10 +352,32 @@ class MappingServer:
         with self._lock:
             return self._depth_locked()
 
+    @property
+    def accepting(self) -> bool:
+        """``False`` once :meth:`begin_drain`/:meth:`drain` has run."""
+        with self._lock:
+            return self._accepting
+
     def attach_learner(self, learner) -> None:
         """Surface ``learner.metrics_snapshot()`` under ``"learning"`` in
         this server's metrics (same contract as the constructor param)."""
         self._learner = learner
+
+    def attach_watcher(self, watcher) -> None:
+        """Surface a registry watcher (anything with ``snapshot()``) under
+        ``"registry_watcher"`` in this server's metrics."""
+        self._watcher = watcher
+
+    def health_snapshot(self) -> Dict[str, object]:
+        """The liveness dict the gateway serves at ``/v1/healthz``:
+        drain state, queue depth, and the installed surrogate registry
+        version per (algorithm, accelerator fingerprint) — the signal a
+        fleet operator watches to confirm a swap propagated everywhere."""
+        return {
+            "status": "ok" if self.accepting else "draining",
+            "queue_depth": self.queue_depth,
+            "surrogate_versions": self.engine.surrogate_versions(),
+        }
 
     def metrics_snapshot(self) -> Dict[str, object]:
         """The live metrics dict the gateway serves at ``/metrics``."""
@@ -360,9 +395,12 @@ class MappingServer:
                 "size": oracle.size,
             },
             "response_cache_entries": len(self._response_cache),
+            "surrogate_versions": self.engine.surrogate_versions(),
         }
         if self._learner is not None:
             extra["learning"] = self._learner.metrics_snapshot()
+        if self._watcher is not None:
+            extra["registry_watcher"] = self._watcher.snapshot()
         return self.metrics.snapshot(queue_depth=depth, extra=extra)
 
     # ------------------------------------------------------------------

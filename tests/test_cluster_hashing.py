@@ -1,0 +1,130 @@
+"""Consistent-hash ring + problem fingerprints: the cluster's routing math."""
+
+import pytest
+
+from repro.cluster.hashing import HashRing, problem_fingerprint, stable_digest
+from repro.workloads import make_conv1d, problem_by_name
+
+
+class TestStableDigest:
+    def test_deterministic_across_calls(self):
+        assert stable_digest("abc") == stable_digest("abc")
+
+    def test_distinct_inputs_distinct_digests(self):
+        values = {stable_digest(f"key-{i}") for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_no_process_seed(self):
+        # SHA-256, not hash(): the value is a protocol constant, the same
+        # in every process — router and tests must agree on ownership.
+        assert stable_digest("repro") == 0x681D1638F10411FB
+        assert 0 <= stable_digest("repro") < 2**64
+
+
+class TestProblemFingerprint:
+    def test_same_problem_same_fingerprint(self):
+        a = make_conv1d("fp_test", w=32, r=5)
+        b = make_conv1d("fp_test", w=32, r=5)
+        assert problem_fingerprint(a) == problem_fingerprint(b)
+
+    def test_distinct_problems_distinct_fingerprints(self):
+        fingerprints = {
+            problem_fingerprint(make_conv1d(f"fp_{w}", w=w, r=5))
+            for w in (8, 16, 24, 32, 48)
+        }
+        assert len(fingerprints) == 5
+
+    def test_zoo_problems_all_distinct(self):
+        names = ("ResNet_Conv4", "AlexNet_Conv2", "BERT_QKV", "BERT_FFN1")
+        fingerprints = {
+            problem_fingerprint(problem_by_name(name)) for name in names
+        }
+        assert len(fingerprints) == len(names)
+
+
+class TestHashRing:
+    def _keys(self, count=500):
+        return [f"problem-{i:04d}" for i in range(count)]
+
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(LookupError):
+            ring.node_for("anything")
+        assert ring.chain_for("anything") == []
+
+    def test_assignment_stable_across_instances(self):
+        # Two independently built rings (different insertion order) must
+        # agree on every key: ownership is a pure function of membership.
+        a = HashRing()
+        b = HashRing()
+        for node in (0, 1, 2, 3):
+            a.add(node)
+        for node in (3, 1, 0, 2):
+            b.add(node)
+        for key in self._keys():
+            assert a.node_for(key) == b.node_for(key)
+
+    def test_add_idempotent(self):
+        ring = HashRing()
+        ring.add(0)
+        ring.add(1)
+        before = {key: ring.node_for(key) for key in self._keys()}
+        ring.add(0)
+        assert len(ring) == 2
+        assert {key: ring.node_for(key) for key in self._keys()} == before
+
+    def test_all_nodes_own_keyspace(self):
+        ring = HashRing()
+        for node in range(4):
+            ring.add(node)
+        owners = {ring.node_for(key) for key in self._keys()}
+        assert owners == {0, 1, 2, 3}
+
+    def test_removal_only_remaps_removed_nodes_keys(self):
+        # The consistent-hash contract: keys owned by surviving nodes
+        # never move when another node leaves.
+        ring = HashRing()
+        for node in range(4):
+            ring.add(node)
+        before = {key: ring.node_for(key) for key in self._keys()}
+        ring.remove(2)
+        for key, owner in before.items():
+            if owner != 2:
+                assert ring.node_for(key) == owner
+            else:
+                assert ring.node_for(key) != 2
+
+    def test_addition_moves_bounded_share(self):
+        # Adding one node to N should claim roughly 1/(N+1) of the keys —
+        # assert a loose upper bound, not the exact fraction.
+        ring = HashRing()
+        for node in range(4):
+            ring.add(node)
+        before = {key: ring.node_for(key) for key in self._keys(2000)}
+        ring.add(4)
+        moved = sum(
+            1 for key, owner in before.items() if ring.node_for(key) != owner
+        )
+        assert moved / len(before) < 0.45  # ~0.20 expected; 2x+ headroom
+
+    def test_chain_head_is_owner(self):
+        ring = HashRing()
+        for node in range(4):
+            ring.add(node)
+        for key in self._keys(100):
+            chain = ring.chain_for(key)
+            assert chain[0] == ring.node_for(key)
+            assert sorted(chain) == [0, 1, 2, 3]  # all nodes, no repeats
+
+    def test_chain_deterministic(self):
+        a = HashRing()
+        b = HashRing()
+        for node in range(3):
+            a.add(node)
+            b.add(node)
+        for key in self._keys(100):
+            assert a.chain_for(key) == b.chain_for(key)
+
+    def test_invalid_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)

@@ -1,0 +1,154 @@
+"""RegistryWatcher: cross-process surrogate adoption via the shared registry."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.watcher import RegistryWatcher
+from repro.core import MindMappings, MindMappingsConfig, TrainingConfig
+from repro.costmodel.accelerator import default_accelerator, small_accelerator
+from repro.engine.engine import EngineConfig, MappingEngine
+from repro.learn.registry import ModelRegistry
+from repro.workloads import make_conv1d
+
+ACCEL = small_accelerator()
+TRAIN_PROBLEMS = (
+    make_conv1d("watch_train_a", w=8, r=2),
+    make_conv1d("watch_train_b", w=12, r=3),
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    config = MindMappingsConfig(
+        dataset_samples=200,
+        training=TrainingConfig(hidden_layers=(8, 8), epochs=1),
+    )
+    return MindMappings.train(
+        "conv1d", ACCEL, config, problems=TRAIN_PROBLEMS, seed=0
+    )
+
+
+def _variant(pipeline, seed):
+    surrogate = pipeline.surrogate.clone()
+    rng = np.random.default_rng(seed)
+    for parameter in surrogate.network.parameters():
+        parameter.data += rng.normal(scale=1e-3, size=parameter.data.shape)
+    return MindMappings(surrogate, pipeline.accelerator)
+
+
+def _engine() -> MappingEngine:
+    return MappingEngine(ACCEL, EngineConfig(train_seed=0))
+
+
+class TestPoll:
+    def test_adopts_foreign_publish(self, tmp_path, pipeline):
+        """A version published by *another registry instance* (stand-in for
+        another process) is picked up through refresh and hot-swapped."""
+        engine = _engine()
+        watcher = RegistryWatcher(engine, ModelRegistry(tmp_path))
+        # Publish AFTER the watcher's registry indexed the (empty) dir.
+        ModelRegistry(tmp_path).publish(pipeline)
+        assert watcher.poll() == ["conv1d"]
+        assert watcher.adopted.value == 1
+        versions = engine.surrogate_versions()
+        assert versions["conv1d"]["version"] == 1
+        assert versions["conv1d"]["source"] == "registry:v1"
+        assert versions["conv1d"]["fingerprint"] == ACCEL.fingerprint()
+        served = engine.surrogate_for("conv1d")
+        for key, value in served.network.state_dict().items():
+            np.testing.assert_array_equal(
+                value, pipeline.surrogate.network.state_dict()[key]
+            )
+
+    def test_adoption_is_deduplicated(self, tmp_path, pipeline):
+        engine = _engine()
+        watcher = RegistryWatcher(engine, ModelRegistry(tmp_path))
+        ModelRegistry(tmp_path).publish(pipeline)
+        assert watcher.poll() == ["conv1d"]
+        # Nothing new on disk: the next polls adopt nothing.
+        assert watcher.poll() == []
+        assert watcher.poll() == []
+        assert watcher.adopted.value == 1
+        assert watcher.polls.value == 3
+
+    def test_newer_publish_adopted_over_old(self, tmp_path, pipeline):
+        engine = _engine()
+        publisher = ModelRegistry(tmp_path)
+        watcher = RegistryWatcher(engine, ModelRegistry(tmp_path))
+        publisher.publish(pipeline)
+        watcher.poll()
+        publisher.publish(_variant(pipeline, 42))
+        assert watcher.poll() == ["conv1d"]
+        assert engine.surrogate_versions()["conv1d"]["version"] == 2
+
+    def test_local_version_at_or_above_latest_is_kept(self, tmp_path, pipeline):
+        """A shard whose own learner already installed v5 must not be
+        downgraded by a stale v1 in the registry."""
+        engine = _engine()
+        engine.install_pipeline(
+            "conv1d", _variant(pipeline, 7), source="online:v5", version=5
+        )
+        ModelRegistry(tmp_path).publish(pipeline)  # v1
+        watcher = RegistryWatcher(engine, ModelRegistry(tmp_path))
+        assert watcher.poll() == []
+        assert engine.surrogate_versions()["conv1d"]["version"] == 5
+        assert engine.surrogate_versions()["conv1d"]["source"] == "online:v5"
+
+    def test_algorithm_filter(self, tmp_path, pipeline):
+        engine = _engine()
+        ModelRegistry(tmp_path).publish(pipeline)
+        watcher = RegistryWatcher(
+            engine, ModelRegistry(tmp_path), algorithms=["gemm"]
+        )
+        assert watcher.poll() == []
+        assert "conv1d" not in engine.surrogate_versions()
+
+    def test_wrong_fingerprint_counts_error_keeps_serving(
+        self, tmp_path, pipeline
+    ):
+        """A registry directory accidentally shared across heterogeneous
+        fleets degrades to counted errors, never a wrong-hardware swap."""
+        ModelRegistry(tmp_path).publish(pipeline)  # trained for ACCEL
+        other_engine = MappingEngine(
+            default_accelerator(), EngineConfig(train_seed=0)
+        )
+        watcher = RegistryWatcher(other_engine, ModelRegistry(tmp_path))
+        with pytest.warns(UserWarning, match="failed to adopt"):
+            assert watcher.poll() == []
+        assert watcher.errors.value == 1
+        assert "conv1d" not in other_engine.surrogate_versions()
+
+    def test_invalid_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RegistryWatcher(_engine(), ModelRegistry(tmp_path), interval_s=0)
+
+
+class TestBackgroundThread:
+    def test_background_adoption(self, tmp_path, pipeline):
+        import time
+
+        engine = _engine()
+        with RegistryWatcher(
+            engine, ModelRegistry(tmp_path), interval_s=0.02
+        ):
+            ModelRegistry(tmp_path).publish(pipeline)
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if watched := engine.surrogate_versions().get("conv1d"):
+                    assert watched["version"] == 1
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("background watcher never adopted the publish")
+
+    def test_snapshot_schema(self, tmp_path, pipeline):
+        engine = _engine()
+        watcher = RegistryWatcher(engine, ModelRegistry(tmp_path))
+        ModelRegistry(tmp_path).publish(pipeline)
+        watcher.poll()
+        snapshot = watcher.snapshot()
+        assert snapshot["polls"] == 1
+        assert snapshot["adopted"] == 1
+        assert snapshot["errors"] == 0
+        assert snapshot["adopted_versions"] == {"conv1d": 1}
+        assert snapshot["registry_root"] == str(tmp_path)

@@ -1,0 +1,165 @@
+"""Registry concurrency across *real* processes: racing publishes, adoption.
+
+test_learn_registry.py simulates a foreign publisher with a second registry
+instance in-process; these tests pay for actual OS processes because the
+guarantees under test — exclusive ``os.link`` publish, monotonic versions,
+watcher adoption — are exactly the cross-process contract the cluster's
+fleet propagation rides on.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.watcher import RegistryWatcher
+from repro.costmodel.accelerator import small_accelerator
+from repro.engine.engine import EngineConfig, MappingEngine
+from repro.learn.registry import ModelRegistry
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+#: Trains a tiny pipeline, signals readiness, waits for the shared "go"
+#: flag (so both publishers burst at the same instant), then publishes
+#: ``count`` perturbed variants and prints the version numbers it claimed.
+PUBLISHER_SCRIPT = """
+import json, sys, time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import MindMappings, MindMappingsConfig, TrainingConfig
+from repro.costmodel.accelerator import small_accelerator
+from repro.learn.registry import ModelRegistry
+from repro.workloads import make_conv1d
+
+registry_root = Path(sys.argv[1])
+flag_dir = Path(sys.argv[2])
+worker = int(sys.argv[3])
+count = int(sys.argv[4])
+
+config = MindMappingsConfig(
+    dataset_samples=200,
+    training=TrainingConfig(hidden_layers=(8, 8), epochs=1),
+)
+problems = (
+    make_conv1d("mp_train_a", w=8, r=2),
+    make_conv1d("mp_train_b", w=12, r=3),
+)
+pipeline = MindMappings.train(
+    "conv1d", small_accelerator(), config, problems=problems, seed=worker
+)
+
+(flag_dir / f"ready-{worker}").touch()
+deadline = time.monotonic() + 120
+while not (flag_dir / "go").exists():
+    if time.monotonic() > deadline:
+        raise SystemExit("never released")
+    time.sleep(0.005)
+
+registry = ModelRegistry(registry_root)
+rng = np.random.default_rng(worker)
+claimed = []
+for _ in range(count):
+    for parameter in pipeline.surrogate.network.parameters():
+        parameter.data += rng.normal(scale=1e-4, size=parameter.data.shape)
+    claimed.append(
+        registry.publish(pipeline, metadata={"worker": str(worker)})
+    )
+print(json.dumps(claimed))
+"""
+
+
+def _run_publisher(registry_root, flag_dir, worker, count):
+    return subprocess.Popen(
+        [sys.executable, "-c", PUBLISHER_SCRIPT, str(registry_root),
+         str(flag_dir), str(worker), str(count)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=_env(),
+    )
+
+
+@pytest.mark.slow
+def test_two_processes_racing_publishes_never_clobber(tmp_path):
+    """Two real processes publish simultaneously into one registry: every
+    version number is claimed exactly once, every artifact is live and
+    loadable, and each file's metadata names the process that won it."""
+    registry_root = tmp_path / "registry"
+    flag_dir = tmp_path / "flags"
+    registry_root.mkdir()
+    flag_dir.mkdir()
+    count = 6
+
+    workers = [
+        _run_publisher(registry_root, flag_dir, worker, count)
+        for worker in (1, 2)
+    ]
+    deadline = time.monotonic() + 180
+    while not all((flag_dir / f"ready-{w}").exists() for w in (1, 2)):
+        if time.monotonic() > deadline:
+            for proc in workers:
+                proc.kill()
+            pytest.fail("publishers never trained/readied")
+        time.sleep(0.01)
+    (flag_dir / "go").touch()  # both burst their publishes concurrently
+
+    claims = {}
+    for worker, proc in zip((1, 2), workers):
+        out, err = proc.communicate(timeout=180)
+        assert proc.returncode == 0, f"publisher {worker} failed:\n{err}"
+        claims[worker] = json.loads(out.strip().splitlines()[-1])
+
+    # Every number claimed exactly once across both processes, no gaps.
+    all_claims = sorted(claims[1] + claims[2])
+    assert all_claims == list(range(1, 2 * count + 1)), (
+        f"version race lost updates: {claims}"
+    )
+
+    # A fresh index over the directory agrees, and each artifact is
+    # loadable with metadata naming its winning process.
+    registry = ModelRegistry(registry_root)
+    assert registry.versions("conv1d") == all_claims
+    accelerator = small_accelerator()
+    for worker, versions in claims.items():
+        for version in versions:
+            assert registry.metadata("conv1d", version)["worker"] == str(worker)
+            _pipeline, loaded = registry.load("conv1d", accelerator, version)
+            assert loaded == version
+
+
+def test_watcher_adopts_publish_from_real_process(tmp_path):
+    """The fleet-propagation contract end to end across one real process
+    boundary: a publisher *process* lands a version, a watcher in this
+    process refreshes, adopts, and hot-swaps it."""
+    registry_root = tmp_path / "registry"
+    flag_dir = tmp_path / "flags"
+    registry_root.mkdir()
+    flag_dir.mkdir()
+
+    engine = MappingEngine(small_accelerator(), EngineConfig(train_seed=0))
+    watcher = RegistryWatcher(engine, ModelRegistry(registry_root))
+    assert watcher.poll() == []  # empty registry: nothing to adopt
+
+    proc = _run_publisher(registry_root, flag_dir, worker=3, count=1)
+    (flag_dir / "go").touch()
+    out, err = proc.communicate(timeout=180)
+    assert proc.returncode == 0, f"publisher failed:\n{err}"
+
+    assert watcher.poll() == ["conv1d"]
+    versions = engine.surrogate_versions()
+    assert versions["conv1d"]["version"] == 1
+    assert versions["conv1d"]["source"] == "registry:v1"
+    meta = watcher.registry.metadata("conv1d", 1)
+    assert meta["worker"] == "3"
