@@ -1,0 +1,29 @@
+"""repro.analysis: AST concurrency/determinism linter for this codebase.
+
+Run ``python -m repro.analysis src`` (exit 0 clean, 1 findings, 2
+error), ``--selftest`` for the built-in fixture suite, ``--list-rules``
+for the catalog.  Suppress a single line with
+``# repro: ignore[RPR002] -- <why this is safe>`` — the justification is
+mandatory.  See ``docs/ANALYSIS.md`` for the full rule catalog.
+"""
+
+from repro.analysis.base import Rule, all_rules, register_rule
+from repro.analysis.findings import Finding, RuleInfo
+from repro.analysis.graph import Edge, LockGraph
+from repro.analysis.runner import AnalysisResult, analyze, collect_modules
+from repro.analysis.rules.lockorder import build_lock_graph, lock_graph_for
+
+__all__ = [
+    "AnalysisResult",
+    "Edge",
+    "Finding",
+    "LockGraph",
+    "Rule",
+    "RuleInfo",
+    "all_rules",
+    "analyze",
+    "build_lock_graph",
+    "collect_modules",
+    "lock_graph_for",
+    "register_rule",
+]

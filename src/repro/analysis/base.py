@@ -1,0 +1,75 @@
+"""Rule base class and the id-keyed rule registry.
+
+Rules register by stable id via :func:`register_rule`; the runner, the
+CLI's ``--select``/``--ignore``, the suppression validator, and the docs
+catalog all read :func:`all_rules`.  A rule sees each module once
+(:meth:`Rule.check_module`) and, after every module is parsed, the whole
+project at once (:meth:`Rule.check_project`) — cross-module analyses like
+the lock-order graph live in the latter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Type
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, RuleInfo
+
+
+class Rule:
+    """One lint rule; subclasses set the class attributes and override
+    one (or both) of the check hooks."""
+
+    rule_id: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, modules: List[ModuleContext]
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    @classmethod
+    def info(cls) -> RuleInfo:
+        return RuleInfo(
+            rule_id=cls.rule_id,
+            name=cls.name,
+            summary=cls.summary,
+            rationale=cls.rationale,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the registry (ids are unique)."""
+    if not cls.rule_id or not cls.rule_id.startswith("RPR"):
+        raise ValueError(f"rule {cls.__name__} has no valid rule_id")
+    existing = _REGISTRY.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"duplicate rule id {cls.rule_id}: "
+            f"{existing.__name__} vs {cls.__name__}"
+        )
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """Every registered rule, keyed by id (imports the rule modules)."""
+    import repro.analysis.rules  # noqa: F401 — registration side effect
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def instantiate(rule_ids: Iterable[str]) -> List[Rule]:
+    registry = all_rules()
+    return [registry[rule_id]() for rule_id in rule_ids]
+
+
+__all__ = ["Rule", "all_rules", "instantiate", "register_rule"]

@@ -1,0 +1,121 @@
+"""Command-line front end: ``python -m repro.analysis [paths]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error — so CI can
+gate on the return value directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.report import render_json, render_rule_list, render_text
+from repro.analysis.runner import analyze
+
+
+def _split_ids(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    ids: List[str] = []
+    for value in values:
+        ids.extend(part.strip() for part in value.split(",") if part.strip())
+    return ids or None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST concurrency/determinism linter for the repro codebase "
+            "(rule ids RPR0xx concurrency, RPR1xx determinism, RPR2xx "
+            "API surface)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (e.g. src)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="IDS",
+        help="comma-separated rule-id prefixes to enable (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="IDS",
+        help="comma-separated rule-id prefixes to disable",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="findings only, no summary footer (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run every rule against its built-in bad/good fixtures",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    if args.selftest:
+        from repro.analysis.selftest import run_selftest
+
+        return run_selftest()
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: no paths given (try `python -m repro.analysis src`)",
+            file=sys.stderr,
+        )
+        return 2
+
+    for path in args.paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    try:
+        result = analyze(
+            args.paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        output = render_text(result, quiet=args.quiet)
+        if output:
+            print(output)
+    return 0 if result.clean else 1
+
+
+__all__ = ["build_parser", "main"]

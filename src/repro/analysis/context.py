@@ -1,0 +1,344 @@
+"""Shared AST model: per-module lock/attribute/call event streams.
+
+Every concurrency rule needs the same facts about a module — which
+attributes are locks, which ``with`` blocks hold which lock, which
+``self`` attributes are touched while a lock is held, which calls happen
+inside a critical section.  :class:`ModuleContext` computes them once per
+file; rules consume the event streams instead of re-walking the tree.
+
+Lock identity is a *label*:
+
+* ``ClassName.attr`` — ``self.attr`` where ``attr`` was assigned a
+  ``threading.Lock``/``RLock`` (a ``threading.Condition(self.attr)``
+  aliases back to the underlying lock's label);
+* ``ClassName.method()`` — ``with self.method(...):`` for methods whose
+  name mentions "lock" (per-key lock factories);
+* ``module.NAME`` — module-global locks;
+* ``*.attr`` — a lock attribute reached through a foreign object
+  (``with handle.lock:``), matched by attribute name only.
+
+Scopes ending in ``_locked`` are the codebase's "caller holds the lock"
+convention; their whole body is modeled as a critical section under the
+pseudo-label ``ClassName.<locked>`` (it guards attributes and forbids
+blocking calls, but contributes no lock-order edges — the concrete outer
+lock is the caller's).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+_LOCK_FACTORIES = {"Lock", "RLock"}
+
+
+def _is_threading_call(node: ast.expr, names: Set[str]) -> bool:
+    """``threading.X(...)`` or bare ``X(...)`` for X in ``names``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in names
+    if isinstance(func, ast.Name):
+        return func.id in names
+    return False
+
+
+@dataclass(frozen=True)
+class AttrEvent:
+    """One ``self.attr`` access inside a class body."""
+
+    attr: str
+    line: int
+    col: int
+    write: bool
+    held: Tuple[str, ...]
+    method: str
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """One call expression, with the locks held at the call site."""
+
+    node: ast.Call
+    line: int
+    col: int
+    held: Tuple[str, ...]
+    method: str
+
+
+@dataclass(frozen=True)
+class AcquireEvent:
+    """One lock acquisition (a resolved ``with`` item)."""
+
+    label: str
+    line: int
+    col: int
+    held_before: Tuple[str, ...]
+    method: str
+
+
+@dataclass
+class ScopeModel:
+    """Event streams for one class (or the module's free functions)."""
+
+    name: str  # class name, or "<module>"
+    node: Optional[ast.ClassDef]
+    lock_attrs: Dict[str, int] = field(default_factory=dict)
+    condition_attrs: Dict[str, str] = field(default_factory=dict)
+    event_attrs: Set[str] = field(default_factory=set)
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    attr_events: List[AttrEvent] = field(default_factory=list)
+    call_events: List[CallEvent] = field(default_factory=list)
+    acquire_events: List[AcquireEvent] = field(default_factory=list)
+    #: method name -> labels of locks acquired anywhere inside it.
+    method_acquires: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @property
+    def is_class(self) -> bool:
+        return self.node is not None
+
+    def own_prefix(self) -> str:
+        return f"{self.name}."
+
+    def guarded_attrs(self) -> Set[str]:
+        """Attributes observed (read or written) under one of this
+        class's own locks — the inferred lock-guarded set."""
+        prefix = self.own_prefix()
+        guarded: Set[str] = set()
+        for event in self.attr_events:
+            if any(label.startswith(prefix) for label in event.held):
+                guarded.add(event.attr)
+        guarded -= set(self.lock_attrs)
+        guarded -= set(self.condition_attrs)
+        guarded -= self.event_attrs
+        return guarded
+
+
+class ModuleContext:
+    """Parsed module plus the scope models every rule shares."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        self.lines = source.splitlines()
+        self.module_name = Path(relpath).stem
+        self.module_locks: Dict[str, int] = {}
+        self.scopes: List[ScopeModel] = []
+        self._collect()
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.Assign) and _is_threading_call(
+                node.value, _LOCK_FACTORIES
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.module_locks[target.id] = node.lineno
+        module_scope = ScopeModel(name="<module>", node=None)
+        for node in self.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self.scopes.append(self._build_class(node))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                module_scope.methods[node.name] = node
+        for name, func in module_scope.methods.items():
+            _ScopeWalker(self, module_scope, name).walk(func)
+        self.scopes.append(module_scope)
+
+    def _build_class(self, node: ast.ClassDef) -> ScopeModel:
+        scope = ScopeModel(name=node.name, node=node)
+        for item in ast.walk(node):
+            if not isinstance(item, ast.Assign):
+                continue
+            for target in item.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                value = item.value
+                if _is_threading_call(value, _LOCK_FACTORIES):
+                    scope.lock_attrs[target.attr] = item.lineno
+                elif _is_threading_call(value, {"Condition"}):
+                    underlying = target.attr
+                    assert isinstance(value, ast.Call)
+                    if value.args:
+                        arg = value.args[0]
+                        if (
+                            isinstance(arg, ast.Attribute)
+                            and isinstance(arg.value, ast.Name)
+                            and arg.value.id == "self"
+                        ):
+                            underlying = arg.attr
+                    scope.condition_attrs[target.attr] = underlying
+                elif _is_threading_call(value, {"Event"}):
+                    scope.event_attrs.add(target.attr)
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope.methods[item.name] = item
+        for name, func in scope.methods.items():
+            _ScopeWalker(self, scope, name).walk(func)
+        return scope
+
+    # ------------------------------------------------------------------
+    # Lock-expression resolution
+    # ------------------------------------------------------------------
+
+    def resolve_lock_expr(
+        self, expr: ast.expr, scope: ScopeModel
+    ) -> Optional[str]:
+        """Label for a ``with`` item that acquires a lock, else ``None``."""
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            owner, attr = expr.value.id, expr.attr
+            if owner == "self" and scope.is_class:
+                resolved = scope.condition_attrs.get(attr, attr)
+                if resolved in scope.lock_attrs or attr in scope.condition_attrs:
+                    return f"{scope.name}.{resolved}"
+                # A plain `with self.X:` on an attribute we did not see
+                # constructed is still, in this codebase, a lock.
+                return f"{scope.name}.{attr}"
+            if "lock" in attr.lower():
+                return f"*.{attr}"
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in self.module_locks or "lock" in expr.id.lower():
+                return f"{self.module_name}.{expr.id}"
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and "lock" in func.attr.lower()
+            ):
+                return f"{scope.name}.{func.attr}()"
+            if isinstance(func, ast.Name) and "lock" in func.id.lower():
+                return f"{self.module_name}.{func.id}()"
+        return None
+
+
+class _ScopeWalker:
+    """Walks one method, tracking the stack of held lock labels."""
+
+    def __init__(
+        self, ctx: ModuleContext, scope: ScopeModel, method: str
+    ) -> None:
+        self.ctx = ctx
+        self.scope = scope
+        self.method = method
+        self.held: List[str] = []
+        if method.endswith("_locked") or method.endswith("_locked_"):
+            self.held.append(f"{scope.name}.<locked>")
+        self.scope.method_acquires.setdefault(method, set())
+
+    def walk(self, func: ast.FunctionDef) -> None:
+        for stmt in func.body:
+            self._visit(stmt)
+
+    # ------------------------------------------------------------------
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: runs later, on whoever calls it — a fresh
+            # stack, and a scope name that keeps events attributable.
+            inner = _ScopeWalker(
+                self.ctx, self.scope, f"{self.method}.<{node.name}>"
+            )
+            inner.walk(node)
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, ast.With):
+            self._visit_with(node)
+            return
+        if isinstance(node, ast.Call):
+            self._record_call(node)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            return
+        if isinstance(node, ast.Attribute):
+            self._record_attr(node)
+            self._visit(node.value)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_with(self, node: ast.With) -> None:
+        pushed = 0
+        for item in node.items:
+            # The context expression runs before the lock is held.
+            self._visit(item.context_expr)
+            label = self.ctx.resolve_lock_expr(item.context_expr, self.scope)
+            if label is not None:
+                self.scope.acquire_events.append(
+                    AcquireEvent(
+                        label=label,
+                        line=item.context_expr.lineno,
+                        col=item.context_expr.col_offset,
+                        held_before=tuple(self.held),
+                        method=self.method,
+                    )
+                )
+                self.scope.method_acquires[self.method].add(label)
+                self.held.append(label)
+                pushed += 1
+            if item.optional_vars is not None:
+                self._visit(item.optional_vars)
+        for stmt in node.body:
+            self._visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    def _record_call(self, node: ast.Call) -> None:
+        self.scope.call_events.append(
+            CallEvent(
+                node=node,
+                line=node.lineno,
+                col=node.col_offset,
+                held=tuple(self.held),
+                method=self.method,
+            )
+        )
+
+    def _record_attr(self, node: ast.Attribute) -> None:
+        if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+            return
+        self.scope.attr_events.append(
+            AttrEvent(
+                attr=node.attr,
+                line=node.lineno,
+                col=node.col_offset,
+                write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                held=tuple(self.held),
+                method=self.method,
+            )
+        )
+
+
+def load_module(path: Path, root: Path) -> ModuleContext:
+    """Parse one file into a :class:`ModuleContext`."""
+    try:
+        relpath = str(path.relative_to(root))
+    except ValueError:
+        relpath = str(path)
+    return ModuleContext(path, relpath, path.read_text(encoding="utf-8"))
+
+
+__all__ = [
+    "AcquireEvent",
+    "AttrEvent",
+    "CallEvent",
+    "ModuleContext",
+    "ScopeModel",
+    "load_module",
+]

@@ -1,0 +1,233 @@
+"""Runtime lock-order recorder: the dynamic half of the RPR003 story.
+
+:func:`trace_locks` patches ``threading.Lock`` so every lock created
+while the patch is active is a :class:`DebugLock` — a faithful drop-in
+that additionally reports each successful acquisition to a
+:class:`LockTracer`, together with the labels of the locks the acquiring
+thread already holds.  The tracer accumulates "acquired while holding"
+edges in the same :class:`~repro.analysis.graph.LockGraph` shape the
+static pass emits, which is what makes the two passes cross-checkable:
+
+* the static graph says which orders the *source* admits;
+* the runtime graph says which orders real threads *exercised* under the
+  hammer tests;
+* :func:`crosscheck` unions them (over statically-labeled locks) and
+  demands the union stay acyclic — a runtime order contradicting a
+  static order is a deadlock neither pass can see alone.
+
+Locks are labeled by creation site.  Sites that match a lock assignment
+the static pass knows about (``self._lock = threading.Lock()`` in class
+``X`` → ``X._lock``) get the static label; anything else — stdlib locks,
+dynamically-created per-key locks — falls back to ``file:line`` and is
+excluded from the cross-check (static labels never contain a colon).
+
+Enable for a whole pytest session with ``REPRO_DEBUG_LOCKS=1`` (see
+``tests/conftest.py``); the nightly CI lane runs the hammer suites that
+way.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.graph import LockGraph
+
+#: Captured before any patching so DebugLock's own internals — and the
+#: tracer's — always use real OS locks.
+_REAL_LOCK = threading.Lock
+
+#: (relpath, lineno) of a lock construction -> static label.
+SiteLabelMap = Dict[Tuple[str, int], str]
+
+
+def static_label_map(
+    paths: Sequence[Path], root: Optional[Path] = None
+) -> SiteLabelMap:
+    """Map lock-creation sites in ``paths`` to their static labels."""
+    from repro.analysis.runner import collect_modules
+
+    modules, _problems = collect_modules(paths, root=root)
+    mapping: SiteLabelMap = {}
+    for ctx in modules:
+        for name, lineno in ctx.module_locks.items():
+            mapping[(ctx.relpath, lineno)] = f"{ctx.module_name}.{name}"
+        for scope in ctx.scopes:
+            if not scope.is_class:
+                continue
+            for attr, lineno in scope.lock_attrs.items():
+                mapping[(ctx.relpath, lineno)] = f"{scope.name}.{attr}"
+    return mapping
+
+
+class LockTracer:
+    """Accumulates runtime acquisition-order edges across all threads."""
+
+    def __init__(
+        self,
+        label_map: Optional[SiteLabelMap] = None,
+        root: Optional[Path] = None,
+    ) -> None:
+        self.label_map = dict(label_map or {})
+        self.root = Path(root).resolve() if root is not None else None
+        self._edges: Set[Tuple[str, str]] = set()
+        self._edge_lock = _REAL_LOCK()
+        self._local = threading.local()
+
+    # -- labeling -------------------------------------------------------
+
+    def label_for_site(self, filename: str, lineno: int) -> str:
+        rel = filename
+        if self.root is not None:
+            try:
+                rel = str(Path(filename).resolve().relative_to(self.root))
+            except (ValueError, OSError):
+                pass
+        return self.label_map.get((rel, lineno), f"{rel}:{lineno}")
+
+    # -- recording ------------------------------------------------------
+
+    def _held(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def record_acquire(self, label: str) -> None:
+        stack = self._held()
+        if stack:
+            with self._edge_lock:
+                for held in stack:
+                    if held != label:
+                        self._edges.add((held, label))
+        stack.append(label)
+
+    def record_release(self, label: str) -> None:
+        stack = self._held()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == label:
+                del stack[i]
+                break
+
+    # -- reporting ------------------------------------------------------
+
+    def edges(self) -> Set[Tuple[str, str]]:
+        with self._edge_lock:
+            return set(self._edges)
+
+    def graph(self) -> LockGraph:
+        graph = LockGraph()
+        for src, dst in self.edges():
+            graph.add(src, dst, "runtime")
+        return graph
+
+
+class DebugLock:
+    """``threading.Lock`` drop-in that reports to a :class:`LockTracer`.
+
+    Implements the full lock protocol plus the private hooks
+    ``threading.Condition`` relies on, so ``Condition(DebugLock(...))``
+    behaves exactly like a condition over a real lock (``wait`` releases
+    and re-records the reacquisition).
+    """
+
+    def __init__(self, tracer: LockTracer, label: str) -> None:
+        self._raw = _REAL_LOCK()
+        self._tracer = tracer
+        self.label = label
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._raw.acquire(blocking, timeout)
+        if got:
+            self._tracer.record_acquire(self.label)
+        return got
+
+    def release(self) -> None:
+        self._raw.release()
+        self._tracer.record_release(self.label)
+
+    def locked(self) -> bool:
+        return self._raw.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._raw.locked() else "unlocked"
+        return f"<DebugLock {self.label!r} {state}>"
+
+    # Condition probes ownership with a try-acquire when the lock has no
+    # _is_owned; do it on the raw lock so the probe never records edges.
+    def _is_owned(self) -> bool:
+        if self._raw.acquire(False):
+            self._raw.release()
+            return False
+        return True
+
+    def _at_fork_reinit(self) -> None:
+        self._raw._at_fork_reinit()
+
+
+@contextmanager
+def trace_locks(
+    tracer: Optional[LockTracer] = None,
+) -> Iterator[LockTracer]:
+    """Patch ``threading.Lock`` so new locks report to ``tracer``.
+
+    Only locks *created* inside the context are traced; module-level
+    locks constructed at import time keep their real type.  The patch is
+    process-local — child processes (cluster shards) import a fresh
+    ``threading`` and are unaffected.
+    """
+    tracer = tracer if tracer is not None else LockTracer()
+
+    def _factory() -> DebugLock:
+        frame = sys._getframe(1)
+        label = tracer.label_for_site(frame.f_code.co_filename, frame.f_lineno)
+        return DebugLock(tracer, label)
+
+    original = threading.Lock
+    threading.Lock = _factory  # type: ignore[misc, assignment]
+    try:
+        yield tracer
+    finally:
+        threading.Lock = original  # type: ignore[misc]
+
+
+def crosscheck(static_graph: LockGraph, tracer: LockTracer) -> List[str]:
+    """Union the static graph with the runtime edges over statically
+    labeled locks; returns human-readable cycle descriptions (empty list
+    means the two passes agree)."""
+    runtime = LockGraph()
+    for src, dst in tracer.edges():
+        if ":" in src or ":" in dst:
+            continue  # creation site unknown to the static pass
+        runtime.add(src, dst, "runtime")
+    union = static_graph.union(runtime)
+    descriptions = []
+    for cycle in union.find_cycles():
+        sites = ", ".join(
+            f"{e.src} -> {e.dst} ({e.where or 'static'})"
+            for e in union.edges_in_cycle(cycle)
+        )
+        descriptions.append(
+            f"static/runtime lock-order conflict {' -> '.join(cycle + [cycle[0]])}: {sites}"
+        )
+    return descriptions
+
+
+__all__ = [
+    "DebugLock",
+    "LockTracer",
+    "SiteLabelMap",
+    "crosscheck",
+    "static_label_map",
+    "trace_locks",
+]

@@ -1,0 +1,68 @@
+"""Findings: what a rule reports, and how reports sort and serialize.
+
+A :class:`Finding` is one diagnostic anchored to a file and line.  Rule
+ids are stable ``RPR0xx``/``RPR1xx``/``RPR2xx`` strings (see
+``docs/ANALYSIS.md`` for the catalog); everything downstream — the
+suppression syntax, ``--select``/``--ignore``, CI grep-ability — keys on
+them, so an id is never reused or renumbered once released.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: rule id, location, message."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    #: Column offset (0-based, as ``ast`` reports it); cosmetic only.
+    col: int = 0
+    #: Optional machine-readable extras (e.g. the cycle for RPR003).
+    data: Dict[str, object] = field(default_factory=dict, compare=False)
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.data:
+            payload["data"] = dict(self.data)
+        return payload
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Catalog entry for one rule (surfaced by ``--list-rules`` and docs)."""
+
+    rule_id: str
+    name: str
+    summary: str
+    rationale: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, str]:
+        payload = {
+            "rule": self.rule_id,
+            "name": self.name,
+            "summary": self.summary,
+        }
+        if self.rationale:
+            payload["rationale"] = self.rationale
+        return payload
+
+
+__all__ = ["Finding", "RuleInfo"]

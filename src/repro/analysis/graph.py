@@ -1,0 +1,150 @@
+"""Lock-acquisition-order graph shared by the static and runtime passes.
+
+Nodes are lock labels, edges mean "acquired while holding": an edge
+``A -> B`` records that somewhere (a nested ``with`` statically, or a real
+thread at runtime) lock ``B`` was taken while ``A`` was held.  A cycle in
+this graph is the classic deadlock precondition — two orders exist in the
+program, so two threads can each hold one lock and wait on the other.
+
+The static pass (:mod:`repro.analysis.rules.lockorder`) and the runtime
+:class:`~repro.analysis.debuglock.DebugLock` recorder both emit this
+structure, which is what makes them cross-checkable: their union must be
+acyclic too, otherwise the *combination* of a statically-known order and
+an observed runtime order deadlocks even if each pass alone looks clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One ordered acquisition, with provenance for the report."""
+
+    src: str
+    dst: str
+    #: Human-readable origin, e.g. ``serve/server.py:471`` or ``runtime``.
+    where: str = ""
+
+
+@dataclass
+class LockGraph:
+    """Directed graph of lock acquisition orders."""
+
+    edges: Set[Edge] = field(default_factory=set)
+
+    def add(self, src: str, dst: str, where: str = "") -> None:
+        if src != dst:
+            self.edges.add(Edge(src, dst, where))
+
+    @property
+    def nodes(self) -> Set[str]:
+        nodes: Set[str] = set()
+        for edge in self.edges:
+            nodes.add(edge.src)
+            nodes.add(edge.dst)
+        return nodes
+
+    def adjacency(self) -> Dict[str, Set[str]]:
+        adj: Dict[str, Set[str]] = {node: set() for node in self.nodes}
+        for edge in self.edges:
+            adj[edge.src].add(edge.dst)
+        return adj
+
+    def union(self, other: "LockGraph") -> "LockGraph":
+        merged = LockGraph()
+        merged.edges = set(self.edges) | set(other.edges)
+        return merged
+
+    # ------------------------------------------------------------------
+
+    def find_cycles(self) -> List[List[str]]:
+        """Cycles as node lists, one per strongly connected component.
+
+        Tarjan SCC; any component with more than one node (self-loops are
+        filtered at insertion) contains at least one cycle.  Node order
+        within a component follows one concrete cycle through it, so the
+        report reads as "A -> B -> A".
+        """
+        adj = self.adjacency()
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        counter = [0]
+        components: List[List[str]] = []
+
+        def strongconnect(root: str) -> None:
+            work: List[Tuple[str, any]] = [(root, iter(sorted(adj[root])))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in index:
+                        index[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(sorted(adj[succ]))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        components.append(self._order_cycle(component, adj))
+
+        for node in sorted(adj):
+            if node not in index:
+                strongconnect(node)
+        return components
+
+    @staticmethod
+    def _order_cycle(component: List[str], adj: Dict[str, Set[str]]) -> List[str]:
+        """Walk one concrete cycle through an SCC for readable output."""
+        members = set(component)
+        start = sorted(component)[0]
+        path = [start]
+        seen = {start}
+        node = start
+        while True:
+            nxt = None
+            for succ in sorted(adj[node]):
+                if succ in members:
+                    nxt = succ
+                    break
+            if nxt is None or nxt == start or nxt in seen:
+                break
+            path.append(nxt)
+            seen.add(nxt)
+            node = nxt
+        return path
+
+    def edges_in_cycle(self, cycle: List[str]) -> List[Edge]:
+        members = set(cycle)
+        return sorted(
+            (e for e in self.edges if e.src in members and e.dst in members),
+            key=lambda e: (e.src, e.dst),
+        )
+
+
+__all__ = ["Edge", "LockGraph"]

@@ -1,0 +1,57 @@
+"""Text and JSON reporters for analysis results."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List
+
+from repro.analysis.base import all_rules
+from repro.analysis.runner import AnalysisResult
+
+
+def render_text(result: AnalysisResult, quiet: bool = False) -> str:
+    """One line per finding plus a summary footer."""
+    lines: List[str] = [f.render() for f in result.findings]
+    if not quiet:
+        counts = Counter(f.rule_id for f in result.findings)
+        if counts:
+            breakdown = ", ".join(
+                f"{rule_id}×{n}" for rule_id, n in sorted(counts.items())
+            )
+            lines.append("")
+            lines.append(
+                f"{len(result.findings)} finding(s) "
+                f"[{breakdown}] in {result.files_checked} file(s); "
+                f"{result.suppressed} suppressed"
+            )
+        else:
+            lines.append(
+                f"clean: {result.files_checked} file(s), "
+                f"{len(result.rule_ids)} rule(s), "
+                f"{result.suppressed} suppressed"
+            )
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report; stable key order for diffing in CI."""
+    payload = {
+        "files_checked": result.files_checked,
+        "rules": result.rule_ids,
+        "suppressed": result.suppressed,
+        "findings": [f.to_dict() for f in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The ``--list-rules`` catalog."""
+    lines = []
+    for rule_id, rule_cls in sorted(all_rules().items()):
+        rule = rule_cls()
+        lines.append(f"{rule_id}  {rule.name:<28} {rule.summary}")
+    return "\n".join(lines)
+
+
+__all__ = ["render_json", "render_rule_list", "render_text"]

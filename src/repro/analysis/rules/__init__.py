@@ -1,0 +1,22 @@
+"""Rule modules; importing this package registers every rule.
+
+Rule families and their id ranges:
+
+* ``RPR0xx`` — concurrency (:mod:`~repro.analysis.rules.concurrency`,
+  :mod:`~repro.analysis.rules.lockorder`,
+  :mod:`~repro.analysis.rules.lifecycle`),
+* ``RPR1xx`` — determinism (:mod:`~repro.analysis.rules.determinism`),
+* ``RPR2xx`` — API surface (:mod:`~repro.analysis.rules.exports`),
+* ``RPR9xx`` — meta (reserved; RPR900 is emitted by the suppression
+  parser itself, see :mod:`repro.analysis.suppress`).
+"""
+
+from repro.analysis.rules import (  # noqa: F401 — registration side effects
+    concurrency,
+    determinism,
+    exports,
+    lifecycle,
+    lockorder,
+)
+
+__all__ = ["concurrency", "determinism", "exports", "lifecycle", "lockorder"]

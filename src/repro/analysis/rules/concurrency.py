@@ -1,0 +1,210 @@
+"""Concurrency rules: guarded attributes, blocking under locks, raw acquire.
+
+* **RPR001** — a class's lock-guarded attribute set is *inferred*: any
+  ``self`` attribute read or written inside a ``with self._lock:`` block
+  (or a ``*_locked`` method, the "caller holds it" convention) is treated
+  as guarded.  Rebinding such an attribute (``=``, ``+=``) anywhere else
+  outside ``__init__`` is a lost-update race waiting for load.
+* **RPR002** — blocking operations (socket sends/receives/accepts,
+  ``Future.result``, thread/process ``join``, ``sleep``, event waits,
+  frame-level RPC helpers) executed while a lock is held serialize the
+  whole system behind one slow peer.  ``Condition.wait`` on a condition
+  built over the held lock is exempt — it releases the lock.
+* **RPR005** — bare ``lock.acquire()`` outside a ``with`` statement has
+  no exception-safe release path; one raise between acquire and release
+  deadlocks every other thread.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.context import ModuleContext, ScopeModel
+from repro.analysis.findings import Finding
+
+#: Attribute call names that block on I/O or another thread.
+_BLOCKING_ATTRS = {
+    "sleep",
+    "sendall",
+    "send",
+    "recv",
+    "recv_into",
+    "accept",
+    "connect",
+    "makefile",
+    "result",
+    "getoutput",
+}
+#: Bare-name calls that block (module-level RPC/socket helpers).
+_BLOCKING_NAMES = {"sleep", "create_connection", "send_message", "recv_message"}
+#: ``.join`` receivers that look like threads/processes (not ``str.join``).
+_JOINABLE_HINTS = ("thread", "proc", "worker", "monitor", "dispatcher")
+
+
+def _terminal_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+@register_rule
+class UnguardedAttributeWrite(Rule):
+    rule_id = "RPR001"
+    name = "unguarded-attribute-write"
+    summary = (
+        "attribute is lock-guarded elsewhere in this class but rebound "
+        "without the lock"
+    )
+    rationale = (
+        "If any access to self.X happens under the class lock, every "
+        "rebinding of self.X is part of the same protocol; an unguarded "
+        "`self.X += 1` is a read-modify-write that loses updates under "
+        "concurrency even when each step looks atomic."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for scope in ctx.scopes:
+            if not scope.is_class or not (
+                scope.lock_attrs or scope.condition_attrs
+            ):
+                continue
+            guarded = scope.guarded_attrs()
+            if not guarded:
+                continue
+            prefix = scope.own_prefix()
+            for event in scope.attr_events:
+                if not event.write or event.attr not in guarded:
+                    continue
+                if event.method == "__init__" or event.method.startswith(
+                    "__init__."
+                ):
+                    continue
+                if any(label.startswith(prefix) for label in event.held):
+                    continue
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=ctx.relpath,
+                    line=event.line,
+                    col=event.col,
+                    message=(
+                        f"{scope.name}.{event.attr} is accessed under "
+                        f"{scope.name}'s lock elsewhere but rebound here in "
+                        f"{event.method}() without holding it"
+                    ),
+                )
+
+
+@register_rule
+class BlockingCallUnderLock(Rule):
+    rule_id = "RPR002"
+    name = "blocking-call-under-lock"
+    summary = "blocking operation executed while a lock is held"
+    rationale = (
+        "A socket send, Future.result, thread join, or sleep inside a "
+        "critical section stalls every thread contending for that lock "
+        "for as long as the slowest peer takes; under load this is a "
+        "convoy, and combined with a second lock it is a deadlock."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for scope in ctx.scopes:
+            condition_names = set(scope.condition_attrs)
+            for event in scope.call_events:
+                if not event.held:
+                    continue
+                reason = self._blocking_reason(event.node, scope, condition_names)
+                if reason is None:
+                    continue
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=ctx.relpath,
+                    line=event.line,
+                    col=event.col,
+                    message=(
+                        f"{reason} while holding "
+                        f"{' -> '.join(event.held)} (in {event.method}())"
+                    ),
+                )
+
+    @staticmethod
+    def _blocking_reason(
+        call: ast.Call, scope: ScopeModel, condition_names: Set[str]
+    ) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in _BLOCKING_NAMES:
+                return f"blocking call {func.id}()"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        receiver = _terminal_name(func.value)
+        if attr == "wait":
+            # Condition.wait over the held lock *releases* it — that is
+            # the one legitimate blocking call inside a critical section.
+            if (
+                isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "self"
+                and func.value.attr in condition_names
+            ):
+                return None
+            return f"blocking {receiver}.wait()"
+        if attr == "join":
+            timeout_kw = any(kw.arg == "timeout" for kw in call.keywords)
+            hinted = any(h in receiver.lower() for h in _JOINABLE_HINTS)
+            if timeout_kw or hinted:
+                return f"blocking {receiver}.join()"
+            return None  # almost certainly str.join
+        if attr in _BLOCKING_ATTRS:
+            if attr == "sleep" or receiver in {"time"}:
+                return "blocking time.sleep()"
+            return f"blocking {receiver}.{attr}()"
+        return None
+
+
+@register_rule
+class RawAcquire(Rule):
+    rule_id = "RPR005"
+    name = "raw-lock-acquire"
+    summary = "lock.acquire() outside a with-statement"
+    rationale = (
+        "A bare acquire has no exception-safe release: any raise between "
+        "acquire() and release() leaves the lock held forever.  Use "
+        "`with lock:` (or try/finally when conditional acquisition is "
+        "genuinely needed, with a suppression explaining why)."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for scope in ctx.scopes:
+            for event in scope.call_events:
+                func = event.node.func
+                if not (
+                    isinstance(func, ast.Attribute) and func.attr == "acquire"
+                ):
+                    continue
+                receiver = _terminal_name(func.value)
+                lockish = (
+                    "lock" in receiver.lower()
+                    or receiver in scope.lock_attrs
+                    or receiver in scope.condition_attrs
+                )
+                if not lockish:
+                    continue
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=ctx.relpath,
+                    line=event.line,
+                    col=event.col,
+                    message=(
+                        f"raw {receiver}.acquire() in {event.method}(); "
+                        "use a with-statement for exception-safe release"
+                    ),
+                )
+
+
+__all__ = ["BlockingCallUnderLock", "RawAcquire", "UnguardedAttributeWrite"]

@@ -1,0 +1,260 @@
+"""Determinism rules: the contracts behind bit-identical seeded replies.
+
+The serving stack promises that a seeded request returns the same bytes
+no matter which worker, shard, or retry serves it.  Four rule ids police
+the ways that promise quietly breaks:
+
+* **RPR101** — unseeded randomness: ``np.random.default_rng()`` with no
+  seed, or the module-level ``random``/legacy ``np.random`` globals.
+  Every stochastic component takes a seed or Generator
+  (``repro.utils.rng.ensure_rng``); a hidden global stream makes replies
+  depend on process history.
+* **RPR102** — wall-clock reads (``time.time``, ``datetime.now``, …).
+  Intervals must use ``time.monotonic`` (or the injected ``clock``);
+  wall-clock values leaking into cache keys or wire payloads make
+  identical requests hash differently across replicas.
+* **RPR103** — iterating a set (or ``set()``/``frozenset()`` result)
+  directly: string hashes are salted per process, so the order — and any
+  snapshot/payload built from it — differs between shards.  Wrap in
+  ``sorted(...)``.
+* **RPR104** — directory listings (``iterdir``/``listdir``/``glob``/
+  ``scandir``) consumed unsorted: filesystem order is arbitrary, so
+  registry scans and artifact discovery become machine-dependent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+_GLOBAL_RANDOM_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "gauss",
+    "betavariate",
+    "seed",
+    "rand",
+    "randn",
+    "random_sample",
+    "permutation",
+}
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+_LISTING_ATTRS = {"iterdir", "listdir", "scandir", "glob", "rglob"}
+
+
+def _receiver(node: ast.expr) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _dotted(node: ast.expr) -> str:
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _CallScanner(ast.NodeVisitor):
+    """Collects all Call nodes with their parent-call context."""
+
+    def __init__(self) -> None:
+        self.calls = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls.append(node)
+        self.generic_visit(node)
+
+
+def _all_calls(tree: ast.AST):
+    scanner = _CallScanner()
+    scanner.visit(tree)
+    return scanner.calls
+
+
+@register_rule
+class UnseededRandomness(Rule):
+    rule_id = "RPR101"
+    name = "unseeded-randomness"
+    summary = "random source created or used without an explicit seed"
+    rationale = (
+        "default_rng() with no seed, or the global random module, draws "
+        "from process-lifetime state: the same request served after "
+        "different traffic returns different bytes, breaking seeded "
+        "replay, failover retries, and response caching."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for call in _all_calls(ctx.tree):
+            dotted = _dotted(call.func)
+            if dotted.endswith("default_rng") and not call.args and not call.keywords:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=ctx.relpath,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        "default_rng() without a seed; thread a seed or "
+                        "Generator through (repro.utils.rng.ensure_rng)"
+                    ),
+                )
+            elif dotted.startswith(("random.", "np.random.", "numpy.random.")):
+                fn = dotted.rpartition(".")[2]
+                if fn in _GLOBAL_RANDOM_FNS:
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        path=ctx.relpath,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        message=(
+                            f"global random stream {dotted}(); use an "
+                            "explicit numpy Generator instead"
+                        ),
+                    )
+
+
+@register_rule
+class WallClockRead(Rule):
+    rule_id = "RPR102"
+    name = "wall-clock-read"
+    summary = "wall-clock API used where monotonic or injected time belongs"
+    rationale = (
+        "time.time()/datetime.now() values differ across replicas and "
+        "jump under NTP; when they leak into cache keys, request "
+        "fingerprints, or wire payloads, identical requests stop being "
+        "identical.  Use time.monotonic for intervals and pass explicit "
+        "timestamps for data."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for call in _all_calls(ctx.tree):
+            if not isinstance(call.func, ast.Attribute):
+                continue
+            owner = _receiver(call.func.value)
+            pair = (owner, call.func.attr)
+            if pair in _WALL_CLOCK:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=ctx.relpath,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"wall-clock read {owner}.{call.func.attr}(); use "
+                        "time.monotonic (intervals) or an injected clock"
+                    ),
+                )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+@register_rule
+class SetIterationOrder(Rule):
+    rule_id = "RPR103"
+    name = "set-iteration-order"
+    summary = "iterating a set whose order is hash-salted per process"
+    rationale = (
+        "String hashing is salted per interpreter, so set order differs "
+        "between shards and runs; any snapshot, payload, or schedule "
+        "built by iterating a set is nondeterministic.  Wrap the set in "
+        "sorted(...) before iterating."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        path=ctx.relpath,
+                        line=it.lineno,
+                        col=it.col_offset,
+                        message=(
+                            "iteration over a set: order is hash-salted "
+                            "and differs per process; use sorted(...)"
+                        ),
+                    )
+
+
+@register_rule
+class UnsortedDirectoryListing(Rule):
+    rule_id = "RPR104"
+    name = "unsorted-directory-listing"
+    summary = "directory listing consumed without sorted(...)"
+    rationale = (
+        "iterdir/listdir/glob order is whatever the filesystem returns; "
+        "artifact scans and fixture discovery must not depend on it.  "
+        "sorted(...) costs nothing and makes every scan reproducible."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        sorted_calls = set()
+        for call in _all_calls(ctx.tree):
+            if isinstance(call.func, ast.Name) and call.func.id == "sorted":
+                for arg in call.args:
+                    sorted_calls.add(id(arg))
+        for call in _all_calls(ctx.tree):
+            if id(call) in sorted_calls:
+                continue
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _LISTING_ATTRS:
+                continue
+            if func.attr in {"glob", "rglob"}:
+                # re.glob does not exist; only flag path-like receivers.
+                owner = _receiver(func.value).lower()
+                if owner in {"re", "fnmatch"}:
+                    continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"unsorted directory listing .{func.attr}(); wrap in "
+                    "sorted(...) so scan order is machine-independent"
+                ),
+            )
+
+
+__all__ = [
+    "SetIterationOrder",
+    "UnseededRandomness",
+    "UnsortedDirectoryListing",
+    "WallClockRead",
+]

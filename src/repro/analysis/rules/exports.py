@@ -1,0 +1,137 @@
+"""RPR201: ``__all__`` must match the module's actual public surface.
+
+Three drift modes, all under one id:
+
+* an ``__all__`` entry that no top-level binding (def, class, assignment,
+  import) provides — unless the module defines a PEP 562 ``__getattr__``,
+  which makes lazy exports legitimate and statically unverifiable;
+* a public top-level ``def``/``class``/constant missing from ``__all__``
+  — the export list silently stopped describing the module;
+* a module that defines public names but has no ``__all__`` at all
+  (``__main__.py`` and ``conftest.py`` are exempt — they are entry
+  points, not APIs).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+_EXEMPT_FILENAMES = {"__main__.py", "conftest.py", "setup.py"}
+
+
+def _module_surface(
+    tree: ast.Module,
+) -> Tuple[Set[str], Set[str], Optional[List[str]], int, bool]:
+    """(bound, public_defined, all_names, all_lineno, has_getattr)."""
+    bound: Set[str] = set()
+    public: Set[str] = set()
+    all_names: Optional[List[str]] = None
+    all_lineno = 0
+    has_getattr = False
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+            if node.name == "__getattr__":
+                has_getattr = True
+            if not node.name.startswith("_"):
+                public.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                bound.add(target.id)
+                if target.id == "__all__":
+                    all_lineno = node.lineno
+                    try:
+                        value = ast.literal_eval(node.value)
+                    except (ValueError, SyntaxError):
+                        value = None
+                    if isinstance(value, (list, tuple)) and all(
+                        isinstance(item, str) for item in value
+                    ):
+                        all_names = list(value)
+                elif not target.id.startswith("_"):
+                    public.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            bound.add(node.target.id)
+            if node.target.id != "__all__" and not node.target.id.startswith("_"):
+                if node.value is not None:
+                    public.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.If, ast.Try)):
+            # One level into conditional imports / TYPE_CHECKING blocks.
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            bound.add((alias.asname or alias.name).split(".")[0])
+    return bound, public, all_names, all_lineno, has_getattr
+
+
+@register_rule
+class ExportDrift(Rule):
+    rule_id = "RPR201"
+    name = "export-drift"
+    summary = "__all__ disagrees with the module's actually-defined public names"
+    rationale = (
+        "__all__ is the API contract other packages import against; an "
+        "entry with no binding breaks `from pkg import *` and tooling, "
+        "and a public definition missing from it ships an accidental "
+        "private API that drifts without review."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.path.name in _EXEMPT_FILENAMES:
+            return
+        bound, public, all_names, all_lineno, has_getattr = _module_surface(
+            ctx.tree
+        )
+        if all_names is None:
+            if public:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=ctx.relpath,
+                    line=1,
+                    message=(
+                        f"module defines public names ({', '.join(sorted(public)[:6])}"
+                        f"{', ...' if len(public) > 6 else ''}) but no __all__"
+                    ),
+                )
+            return
+        if not has_getattr:
+            for name in all_names:
+                if name not in bound:
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        path=ctx.relpath,
+                        line=all_lineno,
+                        message=(
+                            f"__all__ exports {name!r} but no top-level "
+                            "binding defines it"
+                        ),
+                    )
+        exported = set(all_names)
+        for name in sorted(public - exported):
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=all_lineno or 1,
+                message=(
+                    f"public name {name!r} is defined here but missing "
+                    "from __all__ (export it or make it private)"
+                ),
+            )
+
+
+__all__ = ["ExportDrift"]

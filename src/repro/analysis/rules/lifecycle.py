@@ -1,0 +1,125 @@
+"""RPR004: daemon-thread and start/stop lifecycle discipline.
+
+Two checks under one id (they are the same contract):
+
+* every ``threading.Thread(...)`` construction must pass
+  ``daemon=True`` — this codebase's hard rule, so a forgotten background
+  loop can never wedge interpreter shutdown;
+* a scope that *starts* threads must also *join* them somewhere (a
+  ``stop``/``shutdown``/``drain`` path) — classes get the whole class
+  body as their join budget, free functions just their own body.  A
+  started-but-unjoinable thread has no clean teardown; if the design is
+  genuinely fire-and-forget, say so with a suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+
+def _is_thread_ctor(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == "Thread"
+    if isinstance(func, ast.Name):
+        return func.id == "Thread"
+    return False
+
+
+def _scan_body(
+    body: List[ast.stmt],
+) -> Tuple[List[ast.Call], bool, bool]:
+    """(thread ctors, starts_threads, joins_threads) for one scope body,
+    not descending into nested class definitions."""
+    ctors: List[ast.Call] = []
+    starts = False
+    joins = False
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.ClassDef):
+            continue
+        if isinstance(node, ast.Call):
+            if _is_thread_ctor(node):
+                ctors.append(node)
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr == "start":
+                    starts = True
+                elif func.attr == "join":
+                    joins = True
+        stack.extend(ast.iter_child_nodes(node))
+    return ctors, starts, joins
+
+
+@register_rule
+class ThreadLifecycle(Rule):
+    rule_id = "RPR004"
+    name = "thread-lifecycle"
+    summary = (
+        "thread constructed without daemon=True, or started without any "
+        "join/teardown path"
+    )
+    rationale = (
+        "Non-daemon background threads block interpreter exit when a "
+        "stop signal is missed; threads started without a join anywhere "
+        "in the owning scope have no graceful teardown, so drain/restart "
+        "sequences leak work into the next lifecycle phase."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # Per-class budget: ctor flags per construction, join anywhere in
+        # the class satisfies every start in it.
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_scope(ctx, node.body, f"class {node.name}", node.lineno)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(
+                    ctx, node.body, f"function {node.name}", node.lineno
+                )
+
+    def _check_scope(
+        self, ctx: ModuleContext, body: List[ast.stmt], label: str, lineno: int
+    ) -> Iterator[Finding]:
+        ctors, starts, joins = _scan_body(body)
+        for ctor in ctors:
+            daemon = next(
+                (kw for kw in ctor.keywords if kw.arg == "daemon"), None
+            )
+            is_true = (
+                daemon is not None
+                and isinstance(daemon.value, ast.Constant)
+                and daemon.value.value is True
+            )
+            if not is_true:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=ctx.relpath,
+                    line=ctor.lineno,
+                    col=ctor.col_offset,
+                    message=(
+                        f"threading.Thread in {label} without daemon=True; "
+                        "background threads must not block interpreter exit"
+                    ),
+                )
+        if ctors and starts and not joins:
+            first = min(ctors, key=lambda c: c.lineno)
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=first.lineno,
+                col=first.col_offset,
+                message=(
+                    f"{label} starts threads but never joins any; add a "
+                    "stop/shutdown path (or suppress with the reason the "
+                    "thread is safe to abandon)"
+                ),
+            )
+
+
+__all__ = ["ThreadLifecycle"]

@@ -1,0 +1,120 @@
+"""RPR003: lock-acquisition-order cycles across the whole project.
+
+Builds one static :class:`~repro.analysis.graph.LockGraph` from every
+module's acquire events: an edge ``A -> B`` whenever a ``with`` block for
+``B`` is nested (syntactically, or one call level deep through a ``self``
+method) inside a ``with`` block for ``A``.  Any cycle means two code
+paths acquire the same pair of locks in opposite orders — the deadlock
+precondition no test can reliably reproduce.
+
+The same graph is exported (:func:`build_lock_graph`) for the runtime
+cross-check: ``DebugLock`` traces from the hammer suite are unioned with
+this graph, and the union must stay acyclic too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.graph import LockGraph
+
+#: The caller-holds-the-lock pseudo label never names a concrete lock, so
+#: it cannot participate in ordering edges.
+_PSEUDO = ".<locked>"
+
+
+def lock_graph_for(modules: List[ModuleContext]) -> LockGraph:
+    """The static acquisition-order graph over ``modules``."""
+    graph = LockGraph()
+    for ctx in modules:
+        for scope in ctx.scopes:
+            for event in scope.acquire_events:
+                if event.label.endswith(_PSEUDO):
+                    continue
+                where = f"{ctx.relpath}:{event.line}"
+                for held in event.held_before:
+                    if held.endswith(_PSEUDO):
+                        continue
+                    graph.add(held, event.label, where)
+            # One call level deep: holding L and calling self.m() where
+            # m itself acquires locks orders L before each of them.
+            for event in scope.call_events:
+                if not event.held:
+                    continue
+                func = event.node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and func.attr in scope.method_acquires
+                ):
+                    continue
+                inner = scope.method_acquires[func.attr]
+                where = f"{ctx.relpath}:{event.line}"
+                for held in event.held:
+                    if held.endswith(_PSEUDO):
+                        continue
+                    for label in inner:
+                        if label.endswith(_PSEUDO):
+                            continue
+                        graph.add(held, label, where)
+    return graph
+
+
+def build_lock_graph(paths, root=None) -> LockGraph:
+    """Convenience for the runtime cross-check: parse ``paths`` and build
+    the static graph (no findings, no suppressions)."""
+    from repro.analysis.runner import collect_modules
+
+    modules, _errors = collect_modules(paths, root=root)
+    return lock_graph_for(modules)
+
+
+@register_rule
+class LockOrderCycle(Rule):
+    rule_id = "RPR003"
+    name = "lock-order-cycle"
+    summary = "two code paths acquire the same locks in opposite orders"
+    rationale = (
+        "A cycle in the acquisition graph means thread 1 can hold A "
+        "waiting for B while thread 2 holds B waiting for A.  The hang "
+        "needs a precise interleaving, so tests rarely catch it; the "
+        "static graph catches it on every run."
+    )
+
+    def check_project(
+        self, modules: List[ModuleContext]
+    ) -> Iterator[Finding]:
+        graph = lock_graph_for(modules)
+        for cycle in graph.find_cycles():
+            edges = graph.edges_in_cycle(cycle)
+            anchor = min(
+                (e for e in edges if e.where),
+                key=lambda e: e.where,
+                default=None,
+            )
+            path, line = "<project>", 0
+            if anchor is not None and ":" in anchor.where:
+                path, _, lineno = anchor.where.rpartition(":")
+                line = int(lineno)
+            order = " -> ".join(cycle + [cycle[0]])
+            sites = ", ".join(
+                f"{e.src} -> {e.dst} at {e.where or '?'}" for e in edges
+            )
+            yield Finding(
+                rule_id=self.rule_id,
+                path=path,
+                line=line,
+                message=(
+                    f"lock-order cycle {order}; conflicting acquisitions: "
+                    f"{sites}"
+                ),
+                data={"cycle": list(cycle)},
+            )
+
+
+__all__ = ["LockOrderCycle", "build_lock_graph", "lock_graph_for"]

@@ -1,0 +1,163 @@
+"""File discovery and rule orchestration.
+
+``analyze(paths)`` is the one entry point: collect ``.py`` files, parse
+each into a :class:`~repro.analysis.context.ModuleContext`, run every
+selected rule's module pass, then the project passes, apply per-line
+suppressions, and return a sorted, deduplicated report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import all_rules
+from repro.analysis.context import ModuleContext, load_module
+from repro.analysis.findings import Finding
+from repro.analysis.suppress import (
+    RPR900,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+_SKIP_DIRS = {".git", "__pycache__", ".hypothesis", ".pytest_cache", "build"}
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``.py`` file under ``paths``, sorted for stable reports."""
+    files: Set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_file() and path.suffix == ".py":
+            files.add(path.resolve())
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    files.add(candidate.resolve())
+    return sorted(files)
+
+
+def collect_modules(
+    paths: Sequence[Path], root: Optional[Path] = None
+) -> Tuple[List[ModuleContext], List[Finding]]:
+    """Parse every file; unparseable files become findings, not crashes."""
+    root = Path(root) if root is not None else Path.cwd()
+    modules: List[ModuleContext] = []
+    problems: List[Finding] = []
+    for path in collect_files(paths):
+        try:
+            modules.append(load_module(path, root.resolve()))
+        except SyntaxError as error:
+            problems.append(
+                Finding(
+                    rule_id="RPR999",
+                    path=str(path),
+                    line=error.lineno or 1,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+    return modules, problems
+
+
+def select_rule_ids(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[str]:
+    """Resolve ``--select``/``--ignore`` prefixes against the registry.
+
+    Entries are id prefixes: ``RPR0`` selects the whole concurrency
+    family, ``RPR003`` one rule.  Unknown prefixes raise ``ValueError``
+    so a typo fails loudly instead of silently disabling a gate.
+
+    ``RPR900`` (bad suppression pragma) is selectable even though it is
+    emitted by the pragma parser rather than a registered rule class.
+    """
+    known = list(all_rules()) + [RPR900]
+    chosen = list(known)
+    if select:
+        prefixes = list(select)
+        for prefix in prefixes:
+            if not any(rule_id.startswith(prefix) for rule_id in known):
+                raise ValueError(f"--select {prefix!r} matches no known rule")
+        chosen = [r for r in known if any(r.startswith(p) for p in prefixes)]
+    if ignore:
+        for prefix in ignore:
+            if not any(rule_id.startswith(prefix) for rule_id in known):
+                raise ValueError(f"--ignore {prefix!r} matches no known rule")
+        chosen = [
+            r for r in chosen if not any(r.startswith(p) for p in ignore)
+        ]
+    return chosen
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    rule_ids: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def analyze(
+    paths: Sequence[Path],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    root: Optional[Path] = None,
+) -> AnalysisResult:
+    """Run the selected rules over ``paths`` and apply suppressions."""
+    rule_ids = select_rule_ids(select, ignore)
+    registry = all_rules()
+    rules = [registry[rule_id]() for rule_id in rule_ids if rule_id in registry]
+    known_ids = set(registry) | {RPR900}
+    modules, problems = collect_modules(paths, root=root)
+
+    result = AnalysisResult(rule_ids=rule_ids, files_checked=len(modules))
+    result.findings.extend(problems)
+    selected = set(rule_ids)
+    for ctx in modules:
+        raw: List[Finding] = []
+        for rule in rules:
+            raw.extend(rule.check_module(ctx))
+        suppressions, pragma_problems = parse_suppressions(
+            ctx.source, ctx.relpath, known_ids
+        )
+        kept, suppressed = apply_suppressions(raw, suppressions)
+        result.findings.extend(kept)
+        result.suppressed += suppressed
+        if RPR900 in selected or not (select or ignore):
+            result.findings.extend(pragma_problems)
+    # Project passes see every module; suppression is by the finding's
+    # own file/line, so re-read each flagged module's pragma table.
+    project_findings: List[Finding] = []
+    for rule in rules:
+        project_findings.extend(rule.check_project(modules))
+    by_path = {ctx.relpath: ctx for ctx in modules}
+    for finding in project_findings:
+        ctx = by_path.get(finding.path)
+        if ctx is not None:
+            suppressions, _ = parse_suppressions(
+                ctx.source, ctx.relpath, known_ids
+            )
+            kept, suppressed = apply_suppressions([finding], suppressions)
+            result.suppressed += suppressed
+            result.findings.extend(kept)
+        else:
+            result.findings.append(finding)
+    result.findings = sorted(set(result.findings), key=Finding.sort_key)
+    return result
+
+
+__all__ = [
+    "AnalysisResult",
+    "analyze",
+    "collect_files",
+    "collect_modules",
+    "select_rule_ids",
+]

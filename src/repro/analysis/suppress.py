@@ -1,0 +1,129 @@
+"""Per-line suppressions: ``# repro: ignore[RPR002] -- justification``.
+
+A finding is suppressed when its line (or the standalone comment line
+immediately above it) carries a ``# repro: ignore[...]`` pragma naming the
+rule id.  Two hard requirements keep suppressions honest:
+
+* **Named rules only** — ``ignore[RPR002]`` or ``ignore[RPR002,RPR004]``;
+  there is deliberately no blanket ``ignore`` that silences everything.
+* **Justification required** — the pragma must carry ``-- <why>`` text.
+  A bare suppression does not suppress anything; instead it raises an
+  :data:`RPR900` finding of its own, so "TODO: explain" can never rot
+  into permanent silence.
+
+Unknown rule ids in a pragma also raise :data:`RPR900` (a typo like
+``ignore[RPR02]`` must not silently fail open *or* closed).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Pseudo-rule for malformed suppressions (emitted here, not registered as
+#: a source-scanning rule; it still participates in --select/--ignore).
+RPR900 = "RPR900"
+
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<ids>[^\]]*)\]\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+_RULE_ID = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed pragma: the rules it silences and where it sits."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    justification: str
+    #: The line the pragma applies to (itself, or the statement below a
+    #: standalone comment line).
+    target_line: int
+
+
+def parse_suppressions(
+    source: str, path: str, known_rule_ids: Set[str]
+) -> Tuple[Dict[int, Suppression], List[Finding]]:
+    """Scan ``source`` for pragmas.
+
+    Returns ``(by_target_line, problems)`` where ``problems`` are RPR900
+    findings for malformed pragmas (missing justification, empty or
+    unknown rule list).  Malformed pragmas suppress nothing.
+    """
+    lines = source.splitlines()
+    by_line: Dict[int, Suppression] = {}
+    problems: List[Finding] = []
+    for index, text in enumerate(lines, start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        why = (match.group("why") or "").strip()
+        bad = [rule_id for rule_id in ids if not _RULE_ID.match(rule_id)]
+        unknown = [
+            rule_id
+            for rule_id in ids
+            if _RULE_ID.match(rule_id) and rule_id not in known_rule_ids
+        ]
+        if not ids or bad or unknown or not why:
+            reasons = []
+            if not ids:
+                reasons.append("no rule ids listed")
+            if bad:
+                reasons.append(f"malformed ids {bad}")
+            if unknown:
+                reasons.append(f"unknown ids {unknown}")
+            if not why:
+                reasons.append("missing '-- <justification>'")
+            problems.append(
+                Finding(
+                    rule_id=RPR900,
+                    path=path,
+                    line=index,
+                    message=(
+                        "unusable suppression pragma ("
+                        + "; ".join(reasons)
+                        + "); it suppresses nothing"
+                    ),
+                )
+            )
+            continue
+        stripped = text.strip()
+        target = index
+        if stripped.startswith("#"):
+            # Standalone comment line: applies to the next source line.
+            target = index + 1
+        by_line[target] = Suppression(
+            line=index, rule_ids=ids, justification=why, target_line=target
+        )
+    return by_line, problems
+
+
+def apply_suppressions(
+    findings: Sequence[Finding],
+    suppressions: Dict[int, Suppression],
+) -> Tuple[List[Finding], int]:
+    """Drop findings covered by a pragma; returns (kept, suppressed_count)."""
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        pragma = suppressions.get(finding.line)
+        if pragma is not None and finding.rule_id in pragma.rule_ids:
+            suppressed += 1
+            continue
+        kept.append(finding)
+    return kept, suppressed
+
+
+__all__ = [
+    "RPR900",
+    "Suppression",
+    "apply_suppressions",
+    "parse_suppressions",
+]

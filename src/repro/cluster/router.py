@@ -192,7 +192,7 @@ class ClusterRouter:
         if self._accepting:
             return self
         for handle in self._handles.values():
-            self._spawn_locked(handle)
+            self._spawn_shard(handle)
         self._accepting = True
         self._monitor = threading.Thread(
             target=self._monitor_loop, name="cluster-monitor", daemon=True
@@ -200,7 +200,7 @@ class ClusterRouter:
         self._monitor.start()
         return self
 
-    def _spawn_locked(self, handle: ShardHandle) -> None:
+    def _spawn_shard(self, handle: ShardHandle) -> None:
         """(Re)start one shard process and wait for its ready handshake."""
         parent, child = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
@@ -468,7 +468,7 @@ class ClusterRouter:
             process.terminate()
             process.join(timeout=5.0)
         try:
-            self._spawn_locked(handle)
+            self._spawn_shard(handle)
         except RuntimeError:
             return  # next monitor pass retries
         handle.respawns += 1

@@ -108,7 +108,9 @@ class RpcClient:
         """One request/response round trip (serialized per connection)."""
         with self._lock:
             self._sock.settimeout(timeout_s)
+            # repro: ignore[RPR002] -- the lock exists to serialize this shared connection; blocking inside it is the contract
             send_message(self._sock, payload)
+            # repro: ignore[RPR002] -- same contract as the send above; settimeout bounds the stall
             return recv_message(self._sock)
 
     def close(self) -> None:

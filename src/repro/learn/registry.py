@@ -57,11 +57,13 @@ class ModelRegistry:
         self._versions: Dict[str, List[int]] = {}
         #: slug -> highest version number ever used (live or retired).
         self._highwater: Dict[str, int] = {}
-        self._scan()
+        # Pre-publication: no other thread can hold a reference yet, so
+        # the construction-time scan needs no lock.
+        self._scan_locked()
 
-    def _scan(self) -> None:
+    def _scan_locked(self) -> None:
         versions: Dict[str, List[int]] = {}
-        for path in self.root.iterdir():
+        for path in sorted(self.root.iterdir()):
             match = _ARTIFACT_RE.match(path.name)
             if match is None:
                 continue
@@ -86,7 +88,7 @@ class ModelRegistry:
         artifact vanishes from disk.
         """
         with self._lock:
-            self._scan()
+            self._scan_locked()
 
     # ------------------------------------------------------------------
     # Paths / introspection

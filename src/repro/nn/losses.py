@@ -57,4 +57,4 @@ LOSS_FUNCTIONS: Dict[str, Callable[[Tensor, TargetLike], Tensor]] = {
 }
 
 
-__all__ = ["LOSS_FUNCTIONS", "huber_loss", "l1_loss", "mse_loss"]
+__all__ = ["LOSS_FUNCTIONS", "TargetLike", "huber_loss", "l1_loss", "mse_loss"]

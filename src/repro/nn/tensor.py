@@ -378,4 +378,4 @@ class Tensor:
                 node._backward(node.grad)
 
 
-__all__ = ["Tensor", "no_grad"]
+__all__ = ["ArrayLike", "Tensor", "no_grad"]

@@ -200,4 +200,4 @@ def serve_batch(
     return responses  # type: ignore[return-value]
 
 
-__all__ = ["coalescible", "run_cohort", "serve_batch"]
+__all__ = ["MIN_PREWARM_UNION", "coalescible", "run_cohort", "serve_batch"]

@@ -221,6 +221,7 @@ def start_gateway(
         request_timeout_s=request_timeout_s,
         verbose=verbose,
     )
+    # repro: ignore[RPR004] -- serve_forever exits on gateway.shutdown(); the daemon thread needs no join handle
     thread = threading.Thread(
         # Tight poll interval keeps gateway.shutdown() prompt.
         target=lambda: gateway.serve_forever(poll_interval=0.05),

@@ -514,8 +514,12 @@ class MappingServer:
         elapsed = finished - started
         if items:
             # EMA over per-request service time steers the retry-after hint.
+            # _retry_after_locked reads this under the lock, so the
+            # read-modify-write must hold it too or concurrent batches
+            # lose each other's updates.
             per_request = elapsed / len(items)
-            self._service_ema_s += 0.2 * (per_request - self._service_ema_s)
+            with self._lock:
+                self._service_ema_s += 0.2 * (per_request - self._service_ema_s)
         for item, response in zip(items, responses):
             self._finish_item(item, response, finished)
 

@@ -108,3 +108,16 @@ def geomean(values: Sequence[float]) -> float:
             raise ValueError(f"geomean requires positive values, got {value}")
         total += math.log(value)
     return math.exp(total / len(values))
+
+
+__all__ = [
+    "clamp",
+    "divisors",
+    "factorizations",
+    "geomean",
+    "is_power_of_two",
+    "log2_safe",
+    "nearest_divisor",
+    "prod",
+    "round_to_nearest",
+]

@@ -40,3 +40,6 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
         return [np.random.default_rng(int(s)) for s in seeds]
     sequence = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+__all__ = ["SeedLike", "ensure_rng", "spawn_rngs"]

@@ -49,3 +49,6 @@ class Stopwatch:
 
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
+
+
+__all__ = ["Stopwatch"]

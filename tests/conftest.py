@@ -6,6 +6,9 @@ session-scoped so the whole suite pays for them once.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 from hypothesis import HealthCheck, settings
 
@@ -17,6 +20,42 @@ settings.register_profile(
 settings.load_profile("repro")
 
 from repro.core import MindMappings, MindMappingsConfig, TrainingConfig, generate_dataset
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="session", autouse=True)
+def debug_lock_tracer():
+    """Opt-in runtime lock-order recording (``REPRO_DEBUG_LOCKS=1``).
+
+    When enabled, every lock created during the session is a DebugLock;
+    at teardown the recorded acquisition orders are unioned with the
+    static lock graph and the union must stay acyclic — the nightly CI
+    lane runs the hammer suites under this fixture.
+    """
+    if not os.environ.get("REPRO_DEBUG_LOCKS"):
+        yield None
+        return
+    from repro.analysis import build_lock_graph
+    from repro.analysis.debuglock import (
+        LockTracer,
+        crosscheck,
+        static_label_map,
+        trace_locks,
+    )
+
+    src = _REPO_ROOT / "src" / "repro"
+    tracer = LockTracer(
+        static_label_map([src], root=_REPO_ROOT), root=_REPO_ROOT
+    )
+    with trace_locks(tracer):
+        yield tracer
+    conflicts = crosscheck(build_lock_graph([src], root=_REPO_ROOT), tracer)
+    if conflicts:
+        raise RuntimeError(
+            "DebugLock/static lock-order cross-check failed:\n"
+            + "\n".join(conflicts)
+        )
 from repro.costmodel import CostModel, default_accelerator
 from repro.costmodel.accelerator import small_accelerator
 from repro.mapspace import MapSpace

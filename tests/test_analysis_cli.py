@@ -1,0 +1,162 @@
+"""CLI exit codes, select/ignore, JSON output, and suppression handling."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.analysis.cli import main
+
+CLEAN = """\
+def _double(x):
+    return 2 * x
+"""
+
+DIRTY = """\
+import time
+
+
+def _deadline(budget_s):
+    return time.time() + budget_s
+"""
+
+
+def write(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    write(tmp_path, CLEAN)
+    assert main([str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    write(tmp_path, DIRTY)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR102" in out and "mod.py:5" in out
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+
+
+def test_exit_two_on_no_paths(capsys):
+    assert main([]) == 2
+
+
+def test_exit_two_on_unknown_select(tmp_path, capsys):
+    write(tmp_path, CLEAN)
+    assert main([str(tmp_path), "--select", "RPR777"]) == 2
+    assert "RPR777" in capsys.readouterr().err
+
+
+def test_select_narrows_rules(tmp_path):
+    write(tmp_path, DIRTY)
+    assert main([str(tmp_path), "--select", "RPR0"]) == 0
+    assert main([str(tmp_path), "--select", "RPR102"]) == 1
+
+
+def test_ignore_disables_rules(tmp_path):
+    write(tmp_path, DIRTY)
+    assert main([str(tmp_path), "--ignore", "RPR102"]) == 0
+
+
+def test_json_format(tmp_path, capsys):
+    write(tmp_path, DIRTY)
+    assert main([str(tmp_path), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    [finding] = payload["findings"]
+    assert finding["rule"] == "RPR102"
+    assert finding["line"] == 5
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPR001", "RPR003", "RPR101", "RPR201"):
+        assert rule_id in out
+
+
+def test_selftest_passes(capsys):
+    assert main(["--selftest"]) == 0
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+def test_justified_suppression_silences_finding(tmp_path, capsys):
+    write(
+        tmp_path,
+        """\
+        import time
+
+
+        def _deadline(budget_s):
+            return time.time() + budget_s  # repro: ignore[RPR102] -- test fixture wants wall time
+        """,
+    )
+    assert main([str(tmp_path)]) == 0
+    assert "1 suppressed" in capsys.readouterr().out
+
+
+def test_standalone_pragma_covers_next_line(tmp_path):
+    write(
+        tmp_path,
+        """\
+        import time
+
+
+        def _deadline(budget_s):
+            # repro: ignore[RPR102] -- test fixture wants wall time
+            return time.time() + budget_s
+        """,
+    )
+    assert main([str(tmp_path)]) == 0
+
+
+def test_unjustified_pragma_is_rpr900_and_suppresses_nothing(tmp_path, capsys):
+    source = """\
+import time
+
+
+def _deadline(budget_s):
+    return time.time() + budget_s  # PRAGMA
+""".replace("# PRAGMA", "# repro: " + "ignore[RPR102]")
+    (tmp_path / "mod.py").write_text(source, encoding="utf-8")
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR900" in out
+    assert "RPR102" in out  # the original finding survives
+
+
+def test_unknown_rule_id_in_pragma_is_rpr900(tmp_path, capsys):
+    source = """\
+import time
+
+
+def _deadline(budget_s):
+    return time.time() + budget_s  # PRAGMA -- sounds legit
+""".replace("PRAGMA", "repro: " + "ignore[RPR042]")
+    (tmp_path / "mod.py").write_text(source, encoding="utf-8")
+    assert main([str(tmp_path)]) == 1
+    assert "RPR900" in capsys.readouterr().out
+
+
+def test_suppression_must_name_the_right_rule(tmp_path, capsys):
+    source = """\
+import time
+
+
+def _deadline(budget_s):
+    return time.time() + budget_s  # repro: ignore[RPR101] -- wrong rule named
+"""
+    (tmp_path / "mod.py").write_text(source, encoding="utf-8")
+    assert main([str(tmp_path)]) == 1
+    assert "RPR102" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Regression guards for the concurrency/determinism bugs this linter found.
+
+Each test reintroduces the original bug as a textual mutation of the
+*real* source file and asserts the responsible rule fires — so the fix
+cannot silently regress, and neither can the rule that guards it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def reanalyze_mutated(tmp_path, source_path, old, new, select):
+    source = source_path.read_text(encoding="utf-8")
+    assert source.count(old) == 1, f"mutation anchor drifted in {source_path}"
+    mutated = tmp_path / source_path.name
+    mutated.write_text(source.replace(old, new), encoding="utf-8")
+    result = analyze([mutated], select=select, root=tmp_path)
+    return [f.rule_id for f in result.findings]
+
+
+def test_merged_tree_is_lint_clean():
+    """The PR-level gate, as a test: the shipped tree has no findings."""
+    result = analyze([SRC], root=REPO_ROOT)
+    assert [f.render() for f in result.findings] == []
+    assert result.suppressed >= 3  # the justified deliberate patterns
+
+
+def test_server_ema_update_must_hold_the_lock(tmp_path):
+    # The original bug: _execute updated _service_ema_s without the lock
+    # while _retry_after_locked read it under the lock.
+    fired = reanalyze_mutated(
+        tmp_path,
+        SRC / "serve" / "server.py",
+        "            with self._lock:\n"
+        "                self._service_ema_s += 0.2 * (per_request - self._service_ema_s)",
+        "            self._service_ema_s += 0.2 * (per_request - self._service_ema_s)",
+        select=["RPR001"],
+    )
+    assert "RPR001" in fired
+
+
+def test_registry_scan_must_run_under_the_lock(tmp_path):
+    # The original bug: refresh()'s rescan helper was named _scan, so its
+    # writes to _versions/_highwater looked (and in __init__ were) lock-free.
+    source = (SRC / "learn" / "registry.py").read_text(encoding="utf-8")
+    mutated = tmp_path / "registry.py"
+    mutated.write_text(source.replace("_scan_locked", "_scan"), encoding="utf-8")
+    result = analyze([mutated], select=["RPR001"], root=tmp_path)
+    assert "RPR001" in [f.rule_id for f in result.findings]
+
+
+def test_registry_scan_must_sort_directory_listing(tmp_path):
+    fired = reanalyze_mutated(
+        tmp_path,
+        SRC / "learn" / "registry.py",
+        "for path in sorted(self.root.iterdir()):",
+        "for path in self.root.iterdir():",
+        select=["RPR104"],
+    )
+    assert fired == ["RPR104"]
+
+
+@pytest.mark.parametrize(
+    "relpath",
+    [
+        "serve/server.py",
+        "serve/http.py",
+        "learn/registry.py",
+        "cluster/router.py",
+        "cluster/rpc.py",
+    ],
+)
+def test_triaged_modules_stay_clean(relpath):
+    result = analyze([SRC / relpath], root=REPO_ROOT)
+    assert [f.render() for f in result.findings] == []
+
+
+def test_registry_scan_is_order_independent(tmp_path):
+    """Behavioral half of the RPR104 fix: the index is identical no
+    matter what order artifacts were created in."""
+    from repro.learn.registry import ModelRegistry
+
+    layouts = (
+        ["algo-v000001.npz", "algo-v000003.npz", "algo-v000002.npz"],
+        ["algo-v000002.npz", "algo-v000001.npz", "algo-v000003.npz"],
+    )
+    indexes = []
+    for i, names in enumerate(layouts):
+        root = tmp_path / f"reg{i}"
+        root.mkdir()
+        for name in names:
+            (root / name).write_bytes(b"")
+        registry = ModelRegistry(root)
+        indexes.append(registry.latest_version("algo"))
+    assert indexes[0] == indexes[1] == 3

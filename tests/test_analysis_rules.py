@@ -1,0 +1,225 @@
+"""Per-rule good/bad fixture tests plus targeted inference edge cases."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.selftest import FIXTURES
+from repro.analysis.suppress import RPR900
+
+
+def run(tmp_path, source, select=None, name="case.py"):
+    case = tmp_path / name
+    case.write_text(textwrap.dedent(source), encoding="utf-8")
+    result = analyze([case], select=select, root=tmp_path)
+    return [f.rule_id for f in result.findings], result
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_rule_fires_on_bad_fixture(tmp_path, rule_id):
+    bad, _good = FIXTURES[rule_id]
+    fired, _ = run(tmp_path, bad, select=[rule_id])
+    assert rule_id in fired
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_rule_silent_on_good_fixture(tmp_path, rule_id):
+    _bad, good = FIXTURES[rule_id]
+    fired, _ = run(tmp_path, good, select=[rule_id])
+    assert rule_id not in fired
+
+
+def test_every_rule_has_a_fixture_pair():
+    from repro.analysis import all_rules
+
+    assert set(FIXTURES) == set(all_rules()) | {RPR900}
+    assert len(all_rules()) >= 8
+
+
+# ---------------------------------------------------------------------------
+# Inference edge cases the simple fixtures do not cover
+# ---------------------------------------------------------------------------
+
+
+def test_locked_suffix_method_guards_attributes(tmp_path):
+    # An attribute touched only inside a *_locked method is guarded; a
+    # bare rebinding elsewhere must fire even with no with-block in sight.
+    fired, _ = run(
+        tmp_path,
+        """\
+        import threading
+
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._depth = 0
+
+            def _depth_locked(self):
+                return self._depth
+
+            def reset(self):
+                self._depth = 0
+        """,
+        select=["RPR001"],
+    )
+    assert fired == ["RPR001"]
+
+
+def test_locked_suffix_method_is_not_flagged_itself(tmp_path):
+    fired, _ = run(
+        tmp_path,
+        """\
+        import threading
+
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._depth = 0
+
+            def _bump_locked(self):
+                self._depth += 1
+
+            def bump(self):
+                with self._lock:
+                    self._bump_locked()
+        """,
+        select=["RPR001"],
+    )
+    assert fired == []
+
+
+def test_condition_wait_over_own_lock_is_exempt(tmp_path):
+    fired, _ = run(
+        tmp_path,
+        """\
+        import threading
+
+
+        class Queue:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._ready = threading.Condition(self._lock)
+
+            def take(self):
+                with self._ready:
+                    self._ready.wait(timeout=1.0)
+        """,
+        select=["RPR002"],
+    )
+    assert fired == []
+
+
+def test_foreign_event_wait_under_lock_fires(tmp_path):
+    fired, _ = run(
+        tmp_path,
+        """\
+        import threading
+
+
+        class Waiter:
+            def __init__(self, event):
+                self._lock = threading.Lock()
+                self._event = event
+
+            def stall(self):
+                with self._lock:
+                    self._event.wait()
+        """,
+        select=["RPR002"],
+    )
+    assert fired == ["RPR002"]
+
+
+def test_interprocedural_lock_order_edge(tmp_path):
+    # debit holds A and calls a method that takes B; credit nests B then A
+    # syntactically.  The cycle is only visible one call level deep.
+    fired, _ = run(
+        tmp_path,
+        """\
+        import threading
+
+
+        class Transfer:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def _audit(self):
+                with self._b:
+                    pass
+
+            def debit(self):
+                with self._a:
+                    self._audit()
+
+            def credit(self):
+                with self._b:
+                    with self._a:
+                        pass
+        """,
+        select=["RPR003"],
+    )
+    assert fired == ["RPR003"]
+
+
+def test_str_join_is_not_a_blocking_call(tmp_path):
+    fired, _ = run(
+        tmp_path,
+        """\
+        import threading
+
+
+        class Formatter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._parts = []
+
+            def render(self):
+                with self._lock:
+                    return ", ".join(self._parts)
+        """,
+        select=["RPR002"],
+    )
+    assert fired == []
+
+
+def test_getattr_lazy_exports_are_not_flagged(tmp_path):
+    # PEP 562 modules legitimately export names with no static binding.
+    fired, _ = run(
+        tmp_path,
+        """\
+        __all__ = ["LazyThing"]
+
+        _LAZY = ("LazyThing",)
+
+
+        def __getattr__(name):
+            if name in _LAZY:
+                return object()
+            raise AttributeError(name)
+        """,
+        select=["RPR201"],
+    )
+    assert fired == []
+
+
+def test_missing_all_entry_without_getattr_fires(tmp_path):
+    fired, _ = run(
+        tmp_path,
+        """\
+        __all__ = ["ghost"]
+        """,
+        select=["RPR201"],
+    )
+    assert fired == ["RPR201"]
+
+
+def test_syntax_error_becomes_finding_not_crash(tmp_path):
+    fired, result = run(tmp_path, "def broken(:\n")
+    assert fired == ["RPR999"]
+    assert not result.clean
