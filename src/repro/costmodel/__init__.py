@@ -23,9 +23,13 @@ from repro.costmodel.stats import CostStats, TensorLevelEnergy
 from repro.costmodel.batch import (
     BatchCostStats,
     MappingBatch,
+    MegaBatch,
+    MegaBatchCostStats,
     compile_batch,
+    compile_megabatch,
     edp_batch,
     evaluate_batch,
+    evaluate_megabatch,
 )
 from repro.costmodel.model import CostModel
 from repro.costmodel.cache import CacheStats, CachedOracle
@@ -45,13 +49,17 @@ __all__ = [
     "EnergyTable",
     "LoopNest",
     "MappingBatch",
+    "MegaBatch",
+    "MegaBatchCostStats",
     "TensorLevelEnergy",
     "algorithmic_minimum",
     "build_nest",
     "compile_batch",
+    "compile_megabatch",
     "default_accelerator",
     "edp_batch",
     "evaluate_batch",
+    "evaluate_megabatch",
     "get_objective",
     "weighted_objective",
 ]

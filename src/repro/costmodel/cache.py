@@ -188,6 +188,48 @@ class CachedOracle:
         self._notify_misses(problem, mappings, values, None)
         return values
 
+    def _price_misses_grouped(
+        self, groups: Sequence[Tuple[Problem, Sequence[Mapping]]]
+    ) -> List[List[float]]:
+        """Price per-problem miss lists through **one** inner kernel call.
+
+        ``groups`` pairs each distinct problem with its uncached mappings.
+        When the inner backend exposes ``evaluate_megabatch`` (the
+        analytical :class:`~repro.costmodel.model.CostModel` does), the
+        whole union is lowered into a single cross-problem megabatch and
+        priced by one run of the cost kernels; per-problem EDP slices and
+        the tap's :class:`~repro.costmodel.batch.BatchCostStats` labels
+        (``problem_slice``) are bitwise identical to pricing each group
+        through :meth:`_price_misses` separately.  Backends without the
+        megabatch path fall back to exactly that per-group loop.
+        """
+        inner_mega = getattr(self.inner, "evaluate_megabatch", None)
+        if inner_mega is None or len(groups) <= 1:
+            return [
+                self._price_misses(mappings, problem)
+                for problem, mappings in groups
+            ]
+        lane_mappings: List[Mapping] = []
+        lane_problems: List[Problem] = []
+        for problem, mappings in groups:
+            lane_mappings.extend(mappings)
+            lane_problems.extend([problem] * len(mappings))
+        mega = inner_mega(lane_mappings, lane_problems)
+        edp = mega.edp
+        listener = self._miss_listener
+        results: List[List[float]] = []
+        start = 0
+        for g, (problem, mappings) in enumerate(groups):
+            end = start + len(mappings)
+            values = edp[start:end].tolist()
+            results.append(values)
+            if listener is not None and mappings:
+                self._notify_misses(
+                    problem, mappings, values, mega.problem_slice(g)
+                )
+            start = end
+        return results
+
     # ------------------------------------------------------------------
     # Oracle interface
     # ------------------------------------------------------------------
@@ -291,6 +333,76 @@ class CachedOracle:
             values[index] = values[source]
         return [float(value) for value in values]
 
+    def evaluate_many_grouped(
+        self, mappings: Sequence[Mapping], problems: Sequence[Problem]
+    ) -> List[float]:
+        """Batched EDP for aligned ``(mappings[i], problems[i])`` lanes.
+
+        The cross-problem analogue of :meth:`evaluate_many`: hits are
+        answered from cache per lane, and the misses of *all* problems are
+        forwarded in one :meth:`_price_misses_grouped` union — a single
+        inner megabatch when the backend has one.  Counter semantics are
+        identical to calling :meth:`evaluate_many` once per problem group
+        (hits, misses, and in-batch duplicate hits attribute the same
+        way), and so are the values.
+        """
+        if len(mappings) != len(problems):
+            raise ValueError(
+                f"grouped lanes misaligned: {len(mappings)} mappings vs "
+                f"{len(problems)} problems"
+            )
+        pkey_by_id: Dict[int, Hashable] = {}
+        keys: List[Tuple[Hashable, Mapping]] = []
+        for mapping, problem in zip(mappings, problems):
+            pkey = pkey_by_id.get(id(problem))
+            if pkey is None:
+                pkey = problem_key(problem)
+                pkey_by_id[id(problem)] = pkey
+            keys.append((pkey, mapping))
+        values: List[Optional[float]] = [None] * len(keys)
+        miss_groups: "OrderedDict[Hashable, Tuple[Problem, List[int]]]" = (
+            OrderedDict()
+        )
+        first_miss: Dict[object, int] = {}
+        duplicate_of: Dict[int, int] = {}
+        with self._lock:
+            for index, key in enumerate(keys):
+                cached = self._store.get(key)
+                if cached is not None:
+                    self._hits += 1
+                    self._store.move_to_end(key)
+                    values[index] = (
+                        cached.edp if isinstance(cached, CostStats) else float(cached)
+                    )
+                elif key in first_miss:
+                    self._hits += 1
+                    duplicate_of[index] = first_miss[key]
+                else:
+                    first_miss[key] = index
+                    entry = miss_groups.get(key[0])
+                    if entry is None:
+                        miss_groups[key[0]] = (problems[index], [index])
+                    else:
+                        entry[1].append(index)
+        if miss_groups:
+            grouped_values = self._price_misses_grouped(
+                [
+                    (problem, [mappings[i] for i in indices])
+                    for problem, indices in miss_groups.values()
+                ]
+            )
+            with self._lock:
+                for (problem, indices), miss_values in zip(
+                    miss_groups.values(), grouped_values
+                ):
+                    self._misses += len(indices)
+                    for index, value in zip(indices, miss_values):
+                        values[index] = value
+                        self._insert(keys[index], value)
+        for index, source in duplicate_of.items():
+            values[index] = values[source]
+        return [float(value) for value in values]
+
     def prewarm(self, mappings: Sequence[Mapping], problem: Problem) -> int:
         """Price every uncached mapping in one inner batch, counter-neutral.
 
@@ -304,30 +416,63 @@ class CachedOracle:
         existing entries are left untouched, including their LRU recency.
         Returns the number of entries inserted.
         """
-        pkey = problem_key(problem)
-        todo: List[Mapping] = []
+        return self.prewarm_grouped([(problem, mappings)])
+
+    def prewarm_grouped(
+        self, groups: Sequence[Tuple[Problem, Sequence[Mapping]]]
+    ) -> int:
+        """:meth:`prewarm` for a whole multi-problem round at once.
+
+        Partitions every group's mappings into cached vs. uncached under
+        one lock pass, then prices the union of *all* groups' misses
+        through one :meth:`_price_misses_grouped` call — a single inner
+        cost-kernel run when the backend supports megabatching — and
+        inserts the results counter-neutrally (``CacheStats.prewarmed``
+        counts insertions, hits/misses are untouched).  Groups repeating a
+        problem (by cost identity) are merged first, so each distinct
+        problem is priced as one contiguous slice.  Returns the number of
+        entries inserted.
+        """
+        merged: "OrderedDict[Hashable, Tuple[Problem, List[Mapping]]]" = (
+            OrderedDict()
+        )
+        for problem, mappings in groups:
+            pkey = problem_key(problem)
+            entry = merged.get(pkey)
+            if entry is None:
+                merged[pkey] = (problem, list(mappings))
+            else:
+                entry[1].extend(mappings)
+        todo_groups: List[Tuple[Hashable, Problem, List[Mapping]]] = []
         with self._lock:
-            seen = set()
-            for mapping in mappings:
-                key = (pkey, mapping)
-                if key in self._store or key in seen:
-                    continue
-                seen.add(key)
-                todo.append(mapping)
-        if not todo:
+            for pkey, (problem, mappings) in merged.items():
+                seen = set()
+                todo: List[Mapping] = []
+                for mapping in mappings:
+                    key = (pkey, mapping)
+                    if key in self._store or key in seen:
+                        continue
+                    seen.add(key)
+                    todo.append(mapping)
+                if todo:
+                    todo_groups.append((pkey, problem, todo))
+        if not todo_groups:
             return 0
-        values = self._price_misses(todo, problem)
+        grouped_values = self._price_misses_grouped(
+            [(problem, todo) for _, problem, todo in todo_groups]
+        )
         inserted = 0
         with self._lock:
-            for mapping, value in zip(todo, values):
-                key = (pkey, mapping)
-                # Re-check: a concurrent evaluate() may have landed a full
-                # CostStats here while we computed; never downgrade it to a
-                # bare float (or touch its recency).
-                if key in self._store:
-                    continue
-                self._insert(key, value)
-                inserted += 1
+            for (pkey, _, todo), miss_values in zip(todo_groups, grouped_values):
+                for mapping, value in zip(todo, miss_values):
+                    key = (pkey, mapping)
+                    # Re-check: a concurrent evaluate() may have landed a
+                    # full CostStats here while we computed; never downgrade
+                    # it to a bare float (or touch its recency).
+                    if key in self._store:
+                        continue
+                    self._insert(key, value)
+                    inserted += 1
             self._prewarmed += inserted
         return inserted
 

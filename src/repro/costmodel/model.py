@@ -14,7 +14,12 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.costmodel.accelerator import Accelerator, MEMORY_LEVELS
-from repro.costmodel.batch import BatchCostStats, evaluate_batch
+from repro.costmodel.batch import (
+    BatchCostStats,
+    MegaBatchCostStats,
+    evaluate_batch,
+    evaluate_megabatch,
+)
 from repro.costmodel.nest import LoopNest, build_nest, distinct_tiles, fill_events
 from repro.costmodel.stats import CostStats, TensorLevelEnergy
 from repro.mapspace.mapping import Mapping
@@ -109,6 +114,32 @@ class CostModel:
         with :meth:`BatchCostStats.stats_at`.
         """
         return evaluate_batch(self.accelerator, mappings, problem)
+
+    def evaluate_many_grouped(
+        self, mappings: Sequence[Mapping], problems: Sequence[Problem]
+    ) -> List[float]:
+        """EDP for aligned ``(mappings[i], problems[i])`` lanes, one pass.
+
+        The cross-problem analogue of :meth:`evaluate_many`: lanes over
+        *different* problems are lowered into one padded/masked
+        :class:`~repro.costmodel.batch.MegaBatch` and priced by a single
+        run of the cost kernels.  Values are bitwise identical to pricing
+        each problem's lanes through :meth:`evaluate_many` separately.
+        """
+        if not len(mappings):
+            return []
+        return self.evaluate_megabatch(mappings, problems).edp.tolist()
+
+    def evaluate_megabatch(
+        self, mappings: Sequence[Mapping], problems: Sequence[Problem]
+    ) -> MegaBatchCostStats:
+        """Full vectorized statistics for heterogeneous (mapping, problem) lanes.
+
+        Returns a :class:`~repro.costmodel.batch.MegaBatchCostStats` in
+        input-lane order; per-problem slices (``problem_slice``) and scalar
+        rows (``stats_at``) rebuild the homogeneous views bitwise.
+        """
+        return evaluate_megabatch(self.accelerator, mappings, problems)
 
     # ------------------------------------------------------------------
 

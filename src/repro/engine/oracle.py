@@ -106,6 +106,22 @@ class AnalyticalOracle:
         """
         return self.model.evaluate_many(mappings, problem)
 
+    def evaluate_many_grouped(
+        self, mappings: Sequence[Mapping], problems: Sequence[Problem]
+    ) -> List[float]:
+        """Heterogeneous lanes — one cross-problem megabatch kernel run.
+
+        Aligned ``(mappings[i], problems[i])`` pairs over *different*
+        problems are priced together (:mod:`repro.costmodel.batch`'s
+        megabatch path); values are bitwise identical to grouping the
+        lanes by problem and calling :meth:`evaluate_many` per group.
+        """
+        return self.model.evaluate_many_grouped(mappings, problems)
+
+    def evaluate_megabatch(self, mappings, problems):
+        """Full cross-problem statistics (see :meth:`CostModel.evaluate_megabatch`)."""
+        return self.model.evaluate_megabatch(mappings, problems)
+
 
 class SurrogateOracle:
     """A trained surrogate as a cost oracle.

@@ -9,7 +9,10 @@ the four entries must equal the dimension bound, making tile extents exact.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Dict, Mapping as MappingType, Sequence, Tuple
+
+import numpy as np
 
 from repro.utils import prod
 
@@ -72,6 +75,20 @@ class Mapping:
                 raise ValueError(f"allocation at {level} must give every tensor a bank")
 
     # ---- tiling accessors -------------------------------------------------
+
+    @cached_property
+    def factor_array(self) -> np.ndarray:
+        """``(len(dims), 4)`` int64 array of ``tile_factors``, cached.
+
+        The vectorized cost kernels lower every batch lane's nested factor
+        tuples into one small array; caching that array on the value object
+        makes re-pricing a mapping (replay, cohort prewarm rounds) pay the
+        conversion once per mapping instead of once per batch compile.  The
+        array is frozen read-only so sharing it across batches is safe.
+        """
+        factors = np.asarray(self.tile_factors, dtype=np.int64)
+        factors.setflags(write=False)
+        return factors
 
     def dim_index(self, dim: str) -> int:
         try:

@@ -7,10 +7,13 @@ lets *independent* callers benefit from it.  Requests enter one at a time
 coalesced into the wide operations the backend is fastest at:
 
 * :mod:`repro.serve.batcher` — dynamic micro-batching: size-or-deadline
-  flushing of same-problem request groups, with a high-priority lane.
+  flushing of one shared cross-problem request group (per-problem
+  grouping remains available for sharded deployments), with a
+  high-priority lane.
 * :mod:`repro.serve.cohort` — lockstep evaluation cohorts: many searches'
-  per-round candidate batches unioned into one prewarmed vectorized
-  oracle query, with bit-identical per-request results.
+  per-round candidate batches — over any mix of problems — unioned into
+  one prewarmed megabatched oracle query, with bit-identical per-request
+  results.
 * :mod:`repro.serve.server` — admission control and backpressure,
   duplicate-request collapsing, a response cache, the worker pool, and
   graceful drain.
@@ -42,7 +45,9 @@ from repro.serve.batcher import (
     MicroBatcher,
     PendingRequest,
     Priority,
+    SHARED_GROUP,
     default_group_key,
+    problem_group_key,
 )
 from repro.serve.codec import (
     problem_from_dict,
@@ -74,7 +79,9 @@ __all__ = [
     "ServeConfig",
     "ServerClosed",
     "ServerOverloaded",
+    "SHARED_GROUP",
     "default_group_key",
+    "problem_group_key",
     "problem_from_dict",
     "problem_to_dict",
     "request_from_dict",

@@ -5,11 +5,12 @@ own.  The server's dispatcher drives it with explicit timestamps, which is
 also what makes the flush policy unit-testable with a fake clock:
 
 * :meth:`MicroBatcher.add` files a pending request under its group key
-  (same problem ⇒ same group ⇒ coalescible into one vectorized evaluation
-  cohort, see :mod:`repro.serve.cohort`) and returns a flushed
-  :class:`Batch` immediately when the group hits ``max_batch`` (size
-  trigger) or the request is high-priority (priority lane: latency beats
-  batching).
+  (by default the one shared group — the cross-problem megabatched cost
+  kernels price any mix of problems in a single pass, so every flushed
+  batch becomes one mixed evaluation cohort, see :mod:`repro.serve.cohort`)
+  and returns a flushed :class:`Batch` immediately when the group hits
+  ``max_batch`` (size trigger) or the request is high-priority (priority
+  lane: latency beats batching).
 * :meth:`MicroBatcher.poll` flushes every group whose oldest member has
   waited ``max_wait_s`` (deadline trigger), so a lone request is never
   stuck behind a batch that isn't filling.
@@ -79,13 +80,29 @@ class Batch:
         return (int(self.priority), min(item.seq for item in self.items))
 
 
-def default_group_key(request: MappingRequest) -> Hashable:
-    """Group by problem identity: one group = one evaluation cohort.
+#: The single batching group every request joins under the default policy.
+SHARED_GROUP: Hashable = "megabatch"
 
-    Requests over the same problem share the batched oracle rounds and the
-    surrogate, whatever their searcher; requests over different problems
-    can't share a stacked evaluation, so batching them together would only
-    add latency.
+
+def default_group_key(request: MappingRequest) -> Hashable:
+    """One shared group: every flushed batch is one mixed cohort.
+
+    The cost kernels megabatch heterogeneous (mapping, problem) lanes in a
+    single pass (:func:`repro.costmodel.batch.evaluate_megabatch`), so
+    requests no longer need to share a problem to share a stacked
+    evaluation — :func:`repro.serve.cohort.serve_batch` unions each cohort
+    round across every live problem in the batch.  Batching everything
+    together therefore maximizes the union the kernels amortize over.
+    """
+    return SHARED_GROUP
+
+
+def problem_group_key(request: MappingRequest) -> Hashable:
+    """Per-problem grouping, for deployments that shard work by problem.
+
+    This was the default before the kernels learned to megabatch across
+    problems; it remains useful when downstream workers are pinned to one
+    problem each (e.g. per-problem surrogate replicas).
     """
     return problem_key(request.problem)
 
@@ -179,5 +196,7 @@ __all__ = [
     "MicroBatcher",
     "PendingRequest",
     "Priority",
+    "SHARED_GROUP",
     "default_group_key",
+    "problem_group_key",
 ]

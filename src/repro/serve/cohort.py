@@ -1,23 +1,29 @@
 """Lockstep evaluation cohorts: many concurrent searches, one oracle batch.
 
-A *cohort* is a set of prepared searches over the same problem, driven
-through the batched ask/tell protocol in lockstep.  Each round, every live
-search proposes its candidate batch; the union of all batches is prewarmed
-into the engine's shared :class:`~repro.costmodel.cache.CachedOracle` with
-a single ``evaluate_many`` — one partitioned cache query, one vectorized
-cost-model pass over the whole union — and then each search's own metered
-budget replays its batch from cache.  Independent requests thereby share
-the wide vectorized path the backend is fastest at (PR 3's batched
-analytical kernels) while every per-search decision stays untouched.
+A *cohort* is a set of prepared searches — over any mix of problems —
+driven through the batched ask/tell protocol in lockstep.  Each round,
+every live search proposes its candidate batch; the union of all batches,
+across **all** live problems, is prewarmed into the engine's shared
+:class:`~repro.costmodel.cache.CachedOracle` with a single
+``prewarm_grouped`` — one partitioned cache query, one cross-problem
+megabatch pass of the cost kernels over the whole union — and then each
+search's own metered budget replays its batch from cache.  Independent
+requests thereby share the wide vectorized path the backend is fastest at
+(the megabatched analytical kernels) while every per-search decision
+stays untouched.  A diverse traffic mix no longer degenerates toward one
+kernel call per distinct problem per round: the round is one call however
+many problems are live.
 
 **Determinism.**  Each member runs *exactly* the generic driver loop of
 :meth:`repro.search.base.Searcher.run` — same reset, same
 ask → ``budget.evaluate_many`` → tell sequence, same budget truncation —
 so the only thing coalescing changes is which inner batch computed a
-cached value first.  The batched cost kernels are row-exact (a mapping's
-row is bitwise independent of its batchmates; pinned by
-``tests/test_serve_cohort.py``), so the values a search is told, and hence
-its full trace and response, are bit-identical to serving it solo.
+cached value first.  The batched cost kernels are row-exact — a mapping's
+row is bitwise independent of its batchmates, including batchmates over
+*other* problems in a megabatched union (pinned by
+``tests/test_serve_cohort.py`` and ``tests/test_costmodel_megabatch.py``)
+— so the values a search is told, and hence its full trace and response,
+are bit-identical to serving it solo.
 
 Cohort-ineligible requests (surrogate-driven searchers whose evaluation is
 already one stacked forward per round, caller-supplied oracles, wall-clock
@@ -37,9 +43,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.costmodel.cache import CachedOracle, problem_key
+from repro.costmodel.cache import CachedOracle
 from repro.engine.engine import (
     MappingEngine,
     MappingRequest,
@@ -56,8 +62,12 @@ from repro.workloads.problem import Problem
 #: pass can't amortize the extra cache bookkeeping (each member's metered
 #: ``evaluate_many`` re-touches every entry the prewarm just inserted) —
 #: e.g. a cohort of sequential SA chains proposes one candidate each, and
-#: merging three singletons buys nothing.  Members still share the cache
-#: either way, so skipping the prewarm never changes any value.
+#: merging three singletons buys nothing.  The floor applies to the whole
+#: *cross-problem* union of a round, not to per-problem slices: the
+#: megabatched kernel runs once for the round, so three problems
+#: contributing three candidates each clear the bar together.  Members
+#: still share the cache either way, so skipping the prewarm never
+#: changes any value.
 MIN_PREWARM_UNION = 8
 
 
@@ -93,13 +103,14 @@ def coalescible(engine: MappingEngine, prepared: PreparedSearch) -> bool:
 
 
 def run_cohort(
-    engine: MappingEngine, members: Sequence[_Member], problem: Problem
+    engine: MappingEngine, members: Sequence[_Member]
 ) -> List[Tuple[_Member, MappingResponse]]:
-    """Drive ``members`` in lockstep over one problem; returns responses.
+    """Drive ``members`` in lockstep; their problems may differ freely.
 
     The per-member loop is the :meth:`Searcher.run` driver verbatim; the
     rounds of different members are interleaved only so their candidate
-    batches can be unioned into one prewarmed oracle query.
+    batches can be unioned — across every live problem in the mix — into
+    one prewarmed oracle query per round.
     """
     oracle = engine.oracle
     search_started = time.perf_counter()
@@ -108,7 +119,8 @@ def run_cohort(
 
     def finish(member: _Member) -> None:
         result = member.budget.result(
-            member.prepared.searcher.name, problem.name
+            member.prepared.searcher.name,
+            member.prepared.request.problem.name,
         )
         response = engine._finalize_search(
             member.prepared, result, time.perf_counter() - search_started
@@ -129,14 +141,23 @@ def run_cohort(
         if not round_pairs:
             break
         if len(round_pairs) > 1:
-            # The whole round in one vectorized pass.  Budget truncation is
-            # anticipated (prefixes only) so the last round never prices
-            # candidates no member will record.
-            union: List[Mapping] = []
+            # The whole round — every member of every problem — in one
+            # cross-problem kernel pass (``prewarm_grouped`` merges members
+            # sharing a problem and issues a single inner megabatch for
+            # the union's misses).  Budget truncation is anticipated
+            # (prefixes only) so the last round never prices candidates no
+            # member will record.
+            groups: List[Tuple[Problem, List[Mapping]]] = []
+            total = 0
             for member, batch in round_pairs:
-                union.extend(batch[: member.budget.remaining])
-            if len(union) >= MIN_PREWARM_UNION:
-                oracle.prewarm(union, problem)
+                take = batch[: member.budget.remaining]
+                if take:
+                    groups.append((member.prepared.request.problem, take))
+                    total += len(take)
+            # The floor gates the whole round's union, not per-problem
+            # slices — the kernel runs once either way.
+            if total >= MIN_PREWARM_UNION:
+                oracle.prewarm_grouped(groups)
         for member, batch in round_pairs:
             values = member.budget.evaluate_many(batch)
             member.prepared.searcher.tell(batch[: len(values)], values)
@@ -151,10 +172,11 @@ def serve_batch(
 
     Surrogates needed anywhere in the batch are materialized up front
     (training is the one engine mutation; front-loading it keeps the rest
-    of the batch read-only on shared state).  Requests are grouped by
-    problem identity; within a group, cohort-eligible searches run in
-    lockstep sharing prewarmed oracle batches, everything else goes
-    through :meth:`MappingEngine.map` unchanged.
+    of the batch read-only on shared state).  Every cohort-eligible
+    search in the batch — whatever its problem — joins **one** mixed
+    cohort whose rounds union candidates across all live problems into a
+    single megabatched prewarm; everything else goes through
+    :meth:`MappingEngine.map` unchanged.
     """
     requests = list(requests)
     algorithms = {
@@ -168,30 +190,24 @@ def serve_batch(
         engine.pipeline_for(algorithm)
 
     responses: List[Optional[MappingResponse]] = [None] * len(requests)
-    groups: Dict[Hashable, List[int]] = {}
+    cohort: List[_Member] = []
     for index, request in enumerate(requests):
-        groups.setdefault(problem_key(request.problem), []).append(index)
-
-    for indices in groups.values():
-        cohort: List[_Member] = []
-        for index in indices:
-            prepared = engine._prepare_search(requests[index])
-            if coalescible(engine, prepared):
-                cohort.append(_Member(index=index, prepared=prepared))
-            else:
-                search_started = time.perf_counter()
-                result = prepared.searcher.run(
-                    requests[index].iterations,
-                    seed=requests[index].seed,
-                    time_budget_s=requests[index].time_budget_s,
-                )
-                responses[index] = engine._finalize_search(
-                    prepared, result, time.perf_counter() - search_started
-                )
-        if cohort:
-            problem = requests[cohort[0].index].problem
-            for member, response in run_cohort(engine, cohort, problem):
-                responses[member.index] = response
+        prepared = engine._prepare_search(request)
+        if coalescible(engine, prepared):
+            cohort.append(_Member(index=index, prepared=prepared))
+        else:
+            search_started = time.perf_counter()
+            result = prepared.searcher.run(
+                request.iterations,
+                seed=request.seed,
+                time_budget_s=request.time_budget_s,
+            )
+            responses[index] = engine._finalize_search(
+                prepared, result, time.perf_counter() - search_started
+            )
+    if cohort:
+        for member, response in run_cohort(engine, cohort):
+            responses[member.index] = response
     unanswered = [i for i, response in enumerate(responses) if response is None]
     if unanswered:  # -O-safe: the gateway must never relay a None response
         raise RuntimeError(

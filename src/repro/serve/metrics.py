@@ -171,13 +171,14 @@ class SizeHistogram:
 
     def observe(self, size: int) -> None:
         size = int(size)
+        # O(1) bucket lookup, held under the metrics lock on every request:
+        # sizes in (2**(k-1), 2**k] land in bucket k, which is exactly
+        # (size - 1).bit_length(); sizes <= 1 (incl. non-positive) land in
+        # bucket 0 and anything past the top bound in the overflow bucket —
+        # the same bucket the linear scan chose for every size.
+        index = min(max(size - 1, 0).bit_length(), len(self._bounds))
         with self._lock:
-            for index, bound in enumerate(self._bounds):
-                if size <= bound:
-                    self._counts[index] += 1
-                    break
-            else:
-                self._counts[-1] += 1
+            self._counts[index] += 1
             self._total += 1
             self._sum += size
 

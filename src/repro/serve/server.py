@@ -14,10 +14,12 @@
   their own tag.  A small LRU response cache extends the same idea across
   time.
 * **Micro-batching** — admitted requests flow through a
-  :class:`~repro.serve.batcher.MicroBatcher` grouping same-problem
-  requests, flushed on size, deadline, or high-priority arrival, then
-  served by :func:`~repro.serve.cohort.serve_batch` so the whole batch
-  shares vectorized oracle rounds.
+  :class:`~repro.serve.batcher.MicroBatcher` coalescing requests across
+  *all* problems into one shared group (the megabatched cost kernels
+  price a mixed union in a single pass), flushed on size, deadline, or
+  high-priority arrival, then served by
+  :func:`~repro.serve.cohort.serve_batch` whose cohort rounds union every
+  live problem into a single prewarmed kernel call.
 * **Workers** — a small thread pool drains flushed batches in
   ``(priority, arrival)`` order; per-request responses are bit-identical
   to solo serving regardless of scheduling (seeded requests + row-exact
@@ -243,9 +245,10 @@ class MappingServer:
                             # A HIGH duplicate must not wait out the
                             # batching delay behind its NORMAL leader.
                             # Flush the leader's group only if the leader
-                            # is actually still in it (a newer same-problem
-                            # group must not jump the queue by accident);
-                            # otherwise upgrade the queued job carrying it.
+                            # is actually still in it (a newer batch in
+                            # the same group must not jump the queue by
+                            # accident); otherwise upgrade the queued job
+                            # carrying it.
                             group = default_group_key(request)
                             if self._batcher.group_has_key(group, key):
                                 flushed = self._batcher.flush_group(group, now)

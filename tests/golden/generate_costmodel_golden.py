@@ -12,6 +12,12 @@ reference model; the mapping itself and the complete
 :class:`~repro.costmodel.stats.CostStats` are frozen to
 ``costmodel_golden.json``.  ``tests/test_costmodel_golden.py`` asserts both
 the scalar and batched backends still reproduce every frozen number.
+
+A second fixture, ``megabatch_golden.json``, freezes a *mixed* batch — two
+canonical mappings per Table 1 workload, lanes interleaved across problems
+— evaluated by the scalar model.  The golden test drives the same lanes
+through the cross-problem megabatch backend, guarding the padded/masked
+union layout against drift.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from repro.workloads import TABLE1_PROBLEMS
 CANONICAL_SEED = 2021
 
 GOLDEN_PATH = Path(__file__).parent / "costmodel_golden.json"
+MEGABATCH_GOLDEN_PATH = Path(__file__).parent / "megabatch_golden.json"
 
 
 def build_golden() -> dict:
@@ -62,6 +69,46 @@ def build_golden() -> dict:
     }
 
 
+def build_megabatch_golden() -> dict:
+    """A frozen mixed batch: two canonical lanes per workload, interleaved.
+
+    Interleaving (lane ``i`` of every problem before lane ``i + 1`` of any)
+    keeps the fixture sensitive to cross-problem row bookkeeping — a
+    group-major shuffle bug cannot cancel out.  Values come from the
+    *scalar* model; the golden test replays the lanes through
+    ``evaluate_megabatch``.
+    """
+    accelerator = default_accelerator()
+    model = CostModel(accelerator)
+    lanes = []
+    for offset in range(2):
+        for problem in TABLE1_PROBLEMS:
+            mapping = MapSpace(problem, accelerator).sample(
+                CANONICAL_SEED + offset
+            )
+            stats = model.evaluate(mapping, problem)
+            lanes.append(
+                {
+                    "problem": problem.name,
+                    "mapping": mapping.to_dict(),
+                    "edp": stats.edp,
+                    "cycles": stats.cycles,
+                    "utilization": stats.utilization,
+                    "total_energy_pj": stats.total_energy_pj,
+                    "noc_energy_pj": stats.noc_energy_pj,
+                }
+            )
+    return {
+        "accelerator_fingerprint": accelerator.fingerprint(),
+        "canonical_seed": CANONICAL_SEED,
+        "lanes": lanes,
+    }
+
+
 if __name__ == "__main__":
     GOLDEN_PATH.write_text(json.dumps(build_golden(), indent=1) + "\n")
     print(f"wrote {GOLDEN_PATH}")
+    MEGABATCH_GOLDEN_PATH.write_text(
+        json.dumps(build_megabatch_golden(), indent=1) + "\n"
+    )
+    print(f"wrote {MEGABATCH_GOLDEN_PATH}")

@@ -273,6 +273,35 @@ class TestBatchSurfaces:
         assert cost_model.evaluate_many([], cnn_problem) == []
         assert edp_batch(accelerator, [], cnn_problem).shape == (0,)
 
+    def test_empty_batch_full_stats(self, cnn_problem, accelerator):
+        """Regression: the full-statistics path used to die in the energy
+        reshape on a zero-row batch; it must return a well-formed empty
+        ``BatchCostStats`` instead."""
+        stats = evaluate_batch(accelerator, [], cnn_problem)
+        assert len(stats) == 0
+        assert stats.accesses.shape[0] == 0
+        for name in (
+            "energies_pj",
+            "memory_energy_pj",
+            "noc_energy_pj",
+            "total_energy_pj",
+            "energy_j",
+            "delay_s",
+            "edp",
+        ):
+            assert getattr(stats, name).shape[0] == 0
+        order = tuple(t.name for t in cnn_problem.tensors)
+        assert stats.meta_matrix(order).shape == (0, 3 * len(order) + 3)
+
+    def test_stats_at_rejects_negative_and_overflow(self, cnn_batch):
+        """Regression: ``stats_at(-1)`` used to wrap around via numpy's
+        negative indexing and silently serve the last row."""
+        population, batch_stats = cnn_batch
+        with pytest.raises(IndexError):
+            batch_stats.stats_at(-1)
+        with pytest.raises(IndexError):
+            batch_stats.stats_at(len(population))
+
     def test_single_mapping_batch(self, cnn_problem, accelerator, cost_model):
         mapping = MapSpace(cnn_problem, accelerator).sample(5)
         (value,) = cost_model.evaluate_many([mapping], cnn_problem)

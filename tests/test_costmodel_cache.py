@@ -471,3 +471,157 @@ class TestConcurrentHammer:
         # Every metered query is exactly one hit or one miss, races included.
         assert stats.hits + stats.misses == sum(queries)
         assert stats.size <= 16
+
+
+class _CountingInner:
+    """CostModel proxy that counts which inner pricing entry point ran."""
+
+    def __init__(self, model, megabatch=True):
+        self.model = model
+        self.mega_calls = 0
+        self.many_calls = 0
+        self.batch_calls = 0
+        if not megabatch:
+            # Hide the megabatch path: CachedOracle probes with getattr.
+            self.evaluate_megabatch = None
+
+    def evaluate(self, mapping, problem):
+        return self.model.evaluate(mapping, problem)
+
+    def evaluate_edp(self, mapping, problem):
+        return self.model.evaluate_edp(mapping, problem)
+
+    def evaluate_many(self, mappings, problem):
+        self.many_calls += 1
+        return self.model.evaluate_many(mappings, problem)
+
+    def evaluate_batch(self, mappings, problem):
+        self.batch_calls += 1
+        return self.model.evaluate_batch(mappings, problem)
+
+    def evaluate_megabatch(self, mappings, problems):
+        self.mega_calls += 1
+        return self.model.evaluate_megabatch(mappings, problems)
+
+
+class TestGroupedPaths:
+    """Cross-problem unions: one inner kernel call for a whole round."""
+
+    @pytest.fixture()
+    def three_groups(self, cnn_problem, gemm_problem, mttkrp_problem, accelerator):
+        from repro.mapspace import MapSpace
+
+        problems = (cnn_problem, gemm_problem, mttkrp_problem)
+        return [
+            (p, MapSpace(p, accelerator).sample_many(4, seed=13 + i))
+            for i, p in enumerate(problems)
+        ]
+
+    def test_prewarm_grouped_single_inner_call(self, cost_model, three_groups):
+        inner = _CountingInner(cost_model)
+        oracle = CachedOracle(inner)
+        inserted = oracle.prewarm_grouped(three_groups)
+        assert inserted == sum(len(ms) for _, ms in three_groups)
+        # The whole three-problem round took exactly ONE inner kernel call.
+        assert inner.mega_calls == 1
+        assert inner.many_calls == 0 and inner.batch_calls == 0
+        stats = oracle.stats()
+        assert stats.prewarmed == inserted
+        assert stats.hits == 0 and stats.misses == 0
+        # Prewarmed values answer metered queries as hits, bit-identical.
+        for problem, mappings in three_groups:
+            values = oracle.evaluate_many(mappings, problem)
+            expected = cost_model.evaluate_many(mappings, problem)
+            assert values == expected
+        assert inner.mega_calls == 1  # nothing re-priced
+        assert oracle.stats().hits == inserted
+
+    def test_prewarm_grouped_merges_repeated_problems(
+        self, cost_model, cnn_problem, cnn_space
+    ):
+        inner = _CountingInner(cost_model)
+        oracle = CachedOracle(inner)
+        sampled = cnn_space.sample_many(6, seed=21)
+        inserted = oracle.prewarm_grouped(
+            [(cnn_problem, sampled[:3]), (cnn_problem, sampled[3:] + sampled[:1])]
+        )
+        assert inserted == 6  # the repeated mapping inserts once
+        # One merged group -> the single-group fallback, still one call.
+        assert inner.mega_calls + inner.many_calls + inner.batch_calls == 1
+
+    def test_evaluate_many_grouped_values_and_counters(
+        self, cost_model, three_groups
+    ):
+        inner = _CountingInner(cost_model)
+        oracle = CachedOracle(inner)
+        # Warm part of the first group so the union mixes hits and misses.
+        warm_problem, warm_mappings = three_groups[0]
+        oracle.prewarm(warm_mappings[:2], warm_problem)
+        inner.mega_calls = inner.many_calls = inner.batch_calls = 0
+
+        lanes = [
+            (mapping, problem)
+            for problem, mappings in three_groups
+            for mapping in mappings
+        ]
+        lanes.append(lanes[0])  # in-batch duplicate -> hit
+        mappings = [m for m, _ in lanes]
+        problems = [p for _, p in lanes]
+        values = oracle.evaluate_many_grouped(mappings, problems)
+        expected = [
+            cost_model.evaluate_edp(m, p) for m, p in zip(mappings, problems)
+        ]
+        assert values == pytest.approx(expected, rel=1e-12)
+        # All three problems' misses went through one megabatch call.
+        assert inner.mega_calls == 1
+        assert inner.many_calls == 0 and inner.batch_calls == 0
+        stats = oracle.stats()
+        assert stats.hits == 3  # two prewarmed + one in-batch duplicate
+        assert stats.misses == len(lanes) - 3
+
+    def test_evaluate_many_grouped_misaligned_raises(self, cost_model, cnn_space):
+        oracle = CachedOracle(cost_model)
+        with pytest.raises(ValueError, match="misaligned"):
+            oracle.evaluate_many_grouped(cnn_space.sample_many(2, seed=1), [])
+
+    def test_grouped_fallback_without_megabatch_backend(
+        self, cost_model, three_groups
+    ):
+        inner = _CountingInner(cost_model, megabatch=False)
+        oracle = CachedOracle(inner)
+        inserted = oracle.prewarm_grouped(three_groups)
+        assert inserted == sum(len(ms) for _, ms in three_groups)
+        assert inner.many_calls == len(three_groups)  # per-group loop
+        for problem, mappings in three_groups:
+            assert oracle.evaluate_many(mappings, problem) == cost_model.evaluate_many(
+                mappings, problem
+            )
+
+    def test_grouped_listener_gets_per_problem_slices(
+        self, cost_model, three_groups
+    ):
+        from repro.costmodel import BatchCostStats
+
+        inner = _CountingInner(cost_model)
+        oracle = CachedOracle(inner)
+        taps = []
+        oracle.set_miss_listener(
+            lambda problem, mappings, edps, stats: taps.append(
+                (problem, list(mappings), list(edps), stats)
+            )
+        )
+        oracle.prewarm_grouped(three_groups)
+        assert inner.mega_calls == 1
+        assert [tap[0].name for tap in taps] == [
+            p.name for p, _ in three_groups
+        ]
+        for (problem, mappings), (_, tap_mappings, edps, stats) in zip(
+            three_groups, taps
+        ):
+            assert tap_mappings == list(mappings)
+            assert isinstance(stats, BatchCostStats)
+            assert stats.problem_name == problem.name
+            assert len(stats) == len(mappings)
+            reference = cost_model.evaluate_batch(mappings, problem)
+            assert list(stats.edp) == list(reference.edp)
+            assert edps == list(stats.edp)

@@ -19,12 +19,13 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.costmodel import CostModel, evaluate_batch
+from repro.costmodel import CostModel, evaluate_batch, evaluate_megabatch
 from repro.costmodel.accelerator import default_accelerator
 from repro.mapspace.mapping import Mapping
 from repro.workloads import TABLE1_PROBLEMS, problem_by_name
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "costmodel_golden.json"
+MEGABATCH_GOLDEN_PATH = Path(__file__).parent / "golden" / "megabatch_golden.json"
 
 #: Tight tolerance: the fixtures were produced by this code on this
 #: arithmetic; anything beyond a few ulps of platform noise is drift.
@@ -78,3 +79,41 @@ def test_batch_backend_reproduces_golden(name):
     mapping = Mapping.from_dict(entry["mapping"])
     batch_stats = evaluate_batch(_ACCELERATOR, [mapping], problem_by_name(name))
     _check_stats(batch_stats.stats_at(0), entry["stats"])
+
+
+# ----------------------------------------------------------------------
+# Frozen mixed batch: the cross-problem megabatch backend vs. the fixture
+# ----------------------------------------------------------------------
+
+MEGABATCH_GOLDEN = json.loads(MEGABATCH_GOLDEN_PATH.read_text())
+
+
+def test_megabatch_fixture_covers_every_workload_twice():
+    names = [lane["problem"] for lane in MEGABATCH_GOLDEN["lanes"]]
+    assert sorted(names) == sorted([p.name for p in TABLE1_PROBLEMS] * 2)
+    assert MEGABATCH_GOLDEN["accelerator_fingerprint"] == _ACCELERATOR.fingerprint()
+
+
+def test_megabatch_backend_reproduces_golden_mixed_batch():
+    lanes = MEGABATCH_GOLDEN["lanes"]
+    mappings = [Mapping.from_dict(lane["mapping"]) for lane in lanes]
+    problems = [problem_by_name(lane["problem"]) for lane in lanes]
+    mega = evaluate_megabatch(_ACCELERATOR, mappings, problems)
+    assert len(mega) == len(lanes)
+    for index, lane in enumerate(lanes):
+        np.testing.assert_allclose(mega.edp[index], lane["edp"], rtol=GOLDEN_RTOL)
+        np.testing.assert_allclose(
+            mega.cycles[index], lane["cycles"], rtol=GOLDEN_RTOL
+        )
+        np.testing.assert_allclose(
+            mega.utilization[index], lane["utilization"], rtol=GOLDEN_RTOL
+        )
+        np.testing.assert_allclose(
+            mega.total_energy_pj[index], lane["total_energy_pj"], rtol=GOLDEN_RTOL
+        )
+        np.testing.assert_allclose(
+            mega.noc_energy_pj[index], lane["noc_energy_pj"], rtol=GOLDEN_RTOL
+        )
+        row = mega.stats_at(index)
+        assert row.problem_name == lane["problem"]
+        np.testing.assert_allclose(row.edp, lane["edp"], rtol=GOLDEN_RTOL)

@@ -5,7 +5,7 @@ from concurrent.futures import Future
 import pytest
 
 from repro.engine import MappingRequest
-from repro.serve import MicroBatcher, PendingRequest, Priority
+from repro.serve import MicroBatcher, PendingRequest, Priority, problem_group_key
 from repro.workloads import make_conv1d, problem_by_name
 
 PROBLEM_A = make_conv1d("batcher_a", w=32, r=3)
@@ -28,8 +28,25 @@ class TestSizeTrigger:
         assert len(batch) == 3
         assert batcher.depth == 0
 
-    def test_groups_fill_independently(self):
+    def test_default_group_mixes_problems(self):
+        """The default policy batches across problems: the megabatched
+        kernels price a mixed union in one pass, so a cross-problem pair
+        fills (and flushes) one shared group."""
         batcher = MicroBatcher(max_batch=2, max_wait_s=10.0)
+        assert batcher.add(_pending(PROBLEM_A, seed=0), now=0.0) is None
+        batch = batcher.add(_pending(PROBLEM_B, seed=1), now=0.0)
+        assert batch is not None
+        assert batch.trigger == "size"
+        assert {p.request.problem.name for p in batch.items} == {
+            PROBLEM_A.name,
+            PROBLEM_B.name,
+        }
+        assert batcher.depth == 0
+
+    def test_problem_groups_fill_independently(self):
+        batcher = MicroBatcher(
+            max_batch=2, max_wait_s=10.0, group_key=problem_group_key
+        )
         assert batcher.add(_pending(PROBLEM_A, seed=0), now=0.0) is None
         assert batcher.add(_pending(PROBLEM_B, seed=1), now=0.0) is None
         assert batcher.depth == 2
@@ -97,7 +114,9 @@ class TestPriorityLane:
 
 class TestDrain:
     def test_flush_all_empties_every_group(self):
-        batcher = MicroBatcher(max_batch=100, max_wait_s=10.0)
+        batcher = MicroBatcher(
+            max_batch=100, max_wait_s=10.0, group_key=problem_group_key
+        )
         batcher.add(_pending(PROBLEM_A, seed=0), now=0.0)
         batcher.add(_pending(PROBLEM_B, seed=1), now=0.0)
         batches = batcher.flush_all(now=0.0)
@@ -114,8 +133,10 @@ class TestValidation:
         with pytest.raises(ValueError):
             MicroBatcher(max_wait_s=-1.0)
 
-    def test_group_key_separates_zoo_problems(self):
-        batcher = MicroBatcher(max_batch=2, max_wait_s=10.0)
+    def test_problem_group_key_separates_zoo_problems(self):
+        batcher = MicroBatcher(
+            max_batch=2, max_wait_s=10.0, group_key=problem_group_key
+        )
         batcher.add(_pending(problem_by_name("BERT_QKV"), seed=0), now=0.0)
         batcher.add(_pending(problem_by_name("BERT_FFN1"), seed=1), now=0.0)
-        assert batcher.depth == 2  # different GEMM shapes never coalesce
+        assert batcher.depth == 2  # sharded policy keeps GEMM shapes apart

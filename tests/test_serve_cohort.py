@@ -134,3 +134,91 @@ class TestServeBatch:
         for left, right in zip(solo, batched):
             assert left.mapping == right.mapping
             assert left.n_evaluations == right.n_evaluations
+
+
+class _CountingInner:
+    """CostModel proxy counting which inner pricing entry point ran."""
+
+    def __init__(self, model):
+        self.model = model
+        self.mega_calls = 0
+        self.many_calls = 0
+        self.batch_calls = 0
+
+    def evaluate(self, mapping, problem):
+        return self.model.evaluate(mapping, problem)
+
+    def evaluate_edp(self, mapping, problem):
+        return self.model.evaluate_edp(mapping, problem)
+
+    def evaluate_many(self, mappings, problem):
+        self.many_calls += 1
+        return self.model.evaluate_many(mappings, problem)
+
+    def evaluate_batch(self, mappings, problem):
+        self.batch_calls += 1
+        return self.model.evaluate_batch(mappings, problem)
+
+    def evaluate_megabatch(self, mappings, problems):
+        self.mega_calls += 1
+        return self.model.evaluate_megabatch(mappings, problems)
+
+
+class TestCrossProblemCohort:
+    """A mixed round is ONE kernel call, and answers stay bit-identical."""
+
+    PROBLEMS = (
+        make_conv1d("cohort_mix_a", w=32, r=5),
+        problem_by_name("BERT_QKV"),
+        problem_by_name("ResNet_Conv3"),
+    )
+
+    def _requests(self, iterations=24):
+        return [
+            MappingRequest(problem, searcher="random", iterations=iterations,
+                           seed=index)
+            for index, problem in enumerate(self.PROBLEMS)
+        ]
+
+    def test_mixed_round_is_one_kernel_call(self):
+        from repro.costmodel import CachedOracle
+
+        accelerator = small_accelerator()
+        inner = _CountingInner(CostModel(accelerator))
+        engine = MappingEngine(
+            accelerator, EngineConfig(), oracle=CachedOracle(inner)
+        )
+        requests = self._requests()
+        responses = serve_batch(engine, requests)
+        # The three-problem round's misses were priced by exactly one
+        # inner cost-kernel call — the cross-problem megabatch.
+        assert inner.mega_calls == 1
+        assert inner.many_calls == 0 and inner.batch_calls == 0
+        stats = engine.oracle.stats()
+        assert stats.hits == 3 * 24  # every metered evaluation was prewarmed
+        assert stats.misses == 3  # only the final per-request reporting
+        # Responses are bit-identical to solo serving on a fresh engine.
+        solo_engine = MappingEngine(accelerator, EngineConfig())
+        for request, response in zip(requests, responses):
+            solo = solo_engine.map(request)
+            assert solo.mapping == response.mapping
+            assert solo.stats.edp == response.stats.edp
+            assert (
+                solo.result.objective_values == response.result.objective_values
+            )
+
+    def test_union_floor_gates_whole_round(self):
+        """Below MIN_PREWARM_UNION *in total* no prewarm fires — and the
+        responses are still bit-identical to solo serving."""
+        accelerator = small_accelerator()
+        engine = MappingEngine(accelerator, EngineConfig())
+        requests = self._requests(iterations=2)  # union of 6 < 8
+        responses = serve_batch(engine, requests)
+        stats = engine.oracle.stats()
+        assert stats.prewarmed == 0
+        assert stats.hits == 0
+        solo_engine = MappingEngine(accelerator, EngineConfig())
+        for request, response in zip(requests, responses):
+            solo = solo_engine.map(request)
+            assert solo.mapping == response.mapping
+            assert solo.stats.edp == response.stats.edp

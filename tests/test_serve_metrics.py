@@ -72,6 +72,29 @@ class TestSizeHistogram:
         assert snapshot["mean"] is None
         assert snapshot["buckets"] == {}
 
+    @pytest.mark.parametrize("top", [1, 4, 8, 256])
+    def test_bit_length_bucketing_matches_linear_scan(self, top):
+        """The O(1) ``bit_length`` bucket must be snapshot-identical to the
+        linear bound scan it replaced, for every size from 0 through past
+        the top bound (including the non-positive clamp and overflow)."""
+
+        def linear_index(size, bounds):
+            for i, bound in enumerate(bounds):
+                if size <= bound:
+                    return i
+            return len(bounds)
+
+        reference = SizeHistogram(top=top)
+        fast = SizeHistogram(top=top)
+        bounds = list(reference._bounds)
+        for size in range(-2, 2 * top + 2):
+            fast.observe(size)
+            reference._counts[linear_index(size, bounds)] += 1
+            reference._total += 1
+            reference._sum += size
+        assert fast.snapshot() == reference.snapshot()
+        assert fast._counts == reference._counts
+
 
 class TestLatencyTracker:
     def test_snapshot_fields_in_ms(self):
