@@ -5,7 +5,9 @@ Rule families and their id ranges:
 * ``RPR0xx`` — concurrency (:mod:`~repro.analysis.rules.concurrency`,
   :mod:`~repro.analysis.rules.lockorder`,
   :mod:`~repro.analysis.rules.lifecycle`),
-* ``RPR1xx`` — determinism (:mod:`~repro.analysis.rules.determinism`),
+* ``RPR1xx`` — determinism (:mod:`~repro.analysis.rules.determinism`)
+  and observability clock injection
+  (:mod:`~repro.analysis.rules.observability`),
 * ``RPR2xx`` — API surface (:mod:`~repro.analysis.rules.exports`),
 * ``RPR9xx`` — meta (reserved; RPR900 is emitted by the suppression
   parser itself, see :mod:`repro.analysis.suppress`).
@@ -17,6 +19,14 @@ from repro.analysis.rules import (  # noqa: F401 — registration side effects
     exports,
     lifecycle,
     lockorder,
+    observability,
 )
 
-__all__ = ["concurrency", "determinism", "exports", "lifecycle", "lockorder"]
+__all__ = [
+    "concurrency",
+    "determinism",
+    "exports",
+    "lifecycle",
+    "lockorder",
+    "observability",
+]

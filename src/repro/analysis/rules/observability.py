@@ -1,0 +1,84 @@
+"""Observability rules: the clock-injection contract of the tracing stack.
+
+* **RPR105** — a direct ``time.*`` clock read inside the observability
+  modules (``repro/obs/`` and ``serve/metrics.py``).  Those modules must
+  take an injected :class:`repro.obs.trace.Clock` so tests drive them on
+  a :class:`~repro.obs.trace.FakeClock` and every timestamp in a trace
+  comes from one auditable source; the single real read lives in
+  ``MonotonicClock.__call__`` under an explained pragma.  RPR102 already
+  bans *wall-clock* reads everywhere — this rule additionally bans the
+  monotonic family, but only where the Clock seam exists.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Rule, register_rule
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+from repro.analysis.rules.determinism import _all_calls, _receiver
+
+#: Every ``time`` module function that reads a clock.
+_CLOCK_READS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "thread_time",
+    "thread_time_ns",
+}
+
+
+def _in_scope(relpath: str) -> bool:
+    normalized = relpath.replace("\\", "/")
+    return (
+        "repro/obs/" in normalized
+        or normalized.endswith("serve/metrics.py")
+    )
+
+
+@register_rule
+class UninjectedClockRead(Rule):
+    rule_id = "RPR105"
+    name = "clock-injection"
+    summary = "direct time.* read in an observability module"
+    rationale = (
+        "Trace spans and metrics timestamps must come from the injected "
+        "Clock (repro.obs.trace.Clock): tests then run the whole tracing "
+        "stack on a FakeClock, and every duration in a span tree is "
+        "attributable to one audited clock source.  A stray "
+        "time.monotonic()/perf_counter() call bypasses the seam and makes "
+        "stage breakdowns untestable."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not _in_scope(ctx.relpath):
+            return
+        for call in _all_calls(ctx.tree):
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if _receiver(func.value) != "time":
+                continue
+            if func.attr not in _CLOCK_READS:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=call.lineno,
+                col=call.col_offset,
+                message=(
+                    f"direct clock read time.{func.attr}() in an "
+                    "observability module; take an injected Clock "
+                    "(repro.obs.trace.Clock) instead"
+                ),
+            )
+
+
+__all__ = ["UninjectedClockRead"]

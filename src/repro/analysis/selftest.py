@@ -233,6 +233,28 @@ def scan(root):
     return [path.name for path in sorted(root.iterdir())]
 ''',
     ),
+    "RPR105": (
+        '''\
+import time
+
+
+class LatencyTracker:
+    def __init__(self):
+        self._started = time.monotonic()
+
+    def elapsed(self):
+        return time.perf_counter() - self._started
+''',
+        '''\
+class LatencyTracker:
+    def __init__(self, clock):
+        self._clock = clock
+        self._started = clock()
+
+    def elapsed(self):
+        return self._clock() - self._started
+''',
+    ),
     "RPR201": (
         '''\
 __all__ = ["frobnicate"]
@@ -272,8 +294,16 @@ def deadline(budget_s):
 }
 
 
+#: Path-scoped rules only fire under particular directories; their
+#: fixtures must be written at an in-scope relative path.
+FIXTURE_PATHS: Dict[str, str] = {
+    "RPR105": "repro/obs/case.py",
+}
+
+
 def _run_case(rule_id: str, source: str, workdir: Path) -> List[str]:
-    case = workdir / "case.py"
+    case = workdir / FIXTURE_PATHS.get(rule_id, "case.py")
+    case.parent.mkdir(parents=True, exist_ok=True)
     case.write_text(source, encoding="utf-8")
     result = analyze([case], select=[rule_id], root=workdir)
     return [f.rule_id for f in result.findings]
@@ -305,4 +335,4 @@ def run_selftest(stream=None) -> int:
     return 0
 
 
-__all__ = ["FIXTURES", "run_selftest"]
+__all__ = ["FIXTURES", "FIXTURE_PATHS", "run_selftest"]

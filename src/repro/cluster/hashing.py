@@ -26,8 +26,14 @@ import bisect
 import hashlib
 from typing import Dict, Hashable, List
 
-from repro.costmodel.cache import problem_key
-from repro.workloads.problem import Problem
+# The routing key: a stable hex digest of the canonical problem key.
+# Canonically defined next to ``problem_key`` in repro.costmodel.cache (so
+# the serving layer can label per-problem metrics without importing this
+# package) and re-exported here because routing is its historical home.
+# The request's searcher/seed/config are deliberately excluded from the
+# digest: every request for a problem must meet that problem's caches,
+# whatever search it asks for.
+from repro.costmodel.cache import problem_fingerprint  # noqa: F401
 
 
 def stable_digest(payload: str) -> int:
@@ -35,20 +41,6 @@ def stable_digest(payload: str) -> int:
     return int.from_bytes(
         hashlib.sha256(payload.encode("utf-8")).digest()[:8], "big"
     )
-
-
-def problem_fingerprint(problem: Problem) -> str:
-    """The routing key: a stable hex digest of the canonical problem key.
-
-    Built on :func:`repro.costmodel.cache.problem_key` — the same identity
-    the oracle cache and replay reservoirs use — so "same fingerprint"
-    means "same caches apply".  The request's searcher/seed/config are
-    deliberately excluded: every request for a problem must meet that
-    problem's caches, whatever search it asks for.
-    """
-    return hashlib.sha256(
-        repr(problem_key(problem)).encode("utf-8")
-    ).hexdigest()[:16]
 
 
 class HashRing:

@@ -42,8 +42,10 @@ from typing import Dict, List, Optional
 from repro.costmodel.accelerator import Accelerator
 from repro.engine.engine import EngineConfig, MappingRequest, MappingResponse
 from repro.engine.registry import resolve_searcher
+from repro.obs import events as obs_events
+from repro.obs.trace import TraceHandle, Tracer
 from repro.serve.batcher import Priority
-from repro.serve.codec import request_to_dict, response_from_dict
+from repro.serve.codec import request_to_dict, response_from_dict, trace_to_dict
 from repro.serve.metrics import Counter, LatencyTracker
 from repro.serve.server import ServeConfig, ServerClosed, ServerOverloaded
 from repro.cluster.hashing import HashRing, problem_fingerprint
@@ -87,8 +89,16 @@ class ClusterConfig:
     #: engine construction; surrogates still train lazily afterwards).
     spawn_timeout_s: float = 120.0
     drain_timeout_s: float = 30.0
+    #: Router-side tracing: every routed request gets a trace whose shard
+    #: spans are merged back in (shards trace per their own ServeConfig).
+    tracing: bool = True
+    trace_capacity: int = 512
 
     def __post_init__(self) -> None:
+        if self.trace_capacity < 1:
+            raise ValueError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
         if self.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
         if self.max_inflight < 1:
@@ -166,6 +176,10 @@ class ClusterRouter:
         }
         self._monitor: Optional[threading.Thread] = None
         self._monitor_wake = threading.Event()
+        self.tracer = Tracer(
+            enabled=self.config.tracing,
+            max_traces=self.config.trace_capacity,
+        )
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -328,18 +342,31 @@ class ClusterRouter:
         with self._lock:
             if self._inflight >= self.config.max_inflight:
                 self.counters["rejected"].inc()
-                raise ServerOverloaded(
-                    retry_after_s=max(
-                        1.0, self._inflight / (10.0 * len(self._handles))
-                    ),
-                    depth=self._inflight,
+                retry_after = max(
+                    1.0, self._inflight / (10.0 * len(self._handles))
                 )
-            self._inflight += 1
+                depth = self._inflight
+            else:
+                retry_after = None
+                depth = 0
+                self._inflight += 1
+        if retry_after is not None:
+            obs_events.emit(
+                "overloaded", where="router", depth=depth,
+                retry_after_s=retry_after,
+            )
+            raise ServerOverloaded(retry_after_s=retry_after, depth=depth)
         self.counters["submitted"].inc()
+        handle = self.tracer.start_trace(
+            "cluster.request",
+            problem=request.problem.name,
+            searcher=request.searcher,
+            tag=request.tag,
+        )
         enqueued = time.monotonic()
         try:
             return self._executor.submit(
-                self._dispatch, request, payload, enqueued
+                self._dispatch, request, payload, enqueued, handle
             )
         except BaseException:
             with self._lock:
@@ -357,7 +384,11 @@ class ClusterRouter:
         return self.submit(request, priority=priority).result(timeout=timeout)
 
     def _dispatch(
-        self, request: MappingRequest, payload: Dict, enqueued: float
+        self,
+        request: MappingRequest,
+        payload: Dict,
+        enqueued: float,
+        trace: Optional[TraceHandle] = None,
     ) -> MappingResponse:
         """Executor body: walk the failover chain until a shard answers."""
         try:
@@ -370,9 +401,23 @@ class ClusterRouter:
                     pool = handle.pool if handle.live else None
                 if pool is None:
                     continue
+                # One "shard.rpc" span per attempt: failed attempts stay in
+                # the tree as closed siblings carrying the error, so a
+                # failover reads as hop -> hop under the router's root.
+                rpc_span = None
+                attempt_payload = payload
+                if trace is not None and not trace.closed:
+                    rpc_span = trace.open_span(
+                        "shard.rpc", shard=shard_id, attempt=attempt
+                    )
+                    attempt_payload = dict(payload)
+                    attempt_payload["trace"] = trace_to_dict(
+                        trace.trace_id, rpc_span
+                    )
                 try:
                     reply = pool.call(
-                        payload, timeout_s=self.config.request_timeout_s
+                        attempt_payload,
+                        timeout_s=self.config.request_timeout_s,
                     )
                 except (ConnectionError, OSError, RuntimeError) as error:
                     # The shard is gone or its stream broke mid-call.
@@ -381,6 +426,10 @@ class ClusterRouter:
                     # in the chain; the monitor will respawn this one.
                     last_error = error
                     self.counters["rpc_failures"].inc()
+                    if trace is not None:
+                        trace.close_span(
+                            rpc_span, error=type(error).__name__
+                        )
                     with handle.lock:
                         handle.failures += 1
                     self._monitor_wake.set()
@@ -389,10 +438,39 @@ class ClusterRouter:
                     # Draining shard (respawn window): its keys are welcome
                     # on the next shard in the chain until it's back.
                     last_error = ServerClosed(str(reply.get("error")))
+                    if trace is not None:
+                        trace.close_span(rpc_span, error="closed")
                     continue
                 if attempt > 0:
                     self.counters["failovers"].inc()
-                return self._decode_reply(reply, shard_id)
+                    obs_events.emit(
+                        "failover",
+                        problem=request.problem.name,
+                        served_by=shard_id,
+                        attempts=attempt + 1,
+                    )
+                if trace is not None:
+                    self.tracer.ingest(reply.get("spans") or [])
+                    trace.close_span(rpc_span)
+                response = self._decode_reply(reply, shard_id)
+                if trace is not None and not trace.closed:
+                    finished = trace.now()
+                    trace.annotate(shard=shard_id)
+                    trace.finish(end=finished)
+                    # The shard's stage breakdown plus the router's own
+                    # share (queueing + RPC + decode) sums to the
+                    # end-to-end latency this caller observed.
+                    shard_stages = dict(response.stages or {})
+                    shard_stages["router_overhead_s"] = max(
+                        (finished - enqueued) - sum(shard_stages.values()),
+                        0.0,
+                    )
+                    response = replace(
+                        response,
+                        trace_id=trace.trace_id,
+                        stages=shard_stages,
+                    )
+                return response
             self.counters["errors"].inc()
             raise NoLiveShards(
                 f"no live shard could serve {request.problem.name!r} "
@@ -401,6 +479,9 @@ class ClusterRouter:
         except BaseException as error:
             if not isinstance(error, NoLiveShards):
                 self.counters["errors"].inc()
+            if trace is not None and not trace.closed:
+                trace.annotate(error=type(error).__name__)
+                trace.finish()
             raise
         finally:
             self.latency.observe(time.monotonic() - enqueued)
@@ -460,7 +541,10 @@ class ClusterRouter:
         if not dead:
             return
         with handle.lock:
+            was_live = handle.live
             handle.live = False
+        if was_live:
+            obs_events.emit("shard_down", shard=handle.shard_id)
         if not self.config.respawn or not self._accepting:
             return
         # Same shard id — the ring is untouched; only the address changes.
@@ -473,6 +557,12 @@ class ClusterRouter:
             return  # next monitor pass retries
         handle.respawns += 1
         self.counters["respawns"].inc()
+        obs_events.emit(
+            "shard_respawned",
+            shard=handle.shard_id,
+            pid=handle.pid,
+            respawns=handle.respawns,
+        )
 
     # ------------------------------------------------------------------
     # Fleet introspection
@@ -547,6 +637,31 @@ class ClusterRouter:
             },
             "shards": shards,
         }
+
+    def trace_snapshot(self, trace_id: str) -> Optional[Dict[str, object]]:
+        """One routed request's merged tree (router spans + shard spans)."""
+        return self.tracer.snapshot(trace_id)
+
+    def events_snapshot(
+        self, kind: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[Dict[str, object]]:
+        """Fleet event log: router-side events plus every reachable
+        shard's, each stamped with its ``source``.  Events are grouped by
+        source (per-process monotonic timestamps don't interleave)."""
+        events = [
+            dict(event, source="router")
+            for event in obs_events.snapshot(kind=kind)
+        ]
+        for shard_id, handle in sorted(self._handles.items()):
+            reply = self._shard_call(handle, {"op": "events"}, timeout_s=5.0)
+            if reply is None or not reply.get("ok"):
+                continue
+            for event in reply.get("events", []):
+                if kind is None or event.get("kind") == kind:
+                    events.append(dict(event, source=f"shard-{shard_id}"))
+        if limit is not None:
+            events = events[-max(limit, 0):] if limit else []
+        return events
 
     def health_snapshot(self) -> Dict[str, object]:
         """The gateway's ``/v1/healthz`` body when fronting a cluster."""

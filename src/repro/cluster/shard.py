@@ -24,6 +24,7 @@ RPC operations (all framed by :mod:`repro.cluster.rpc`):
 ``map``     one ``MappingRequest`` through the shard's ``MappingServer``
 ``metrics`` the shard's full ``metrics_snapshot()``
 ``health``  ``health_snapshot()``: drain state + surrogate versions
+``events``  the shard's structured event log (swaps, 429s, gate verdicts)
 ``drain``   stop admission (in-flight requests still complete)
 ``shutdown``  acknowledge, then drain and exit the process
 ==========  ==========================================================
@@ -40,8 +41,9 @@ from typing import Dict, Optional
 
 from repro.costmodel.accelerator import Accelerator
 from repro.engine.engine import EngineConfig, MappingEngine
+from repro.obs import events as obs_events
 from repro.serve.batcher import Priority
-from repro.serve.codec import request_from_dict
+from repro.serve.codec import request_from_dict, trace_from_dict
 from repro.serve.http import install_signal_drain
 from repro.serve.server import (
     MappingServer,
@@ -138,6 +140,12 @@ class ShardService:
             health["shard_id"] = self.spec.shard_id
             health["pid"] = os.getpid()
             return {"ok": True, **health}
+        if op == "events":
+            return {
+                "ok": True,
+                "shard_id": self.spec.shard_id,
+                "events": obs_events.snapshot(),
+            }
         if op == "drain":
             self.server.begin_drain()
             return {"ok": True, "status": "draining"}
@@ -154,6 +162,7 @@ class ShardService:
                 str(payload.get("priority", "normal")).lower()
             ]
             include_trace = bool(payload.get("include_trace", False))
+            trace_parent = trace_from_dict(payload.get("trace"))
         except (KeyError, TypeError, ValueError) as exc:
             return {
                 "ok": False,
@@ -161,7 +170,9 @@ class ShardService:
                 "error": f"bad map payload: {exc}",
             }
         try:
-            future = self.server.submit(request, priority=priority)
+            future = self.server.submit(
+                request, priority=priority, trace_parent=trace_parent
+            )
         except ServerOverloaded as exc:
             return {
                 "ok": False,
@@ -185,10 +196,15 @@ class ShardService:
                 "kind": "error",
                 "error": f"{exc.__class__.__name__}: {exc}",
             }
-        return {
+        reply = {
             "ok": True,
             "response": response.to_dict(include_trace=include_trace),
         }
+        if response.trace_id:
+            # Ship the shard-side span tree home with the reply; the
+            # router merges it into its own record of the same trace.
+            reply["spans"] = self.server.tracer.export_spans(response.trace_id)
+        return reply
 
     # ------------------------------------------------------------------
 

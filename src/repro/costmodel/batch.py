@@ -1395,6 +1395,46 @@ def evaluate_mega_compiled(
     )
 
 
+def megabatch_shape_stats(problems: Sequence[Problem]) -> Dict[str, object]:
+    """Cheap kernel-shape counters for a prospective megabatch union.
+
+    Pure bookkeeping over the lanes' problem shapes — no numpy, no
+    compile — so the observability layer can attach per-round kernel
+    attributes (lane count, union width, padding waste) to its trace
+    spans without paying for :func:`compile_megabatch`.
+
+    ``padding_waste_ratio`` is the fraction of padded per-lane cells that
+    hold inert padding rather than real loops/slots: lanes are padded to
+    ``union_dims`` dimensions and ``union_slots`` tensor slots (the
+    rectangular union :func:`compile_megabatch` lowers to), so a
+    homogeneous union wastes 0.0 and a union mixing narrow lanes into a
+    wide rectangle approaches the fraction of cells that are bound-1 /
+    invalid-slot filler.
+    """
+    if not problems:
+        return {
+            "lanes": 0,
+            "problems": 0,
+            "union_dims": 0,
+            "union_slots": 0,
+            "padding_waste_ratio": 0.0,
+        }
+    dim_counts = [len(problem.dims) for problem in problems]
+    slot_counts = [len(problem.tensors) for problem in problems]
+    union_dims = max(dim_counts)
+    union_slots = max(slot_counts)
+    distinct = len({id(problem) for problem in problems})
+    used = sum(dim_counts) + sum(slot_counts)
+    padded = len(problems) * (union_dims + union_slots)
+    return {
+        "lanes": len(problems),
+        "problems": distinct,
+        "union_dims": union_dims,
+        "union_slots": union_slots,
+        "padding_waste_ratio": 1.0 - used / padded if padded else 0.0,
+    }
+
+
 __all__ = [
     "BatchCostStats",
     "MappingBatch",
@@ -1407,4 +1447,5 @@ __all__ = [
     "evaluate_compiled",
     "evaluate_megabatch",
     "evaluate_mega_compiled",
+    "megabatch_shape_stats",
 ]

@@ -14,14 +14,17 @@ runners and :class:`repro.engine.MappingEngine` share one implementation.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.costmodel.batch import megabatch_shape_stats
 from repro.costmodel.stats import CostStats
 from repro.mapspace.mapping import Mapping
+from repro.obs.trace import span as _kernel_span
 from repro.workloads.problem import Problem
 
 #: Tap signature for the oracle's miss path: ``listener(problem, mappings,
@@ -80,6 +83,26 @@ def problem_key(problem: Problem) -> Hashable:
         problem.ops_per_point,
         tuple(sorted(problem.extra.items())),
     )
+
+
+def problem_fingerprint(problem: Problem) -> str:
+    """Stable 16-hex digest of a problem's cost identity.
+
+    The wire/metrics-friendly form of :func:`problem_key`: the cluster's
+    consistent-hash ring routes on it and the metrics label dimension
+    ``served_by_problem`` buckets on it, so the same problem maps to the
+    same shard and the same series on every process.  Lives here (not in
+    ``repro.cluster``) so the serving layer can label per-problem metrics
+    without importing the cluster package.
+    """
+    digest = hashlib.sha256(repr(problem_key(problem)).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _shape_attrs(problems: Sequence[Problem]):
+    """Deferred span attributes: kernel shape stats, built only when a
+    trace is actually listening (see ``attrs_fn`` in repro.obs.trace)."""
+    return lambda: dict(megabatch_shape_stats(problems))
 
 
 class CachedOracle:
@@ -172,19 +195,28 @@ class CachedOracle:
         """
         listener = self._miss_listener
         inner_batch = getattr(self.inner, "evaluate_batch", None)
+        # The ambient kernel span is a no-op unless a request trace is
+        # active; ``attrs_fn`` defers the shape stats to that case.  Spans
+        # wrap only real inner-oracle work — cache-hit replays never get
+        # here — so ``kernel_s`` measures actual kernel time.
+        shape = _shape_attrs([problem] * len(mappings))
         if listener is not None and inner_batch is not None:
-            batch_stats = inner_batch(mappings, problem)
+            with _kernel_span("megabatch.kernel", stage="kernel_s",
+                              attrs_fn=shape):
+                batch_stats = inner_batch(mappings, problem)
             values = [float(v) for v in batch_stats.edp]
             self._notify_misses(problem, mappings, values, batch_stats)
             return values
         inner_many = getattr(self.inner, "evaluate_many", None)
-        if inner_many is not None:
-            values = [float(v) for v in inner_many(mappings, problem)]
-        else:
-            values = [
-                float(self.inner.evaluate_edp(mapping, problem))
-                for mapping in mappings
-            ]
+        with _kernel_span("megabatch.kernel", stage="kernel_s",
+                          attrs_fn=shape):
+            if inner_many is not None:
+                values = [float(v) for v in inner_many(mappings, problem)]
+            else:
+                values = [
+                    float(self.inner.evaluate_edp(mapping, problem))
+                    for mapping in mappings
+                ]
         self._notify_misses(problem, mappings, values, None)
         return values
 
@@ -214,7 +246,9 @@ class CachedOracle:
         for problem, mappings in groups:
             lane_mappings.extend(mappings)
             lane_problems.extend([problem] * len(mappings))
-        mega = inner_mega(lane_mappings, lane_problems)
+        with _kernel_span("megabatch.kernel", stage="kernel_s",
+                          attrs_fn=_shape_attrs(lane_problems)):
+            mega = inner_mega(lane_mappings, lane_problems)
         edp = mega.edp
         listener = self._miss_listener
         results: List[List[float]] = []
@@ -505,4 +539,10 @@ class CachedOracle:
             self._store.popitem(last=False)
 
 
-__all__ = ["CacheStats", "CachedOracle", "MissListener", "problem_key"]
+__all__ = [
+    "CacheStats",
+    "CachedOracle",
+    "MissListener",
+    "problem_fingerprint",
+    "problem_key",
+]

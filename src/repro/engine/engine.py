@@ -135,6 +135,14 @@ class MappingResponse:
     best mapping, whatever objective the searcher itself optimized;
     ``best_objective`` is the searcher's own objective value for it.
     ``result`` is the full evaluation trace for convergence analysis.
+
+    ``trace_id``/``stages`` are the observability layer's stamp (see
+    :mod:`repro.obs`): the distributed-trace id a traced serving path
+    assigned to this request (empty when served untraced, e.g. by a bare
+    ``engine.map``) and the per-stage wall-time breakdown — keys like
+    ``admission_wait_s`` / ``batch_wait_s`` / ``prewarm_s`` / ``kernel_s``
+    / ``search_rounds_s`` / ``finalize_s`` — whose sum approximates the
+    request's observed latency.
     """
 
     tag: str
@@ -149,6 +157,8 @@ class MappingResponse:
     total_time_s: float
     result: SearchResult
     provenance: Dict[str, str] = field(default_factory=dict)
+    trace_id: str = ""
+    stages: Dict[str, float] = field(default_factory=dict)
 
     @property
     def convergence(self) -> List[float]:
@@ -179,6 +189,8 @@ class MappingResponse:
             "search_time_s": self.search_time_s,
             "total_time_s": self.total_time_s,
             "provenance": dict(self.provenance),
+            "trace_id": self.trace_id,
+            "stages": {key: float(value) for key, value in self.stages.items()},
         }
         if include_trace:
             payload["result"] = self.result.to_dict()
@@ -222,6 +234,10 @@ class MappingResponse:
             result=result,
             provenance={
                 str(k): str(v) for k, v in payload.get("provenance", {}).items()
+            },
+            trace_id=str(payload.get("trace_id", "")),
+            stages={
+                str(k): float(v) for k, v in payload.get("stages", {}).items()
             },
         )
 

@@ -47,6 +47,7 @@ from repro.learn.registry import ModelRegistry
 from repro.learn.replay import ReplayBuffer, ReplayConfig
 from repro.learn.trainer import OnlineTrainer, OnlineTrainerConfig
 from repro.mapspace.mapping import Mapping
+from repro.obs import events as obs_events
 from repro.serve.metrics import Counter
 from repro.utils.rng import ensure_rng
 from repro.workloads.problem import Problem
@@ -297,10 +298,22 @@ class OnlineLearner:
                 version=version if self.registry is not None else None,
             )
             self.swaps.inc()
+            obs_events.emit(
+                "swap_published",
+                algorithm=algorithm,
+                version=version,
+                spearman=report.candidate_spearman,
+            )
             with self._state_lock:
                 self._versions[algorithm] = version
         else:
             self.rejected_swaps.inc()
+            obs_events.emit(
+                "gate_rejected",
+                algorithm=algorithm,
+                candidate_spearman=report.candidate_spearman,
+                incumbent_spearman=report.incumbent_spearman,
+            )
         with self._state_lock:
             self._reports[algorithm] = report
         return report

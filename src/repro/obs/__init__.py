@@ -1,0 +1,55 @@
+"""repro.obs — tracing, events, and Prometheus exposition.
+
+The observability substrate for the serving stack: per-request span trees
+with stage-attributed latency (:mod:`repro.obs.trace`), a bounded buffer
+of structured operational events (:mod:`repro.obs.events`), and Prometheus
+text rendering of the JSON metrics snapshots (:mod:`repro.obs.prom`).
+
+This package deliberately imports **nothing** from the rest of ``repro``
+so every layer — costmodel kernels, serve, cluster, learn — can
+instrument itself without import cycles.  ``python -m repro.obs
+--selftest`` proves a traced request through a real server (and a real
+2-shard cluster) produces a complete, well-nested span tree.
+"""
+
+from repro.obs.events import (
+    EventLog,
+    KNOWN_KINDS,
+    default_log,
+    emit,
+    set_default_log,
+    snapshot,
+)
+from repro.obs.prom import render_prometheus
+from repro.obs.trace import (
+    Clock,
+    FakeClock,
+    MonotonicClock,
+    Span,
+    TraceHandle,
+    Tracer,
+    activate,
+    current_handles,
+    span,
+    span_tree,
+)
+
+__all__ = [
+    "Clock",
+    "EventLog",
+    "FakeClock",
+    "KNOWN_KINDS",
+    "MonotonicClock",
+    "Span",
+    "TraceHandle",
+    "Tracer",
+    "activate",
+    "current_handles",
+    "default_log",
+    "emit",
+    "render_prometheus",
+    "set_default_log",
+    "snapshot",
+    "span",
+    "span_tree",
+]

@@ -1,0 +1,260 @@
+"""Observability entry point: ``python -m repro.obs --selftest`` is the
+CI smoke gate for tracing + telemetry.
+
+Part 1 drives one traced request through a real HTTP gateway and checks
+the contract end to end: the response carries a ``trace_id``, ``GET
+/v1/trace/<id>`` returns a complete well-nested span tree whose stage
+breakdown sums (within slack) to the root span's wall time, ``GET
+/v1/metrics?format=prom`` renders Prometheus text exposition, and
+flooding a ``max_queue=1`` server surfaces ``overloaded`` events at
+``GET /v1/events``.
+
+Part 2 brings up a real 2-shard cluster (separate processes, socket
+RPC) and checks cross-process propagation: a routed request's merged
+tree nests ``cluster.request`` -> ``shard.rpc`` -> ``serve.request`` ->
+``cohort.round`` -> ``megabatch.kernel``, with the shard's spans carrying
+the shard process's pid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.request
+
+from repro.costmodel.accelerator import small_accelerator
+from repro.engine.engine import EngineConfig, MappingEngine, MappingRequest
+from repro.serve.codec import request_to_dict
+from repro.serve.http import start_gateway
+from repro.serve.server import MappingServer, ServeConfig, ServerOverloaded
+from repro.workloads.conv1d import make_conv1d
+
+
+def _check(condition: bool, message: str) -> None:
+    """Assertion that survives ``python -O`` (the selftest is a CI gate)."""
+    if not condition:
+        raise RuntimeError(f"selftest check failed: {message}")
+
+
+def _post(url: str, payload: dict) -> dict:
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=120) as reply:
+        return json.loads(reply.read())
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as reply:
+        return json.loads(reply.read())
+
+
+def _get_text(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=10) as reply:
+        return reply.read().decode("utf-8")
+
+
+def _assert_well_nested(snapshot: dict) -> None:
+    """Every non-root span's parent exists; same-pid children sit inside
+    their parent's interval (cross-pid clocks are not comparable)."""
+    spans = {s["span_id"]: s for s in snapshot["spans"]}
+    for s in snapshot["spans"]:
+        parent_id = s["parent_id"]
+        if parent_id is None:
+            continue
+        _check(parent_id in spans, f"orphan span {s['name']}")
+        parent = spans[parent_id]
+        if parent["pid"] != s["pid"]:
+            continue
+        _check(s["start"] >= parent["start"] - 1e-9,
+               f"span {s['name']} starts before its parent")
+        if s["end"] is not None and parent["end"] is not None:
+            _check(s["end"] <= parent["end"] + 1e-9,
+                   f"span {s['name']} outlives its parent")
+
+
+def _tree_path(node: dict, names: list) -> bool:
+    """True when some root-to-leaf walk visits ``names`` in order (gaps
+    allowed: intermediate spans may sit between the named ones)."""
+    if not names:
+        return True
+    remaining = names[1:] if node["span"]["name"] == names[0] else names
+    if not remaining:
+        return True
+    return any(_tree_path(child, remaining) for child in node["children"])
+
+
+def _selftest_server(say) -> None:
+    engine = MappingEngine(small_accelerator(), EngineConfig())
+    problem = make_conv1d("obs_selftest", w=32, r=5)
+    server = MappingServer(
+        engine, ServeConfig(max_batch=8, max_wait_s=0.02)
+    )
+    gateway = start_gateway(server)
+    say(f"gateway listening at {gateway.address}")
+    try:
+        request = MappingRequest(
+            problem, searcher="random", iterations=40, seed=1, tag="traced"
+        )
+        reply = _post(
+            f"{gateway.address}/v1/map", {"request": request_to_dict(request)}
+        )
+        response = reply["response"]
+        trace_id = response.get("trace_id", "")
+        _check(bool(trace_id), "served response carries no trace_id")
+
+        trace = _get(f"{gateway.address}/v1/trace/{trace_id}")
+        names = [s["name"] for s in trace["spans"]]
+        _check(names[0] == "serve.request", f"root span is {names[0]}")
+        for expected in ("admission", "megabatch.kernel", "finalize"):
+            _check(expected in names, f"no {expected} span in {names}")
+        _assert_well_nested(trace)
+        root = trace["spans"][0]
+        wall = root["end"] - root["start"]
+        total = sum(trace["stages"].values())
+        slack = max(0.25 * wall, 0.05)
+        _check(abs(total - wall) <= slack,
+               f"stage sum {total:.4f}s vs root wall {wall:.4f}s "
+               f"(slack {slack:.4f}s)")
+        _check(trace["stages"] == response["stages"],
+               "trace stages != response stages")
+        say(f"traced request: {len(names)} spans, well nested; "
+            f"stages sum {total * 1e3:.1f}ms vs wall {wall * 1e3:.1f}ms")
+
+        prom_text = _get_text(f"{gateway.address}/v1/metrics?format=prom")
+        _check("# TYPE repro_served_total counter" in prom_text,
+               "prometheus exposition missing repro_served_total TYPE line")
+        _check("repro_served_total 1" in prom_text,
+               "repro_served_total sample not rendered")
+        say("prometheus exposition renders "
+            f"({len(prom_text.splitlines())} lines)")
+
+        # Flood a max_queue=1 server (its runner parked on an event) until
+        # admission rejects; the rejection must surface as an event.
+        release = threading.Event()
+
+        def parked_runner(engine_, requests):
+            release.wait(timeout=30)
+            from repro.serve.cohort import serve_batch
+            return serve_batch(engine_, requests)
+
+        tiny = MappingServer(
+            engine,
+            ServeConfig(max_batch=1, max_wait_s=0.0, max_queue=1, workers=1,
+                        collapse_duplicates=False, response_cache_size=0),
+            runner=parked_runner,
+        )
+        rejections = 0
+        futures = []
+        try:
+            for seed in range(8):
+                probe = MappingRequest(
+                    problem, searcher="random", iterations=10, seed=seed,
+                    tag=f"flood/{seed}",
+                )
+                try:
+                    futures.append(tiny.submit(probe))
+                except ServerOverloaded:
+                    rejections += 1
+        finally:
+            release.set()
+            tiny.shutdown(timeout=30.0)
+        _check(rejections >= 1, "flood produced no ServerOverloaded")
+        events = _get(f"{gateway.address}/v1/events?kind=overloaded")
+        _check(len(events["events"]) >= rejections,
+               f"{rejections} rejections but "
+               f"{len(events['events'])} overloaded events")
+        say(f"backpressure: {rejections} rejections surfaced at /v1/events")
+    finally:
+        gateway.shutdown()
+        _check(server.shutdown(timeout=30.0), "drain timed out")
+
+
+def _selftest_cluster(say) -> None:
+    from repro.cluster.router import ClusterConfig, ClusterRouter
+
+    config = ClusterConfig(
+        num_shards=2,
+        accelerator=small_accelerator(),
+        engine=EngineConfig(),
+        serve=ServeConfig(max_batch=8, max_wait_s=0.02),
+        health_interval_s=0.2,
+    )
+    router = ClusterRouter(config)
+    spawn_started = time.perf_counter()  # repro: ignore[RPR105] -- CLI progress timing, not traced state
+    router.start()
+    say(f"2 shards up in {time.perf_counter() - spawn_started:.1f}s")  # repro: ignore[RPR105] -- CLI progress timing, not traced state
+    try:
+        problem = make_conv1d("obs_selftest_cluster", w=24, r=3)
+        request = MappingRequest(
+            problem, searcher="random", iterations=40, seed=2, tag="routed"
+        )
+        response = router.submit(request).result(timeout=120)
+        _check(bool(response.trace_id), "routed response carries no trace_id")
+        _check("router_overhead_s" in response.stages,
+               "merged stages miss router_overhead_s")
+        _check("kernel_s" in response.stages,
+               "shard stages (kernel_s) did not propagate to the router")
+
+        trace = router.trace_snapshot(response.trace_id)
+        _check(trace is not None, "router kept no trace for the response")
+        _assert_well_nested(trace)
+        [tree] = trace["tree"]
+        _check(
+            _tree_path(tree, ["cluster.request", "shard.rpc",
+                              "serve.request", "cohort.round",
+                              "megabatch.kernel"]),
+            "merged tree does not nest cluster.request -> shard.rpc -> "
+            "serve.request -> cohort.round -> megabatch.kernel",
+        )
+        pids = {s["pid"] for s in trace["spans"]}
+        _check(len(pids) == 2,
+               f"expected router + shard pids in one tree, got {pids}")
+        say(f"routed trace merged across {len(pids)} processes: "
+            f"{len(trace['spans'])} spans nest "
+            "cluster.request -> shard.rpc -> serve.request -> "
+            "cohort.round -> megabatch.kernel")
+
+        kinds = {e["kind"] for e in router.events_snapshot()}
+        say(f"fleet event log reachable ({sorted(kinds) or 'empty'})")
+    except BaseException:
+        router.shutdown(timeout=10)
+        raise
+    _check(router.shutdown(timeout=60), "cluster drain timed out")
+
+
+def selftest(verbose: bool = True) -> int:
+    started = time.perf_counter()  # repro: ignore[RPR105] -- CLI progress timing, not traced state
+
+    def say(message: str) -> None:
+        if verbose:
+            print(f"[obs-selftest] {message}")
+
+    _selftest_server(say)
+    _selftest_cluster(say)
+    say(f"PASS in {time.perf_counter() - started:.1f}s")  # repro: ignore[RPR105] -- CLI progress timing, not traced state
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Tracing + telemetry selftest for the serving stack.",
+    )
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the end-to-end tracing smoke test (CI gate)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    args = parser.parse_args(argv)
+    if not args.selftest:
+        parser.print_help()
+        return 2
+    return selftest(verbose=not args.quiet)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

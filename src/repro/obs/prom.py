@@ -1,0 +1,260 @@
+"""Prometheus text exposition for the JSON metrics snapshots.
+
+The serving stack's native metrics surface is a nested JSON snapshot
+(:meth:`repro.serve.metrics.MetricsRegistry.snapshot`, or the cluster
+router's fleet view).  This module renders either shape into Prometheus
+text format 0.0.4 so a scraper can hit ``/v1/metrics?format=prom``:
+
+* counters  -> ``repro_<name>_total``
+* latency   -> a ``summary`` (``quantile`` label + ``_count``/``_sum``)
+* batch size -> a ``histogram`` (cumulative ``le`` buckets)
+* label dimensions -> ``repro_served_by_algorithm_total{algorithm="..."}``
+  and ``repro_served_by_problem_total{problem="<fingerprint>"}``
+* fleet snapshots -> every per-shard series re-rendered under a
+  ``{shard="N"}`` label — per-shard behavior stays visible instead of
+  being flattened into fleet sums.
+
+Rendering is pure (snapshot dict in, text out): no clocks, no state, so
+the module trivially satisfies the RPR105 clock-injection rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: (metric name without prefix, label dict, numeric value)
+Sample = Tuple[str, Dict[str, str], float]
+
+#: Explicit metric types where the ``_total`` suffix rule is not enough.
+_SUMMARY_METRICS = ("request_latency_seconds", "router_request_latency_seconds")
+_HISTOGRAM_METRICS = ("batch_size",)
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_label_value(value: object) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))  # type: ignore[arg-type]
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{escape_label_value(labels[key])}"'
+                     for key in sorted(labels))
+    return "{" + inner + "}"
+
+
+def _metric_type(name: str) -> str:
+    base = name
+    for suffix in ("_count", "_sum", "_bucket"):
+        if base.endswith(suffix):
+            base = base[: -len(suffix)]
+            break
+    if base in _SUMMARY_METRICS:
+        return "summary"
+    if base in _HISTOGRAM_METRICS:
+        return "histogram"
+    return "counter" if name.endswith("_total") else "gauge"
+
+
+def _counter_samples(counters: Dict[str, object], labels: Dict[str, str],
+                     prefix: str = "") -> List[Sample]:
+    samples: List[Sample] = []
+    for name in sorted(counters):
+        value = counters[name]
+        if isinstance(value, (int, float)):
+            samples.append((f"{prefix}{name}_total", labels, value))
+    return samples
+
+
+def _latency_samples(latency: Dict[str, object], labels: Dict[str, str],
+                     metric: str = "request_latency_seconds") -> List[Sample]:
+    samples: List[Sample] = []
+    count = latency.get("count", 0)
+    samples.append((f"{metric}_count", labels, count))  # type: ignore[arg-type]
+    mean_ms = latency.get("mean_ms")
+    if isinstance(mean_ms, (int, float)) and isinstance(count, int):
+        samples.append((f"{metric}_sum", labels, mean_ms / 1e3 * count))
+    for quantile, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"),
+                          ("0.99", "p99_ms")):
+        value = latency.get(key)
+        if isinstance(value, (int, float)):
+            samples.append((metric, dict(labels, quantile=quantile),
+                            value / 1e3))
+    return samples
+
+
+def _bucket_bound(key: str) -> Optional[float]:
+    if key.startswith("<="):
+        try:
+            return float(key[2:])
+        except ValueError:
+            return None
+    return None  # the ">top" overflow bucket folds into +Inf
+
+
+def _histogram_samples(hist: Dict[str, object], labels: Dict[str, str],
+                       metric: str = "batch_size") -> List[Sample]:
+    samples: List[Sample] = []
+    count = hist.get("count", 0)
+    buckets = hist.get("buckets", {})
+    bounded: List[Tuple[float, int]] = []
+    if isinstance(buckets, dict):
+        for key in sorted(buckets, key=lambda k: (_bucket_bound(k) is None,
+                                                  _bucket_bound(k) or 0.0)):
+            bound = _bucket_bound(key)
+            if bound is not None:
+                bounded.append((bound, int(buckets[key])))  # type: ignore[arg-type]
+    cumulative = 0
+    for bound, bucket_count in bounded:
+        cumulative += bucket_count
+        samples.append((f"{metric}_bucket", dict(labels, le=_fmt(bound)),
+                        cumulative))
+    samples.append((f"{metric}_bucket", dict(labels, le="+Inf"), count))  # type: ignore[arg-type]
+    samples.append((f"{metric}_count", labels, count))  # type: ignore[arg-type]
+    mean = hist.get("mean")
+    if isinstance(mean, (int, float)) and isinstance(count, int):
+        samples.append((f"{metric}_sum", labels, mean * count))
+    return samples
+
+
+def _label_dimension_samples(label_dims: Dict[str, object],
+                             labels: Dict[str, str]) -> List[Sample]:
+    """``labels`` snapshot section -> one labeled counter per dimension."""
+    dimension_label = {"served_by_algorithm": "algorithm",
+                       "served_by_problem": "problem"}
+    samples: List[Sample] = []
+    for dimension in sorted(label_dims):
+        series = label_dims[dimension]
+        if not isinstance(series, dict):
+            continue
+        label_name = dimension_label.get(dimension, "key")
+        for key in sorted(series):
+            value = series[key]
+            if isinstance(value, (int, float)):
+                samples.append((f"{dimension}_total",
+                                dict(labels, **{label_name: str(key)}),
+                                value))
+    return samples
+
+
+def server_samples(snapshot: Dict[str, object],
+                   labels: Optional[Dict[str, str]] = None) -> List[Sample]:
+    """Samples for a single-server (MetricsRegistry-shaped) snapshot."""
+    labels = dict(labels or {})
+    samples: List[Sample] = []
+    for gauge_key, metric in (("uptime_s", "uptime_seconds"),
+                              ("throughput_rps", "throughput_rps"),
+                              ("queue_depth", "queue_depth")):
+        value = snapshot.get(gauge_key)
+        if isinstance(value, (int, float)):
+            samples.append((metric, labels, value))
+    counters = snapshot.get("counters")
+    if isinstance(counters, dict):
+        samples.extend(_counter_samples(counters, labels))
+    latency = snapshot.get("latency")
+    if isinstance(latency, dict):
+        samples.extend(_latency_samples(latency, labels))
+    batch = snapshot.get("batch_size")
+    if isinstance(batch, dict):
+        samples.extend(_histogram_samples(batch, labels))
+    label_dims = snapshot.get("labels")
+    if isinstance(label_dims, dict):
+        samples.extend(_label_dimension_samples(label_dims, labels))
+    cache = snapshot.get("oracle_cache")
+    if isinstance(cache, dict):
+        for key in sorted(cache):
+            value = cache[key]
+            if isinstance(value, (int, float)):
+                metric = ("oracle_cache_size" if key == "size"
+                          else f"oracle_cache_{key}_total")
+                samples.append((metric, labels, value))
+    return samples
+
+
+def router_samples(snapshot: Dict[str, object]) -> List[Sample]:
+    """Samples for a cluster fleet snapshot: router series, fleet sums,
+    and — the point — every shard's series under a ``shard`` label."""
+    samples: List[Sample] = []
+    for gauge_key, metric in (("uptime_s", "uptime_seconds"),
+                              ("throughput_rps", "throughput_rps"),
+                              ("queue_depth", "queue_depth")):
+        value = snapshot.get(gauge_key)
+        if isinstance(value, (int, float)):
+            samples.append((metric, {}, value))
+    router = snapshot.get("router")
+    if isinstance(router, dict):
+        counters = router.get("counters")
+        if isinstance(counters, dict):
+            samples.extend(_counter_samples(counters, {}, prefix="router_"))
+        latency = router.get("latency")
+        if isinstance(latency, dict):
+            samples.extend(_latency_samples(
+                latency, {}, metric="router_request_latency_seconds"))
+    fleet = snapshot.get("fleet")
+    if isinstance(fleet, dict):
+        counters = fleet.get("counters")
+        if isinstance(counters, dict):
+            samples.extend(_counter_samples(counters, {}, prefix="fleet_"))
+    shards = snapshot.get("shards")
+    if isinstance(shards, dict):
+        for shard_id in sorted(shards):
+            shard = shards[shard_id]
+            label = {"shard": str(shard_id)}
+            if isinstance(shard, dict) and "counters" in shard:
+                samples.append(("shard_up", label, 1))
+                samples.extend(server_samples(shard, labels=label))
+            else:
+                samples.append(("shard_up", label, 0))
+    return samples
+
+
+def render_samples(samples: Iterable[Sample], prefix: str = "repro") -> str:
+    """Group samples by metric and render with one TYPE line per family."""
+    by_metric: Dict[str, List[Sample]] = {}
+    order: List[str] = []
+    for name, labels, value in samples:
+        family = name
+        for suffix in ("_count", "_sum", "_bucket"):
+            if family.endswith(suffix):
+                family = family[: -len(suffix)]
+                break
+        if family not in by_metric:
+            by_metric[family] = []
+            order.append(family)
+        by_metric[family].append((name, labels, value))
+    lines: List[str] = []
+    for family in order:
+        lines.append(f"# TYPE {prefix}_{family} {_metric_type(family)}")
+        for name, labels, value in by_metric[family]:
+            lines.append(f"{prefix}_{name}{_labels_text(labels)} "
+                         f"{_fmt(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_prometheus(snapshot: Dict[str, object],
+                      prefix: str = "repro") -> str:
+    """Render a server or fleet JSON snapshot as Prometheus text."""
+    if isinstance(snapshot.get("shards"), dict):
+        return render_samples(router_samples(snapshot), prefix=prefix)
+    return render_samples(server_samples(snapshot), prefix=prefix)
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "Sample",
+    "escape_label_value",
+    "render_prometheus",
+    "render_samples",
+    "router_samples",
+    "server_samples",
+]

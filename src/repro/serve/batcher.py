@@ -54,6 +54,10 @@ class PendingRequest:
     enqueued_at: float = 0.0
     #: Collapse identity (``codec.request_key``); ``None`` when not collapsible.
     key: Optional[Hashable] = None
+    #: The request's :class:`repro.obs.trace.TraceHandle` (``None`` when
+    #: tracing is off).  Typed loosely so the batcher stays a pure data
+    #: structure with no observability dependency.
+    trace: Optional[object] = None
     seq: int = field(default_factory=lambda: next(_SEQUENCE))
 
     def order_key(self):

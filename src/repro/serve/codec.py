@@ -108,6 +108,35 @@ def response_from_dict(payload: MappingType[str, Any]) -> MappingResponse:
     return MappingResponse.from_dict(payload)
 
 
+def trace_to_dict(
+    trace_id: str, parent_span: Optional[str] = None
+) -> Dict[str, Any]:
+    """Trace-context header for an RPC payload (router -> shard).
+
+    The callee adopts ``trace_id`` and parents its root span under
+    ``parent_span``, so the merged tree reads as one request.
+    """
+    payload: Dict[str, Any] = {"trace_id": str(trace_id)}
+    if parent_span:
+        payload["parent_span"] = str(parent_span)
+    return payload
+
+
+def trace_from_dict(
+    payload: Optional[MappingType[str, Any]]
+) -> Optional[tuple]:
+    """Decode a trace-context header into the ``(trace_id, parent_span)``
+    pair :meth:`MappingServer.submit` takes as ``trace_parent`` (``None``
+    when the caller sent no usable context)."""
+    if not isinstance(payload, MappingType):
+        return None
+    trace_id = str(payload.get("trace_id", ""))
+    if not trace_id:
+        return None
+    parent_span = payload.get("parent_span")
+    return (trace_id, "" if parent_span is None else str(parent_span))
+
+
 def request_key(request: MappingRequest) -> Optional[Hashable]:
     """Collapse identity for duplicate-request coalescing, or ``None``.
 
@@ -147,4 +176,6 @@ __all__ = [
     "request_to_dict",
     "response_from_dict",
     "response_to_dict",
+    "trace_from_dict",
+    "trace_to_dict",
 ]

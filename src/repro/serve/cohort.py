@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.costmodel.cache import CachedOracle
+from repro.obs import trace as obs_trace
 from repro.engine.engine import (
     MappingEngine,
     MappingRequest,
@@ -116,15 +117,32 @@ def run_cohort(
     search_started = time.perf_counter()
     live = list(members)
     finished: List[Tuple[_Member, MappingResponse]] = []
+    # The server activated one ambient handle per batch item, index-aligned
+    # with the request list — which is exactly what ``member.index`` indexes.
+    outer = obs_trace.current_handles()
+
+    def handle_for(member: _Member) -> Optional[obs_trace.TraceHandle]:
+        if member.index >= len(outer):
+            return None
+        handle = outer[member.index]
+        if handle is None or handle.closed:
+            return None
+        return handle
 
     def finish(member: _Member) -> None:
         result = member.budget.result(
             member.prepared.searcher.name,
             member.prepared.request.problem.name,
         )
-        response = engine._finalize_search(
-            member.prepared, result, time.perf_counter() - search_started
-        )
+        handle = handle_for(member)
+        span_id = None if handle is None else handle.open_span("finalize")
+        try:
+            response = engine._finalize_search(
+                member.prepared, result, time.perf_counter() - search_started
+            )
+        finally:
+            if handle is not None:
+                handle.close_span(span_id, stage="finalize_s")
         finished.append((member, response))
 
     while live:
@@ -140,6 +158,25 @@ def run_cohort(
             round_pairs.append((member, batch))
         if not round_pairs:
             break
+        # Per-round tracing: one "cohort.round" span per live traced member.
+        # Stage arithmetic keeps the breakdown disjoint — kernel time accrues
+        # inside the oracle's own "megabatch.kernel" spans, so the prewarm
+        # and search stages subtract each handle's kernel delta.
+        round_handles = [
+            handle for handle in (handle_for(m) for m, _ in round_pairs)
+            if handle is not None
+        ]
+        round_started = round_handles[0].now() if round_handles else 0.0
+        round_spans = [
+            (handle, handle.open_span("cohort.round", start=round_started,
+                                      members=len(round_pairs)))
+            for handle in round_handles
+        ]
+        kernel_before = {
+            id(handle): handle.stages.get("kernel_s", 0.0)
+            for handle in round_handles
+        }
+        prewarm_wall = 0.0
         if len(round_pairs) > 1:
             # The whole round — every member of every problem — in one
             # cross-problem kernel pass (``prewarm_grouped`` merges members
@@ -157,10 +194,44 @@ def run_cohort(
             # The floor gates the whole round's union, not per-problem
             # slices — the kernel runs once either way.
             if total >= MIN_PREWARM_UNION:
-                oracle.prewarm_grouped(groups)
+                # Narrow the ambient context to this round's members: the
+                # shared prewarm kernel belongs to every live trace, but
+                # not to solo/ineligible batchmates outside the cohort.
+                with obs_trace.activate(round_handles):
+                    oracle.prewarm_grouped(groups)
+                if round_handles:
+                    prewarm_wall = round_handles[0].now() - round_started
+                    for handle in round_handles:
+                        kernel_in_prewarm = (
+                            handle.stages.get("kernel_s", 0.0)
+                            - kernel_before[id(handle)]
+                        )
+                        handle.add_stage(
+                            "prewarm_s",
+                            max(prewarm_wall - kernel_in_prewarm, 0.0),
+                        )
+        kernel_after_prewarm = {
+            id(handle): handle.stages.get("kernel_s", 0.0)
+            for handle in round_handles
+        }
         for member, batch in round_pairs:
-            values = member.budget.evaluate_many(batch)
+            # Replays are cache hits after a prewarm; any residual miss
+            # (e.g. a sub-floor union) is this member's own kernel work.
+            with obs_trace.activate([handle_for(member)]):
+                values = member.budget.evaluate_many(batch)
             member.prepared.searcher.tell(batch[: len(values)], values)
+        round_ended = round_handles[0].now() if round_handles else 0.0
+        round_wall = round_ended - round_started
+        for handle, span_id in round_spans:
+            kernel_in_search = (
+                handle.stages.get("kernel_s", 0.0)
+                - kernel_after_prewarm[id(handle)]
+            )
+            handle.add_stage(
+                "search_rounds_s",
+                max(round_wall - prewarm_wall - kernel_in_search, 0.0),
+            )
+            handle.close_span(span_id, end=round_ended)
         live = [member for member, _ in round_pairs]
     return finished
 
@@ -189,6 +260,7 @@ def serve_batch(
     for algorithm in algorithms:
         engine.pipeline_for(algorithm)
 
+    outer = obs_trace.current_handles()
     responses: List[Optional[MappingResponse]] = [None] * len(requests)
     cohort: List[_Member] = []
     for index, request in enumerate(requests):
@@ -196,15 +268,46 @@ def serve_batch(
         if coalescible(engine, prepared):
             cohort.append(_Member(index=index, prepared=prepared))
         else:
-            search_started = time.perf_counter()
-            result = prepared.searcher.run(
-                request.iterations,
-                seed=request.seed,
-                time_budget_s=request.time_budget_s,
-            )
-            responses[index] = engine._finalize_search(
-                prepared, result, time.perf_counter() - search_started
-            )
+            handle = outer[index] if index < len(outer) else None
+            if handle is not None and handle.closed:
+                handle = None
+            # Narrow the ambient context to this request: its kernel spans
+            # must not leak into cohort batchmates' traces (and vice versa).
+            with obs_trace.activate([handle]):
+                search_span = None
+                span_started = kernel_before = 0.0
+                if handle is not None:
+                    span_started = handle.now()
+                    kernel_before = handle.stages.get("kernel_s", 0.0)
+                    search_span = handle.open_span("search")
+                search_started = time.perf_counter()
+                result = prepared.searcher.run(
+                    request.iterations,
+                    seed=request.seed,
+                    time_budget_s=request.time_budget_s,
+                )
+                if handle is not None:
+                    search_wall = handle.now() - span_started
+                    handle.close_span(search_span)
+                    # Kernel time inside the search accrued to kernel_s via
+                    # the oracle's own spans; keep the stages disjoint.
+                    kernel_in_search = (
+                        handle.stages.get("kernel_s", 0.0) - kernel_before
+                    )
+                    handle.add_stage(
+                        "search_rounds_s",
+                        max(search_wall - kernel_in_search, 0.0),
+                    )
+                finalize_span = (
+                    None if handle is None else handle.open_span("finalize")
+                )
+                try:
+                    responses[index] = engine._finalize_search(
+                        prepared, result, time.perf_counter() - search_started
+                    )
+                finally:
+                    if handle is not None:
+                        handle.close_span(finalize_span, stage="finalize_s")
     if cohort:
         for member, response in run_cohort(engine, cohort):
             responses[member.index] = response

@@ -8,8 +8,12 @@ serving endpoint:
   "include_trace": bool}``; replies ``200 {"response": {...}}``.  Requests
   serialize via :func:`request_to_dict`, responses rebuild client-side via
   :meth:`MappingResponse.from_dict`.
-* ``GET /v1/metrics`` (alias ``/metrics``) — the live metrics snapshot.
+* ``GET /v1/metrics`` (alias ``/metrics``) — the live metrics snapshot;
+  ``?format=prom`` renders Prometheus text exposition instead of JSON.
 * ``GET /v1/healthz`` (alias ``/healthz``) — liveness + queue depth.
+* ``GET /v1/trace/<trace_id>`` — one request's span tree + stage breakdown.
+* ``GET /v1/events`` — recent structured events (``?kind=`` filters,
+  ``?limit=`` truncates to the most recent N).
 
 Backpressure maps onto HTTP: :class:`ServerOverloaded` becomes ``429 Too
 Many Requests`` with a ``Retry-After`` header, drain becomes ``503``,
@@ -22,7 +26,9 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import prom
 from repro.serve.batcher import Priority
 from repro.serve.codec import request_from_dict
 from repro.serve.server import MappingServer, ServerClosed, ServerOverloaded
@@ -49,8 +55,11 @@ class GatewayHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
-        if self.path in ("/healthz", "/v1/healthz"):
-            server = self.gateway.mapping_server
+        parts = urlsplit(self.path)
+        path = parts.path
+        query = parse_qs(parts.query)
+        server = self.gateway.mapping_server
+        if path in ("/healthz", "/v1/healthz"):
             health = getattr(server, "health_snapshot", None)
             if callable(health):
                 self._reply(200, health())
@@ -62,8 +71,37 @@ class GatewayHandler(BaseHTTPRequestHandler):
                     else "draining",
                     "queue_depth": server.queue_depth,
                 })
-        elif self.path in ("/metrics", "/v1/metrics"):
-            self._reply(200, self.gateway.mapping_server.metrics_snapshot())
+        elif path in ("/metrics", "/v1/metrics"):
+            snapshot = server.metrics_snapshot()
+            if query.get("format", [""])[-1] == "prom":
+                self._reply_text(200, prom.render_prometheus(snapshot))
+            else:
+                self._reply(200, snapshot)
+        elif path.startswith("/v1/trace/"):
+            trace_id = path[len("/v1/trace/"):]
+            snapshot_fn = getattr(server, "trace_snapshot", None)
+            trace = snapshot_fn(trace_id) if callable(snapshot_fn) else None
+            if trace is None:
+                self._reply(
+                    404, {"error": f"unknown or evicted trace {trace_id!r}"}
+                )
+            else:
+                self._reply(200, trace)
+        elif path in ("/events", "/v1/events"):
+            events_fn = getattr(server, "events_snapshot", None)
+            if not callable(events_fn):
+                self._reply(404, {"error": "server exposes no event log"})
+                return
+            kind = query.get("kind", [None])[-1]
+            limit = None
+            try:
+                raw_limit = query.get("limit", [None])[-1]
+                if raw_limit is not None:
+                    limit = max(int(raw_limit), 0)
+            except ValueError:
+                self._reply(400, {"error": "limit must be an integer"})
+                return
+            self._reply(200, {"events": events_fn(kind=kind, limit=limit)})
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
@@ -167,6 +205,16 @@ class GatewayHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         for name, value in headers:
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(
+        self, status: int, text: str, content_type: str = prom.CONTENT_TYPE
+    ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 

@@ -11,9 +11,11 @@ the load generator read.
 
 from __future__ import annotations
 
+import math
 import threading
-import time
 from typing import Dict, List, Optional, Sequence
+
+from repro.obs.trace import Clock, MonotonicClock
 
 
 class Counter:
@@ -31,6 +33,29 @@ class Counter:
     def value(self) -> int:
         with self._lock:
             return self._value
+
+
+class LabeledCounter:
+    """A counter fanned out over one label dimension (e.g. per-algorithm).
+
+    Keys are caller-supplied strings; bounding cardinality is the caller's
+    job (the serving layer uses algorithm names and 16-hex problem
+    fingerprints, both naturally bounded by the traffic mix).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[str, int] = {}
+
+    def inc(self, label: str, amount: int = 1) -> None:
+        label = str(label)
+        with self._lock:
+            self._values[label] = self._values.get(label, 0) + amount
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {label: self._values[label]
+                    for label in sorted(self._values)}
 
 
 class P2Quantile:
@@ -109,10 +134,13 @@ class P2Quantile:
         if not self._heights:
             return None
         if self._count <= 5:
-            # Exact small-sample quantile (nearest-rank on the buffer).
+            # Exact small-sample quantile: the nearest-rank order statistic
+            # ceil(q*n) (1-based).  The previous floor-based index reported
+            # e.g. p99 of a 2-sample stream as the *minimum*; nearest-rank
+            # matches numpy's ``inverted_cdf`` method exactly.
             ordered = sorted(self._heights)
-            rank = min(int(self.q * len(ordered)), len(ordered) - 1)
-            return ordered[rank]
+            rank = max(math.ceil(self.q * len(ordered)), 1)
+            return ordered[rank - 1]
         return self._heights[2]
 
 
@@ -217,14 +245,24 @@ class MetricsRegistry:
         "batches",
     )
 
-    def __init__(self) -> None:
-        self._started = time.monotonic()
+    #: Labeled dimensions: who is traffic served *for* (fixed names keep
+    #: the snapshot schema stable; see tests/golden/metrics_schema.json).
+    LABELS = ("served_by_algorithm", "served_by_problem")
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock: Clock = clock if clock is not None else MonotonicClock()
+        self._started = self._clock()
         self._counters = {name: Counter() for name in self.COUNTERS}
+        self._labeled = {name: LabeledCounter() for name in self.LABELS}
         self.latency = LatencyTracker()
         self.batch_sizes = SizeHistogram()
 
     def inc(self, name: str, amount: int = 1) -> None:
         self._counters[name].inc(amount)
+
+    def inc_label(self, dimension: str, label: str, amount: int = 1) -> None:
+        """Bump one key of a labeled dimension (unknown dimensions raise)."""
+        self._labeled[dimension].inc(label, amount)
 
     def count(self, name: str) -> int:
         return self._counters[name].value
@@ -243,11 +281,13 @@ class MetricsRegistry:
     ) -> Dict[str, object]:
         """One JSON-compatible dict with every live metric."""
         served = self.count("served")
-        uptime = time.monotonic() - self._started
+        uptime = self._clock() - self._started
         payload: Dict[str, object] = {
             "uptime_s": uptime,
             "throughput_rps": served / uptime if uptime > 0 else 0.0,
             "counters": {name: self.count(name) for name in self.COUNTERS},
+            "labels": {name: self._labeled[name].snapshot()
+                       for name in self.LABELS},
             "batch_size": self.batch_sizes.snapshot(),
             "latency": self.latency.snapshot(),
         }
@@ -260,6 +300,7 @@ class MetricsRegistry:
 
 __all__ = [
     "Counter",
+    "LabeledCounter",
     "LatencyTracker",
     "MetricsRegistry",
     "P2Quantile",

@@ -43,8 +43,11 @@ from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.costmodel.cache import problem_fingerprint
 from repro.engine.engine import MappingEngine, MappingRequest, MappingResponse
 from repro.engine.registry import resolve_searcher
+from repro.obs import events as obs_events
+from repro.obs.trace import TraceHandle, Tracer, activate
 from repro.serve.batcher import (
     Batch,
     MicroBatcher,
@@ -107,6 +110,11 @@ class ServeConfig:
     collapse_duplicates: bool = True
     #: Entries in the response LRU (0 disables response caching).
     response_cache_size: int = 1024
+    #: Record per-request span trees + stage breakdowns (repro.obs).  Kept
+    #: on by default: the bench gate holds the overhead under 5%.
+    tracing: bool = True
+    #: Finished/in-flight traces kept queryable at ``/v1/trace/<id>``.
+    trace_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -116,6 +124,10 @@ class ServeConfig:
         if self.response_cache_size < 0:
             raise ValueError(
                 f"response_cache_size must be >= 0, got {self.response_cache_size}"
+            )
+        if self.trace_capacity < 1:
+            raise ValueError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
             )
 
 
@@ -150,7 +162,12 @@ class MappingServer:
         repro.serve --learn``)."""
         self.engine = engine
         self.config = config or ServeConfig()
-        self.metrics = MetricsRegistry()
+        self.metrics = MetricsRegistry(clock=clock)
+        self.tracer = Tracer(
+            clock=clock,
+            enabled=self.config.tracing,
+            max_traces=self.config.trace_capacity,
+        )
         self._learner = learner
         self._watcher = None
         self._runner = runner or serve_batch
@@ -163,8 +180,11 @@ class MappingServer:
         self._dispatch_wake = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
         self._ready: List[_Job] = []
-        #: key -> [(tag, future, enqueued_at)] of collapsed followers.
-        self._inflight: Dict[Hashable, List[Tuple[str, Future, float]]] = {}
+        #: key -> [(tag, future, enqueued_at, trace_handle)] of collapsed
+        #: followers (``trace_handle`` is ``None`` when tracing is off).
+        self._inflight: Dict[
+            Hashable, List[Tuple[str, Future, float, Optional[TraceHandle]]]
+        ] = {}
         #: Followers across all keys; counted against ``max_queue`` so a
         #: duplicate-request storm can't grow state past admission control.
         self._follower_count = 0
@@ -194,7 +214,10 @@ class MappingServer:
     # ------------------------------------------------------------------
 
     def submit(
-        self, request: MappingRequest, priority: Priority = Priority.NORMAL
+        self,
+        request: MappingRequest,
+        priority: Priority = Priority.NORMAL,
+        trace_parent: Optional[Tuple[str, str]] = None,
     ) -> "Future[MappingResponse]":
         """Enqueue one request; returns a future for its response.
 
@@ -205,6 +228,11 @@ class MappingServer:
         poisoning the batch it would have been coalesced into.  Duplicate
         in-flight requests and response-cache hits resolve without
         touching the queue.
+
+        ``trace_parent`` is a remote ``(trace_id, parent_span_id)`` pair
+        (the cluster router's RPC span): when given, this request's trace
+        adopts that id so the router can merge shard-side spans into one
+        tree.
         """
         resolve_searcher(request.searcher)
         future: "Future[MappingResponse]" = Future()
@@ -235,10 +263,16 @@ class MappingServer:
                         depth = self._depth_locked()
                         if depth >= self.config.max_queue:
                             self.metrics.inc("rejected")
-                            raise ServerOverloaded(
-                                self._retry_after_locked(depth), depth
+                            retry_after = self._retry_after_locked(depth)
+                            obs_events.emit(
+                                "overloaded", where="server", depth=depth,
+                                retry_after_s=retry_after,
                             )
-                        followers.append((request.tag, future, now))
+                            raise ServerOverloaded(retry_after, depth)
+                        handle = self._start_trace(
+                            request, trace_parent, start=now, follower=True
+                        )
+                        followers.append((request.tag, future, now, handle))
                         self._follower_count += 1
                         self.metrics.inc("collapsed")
                         if priority == Priority.HIGH:
@@ -263,9 +297,14 @@ class MappingServer:
                 if depth >= self.config.max_queue:
                     self.metrics.inc("rejected")
                     retry_after = self._retry_after_locked(depth)
+                    obs_events.emit(
+                        "overloaded", where="server", depth=depth,
+                        retry_after_s=retry_after,
+                    )
                     raise ServerOverloaded(retry_after, depth)
                 pending = PendingRequest(
-                    request=request, future=future, priority=priority, key=key
+                    request=request, future=future, priority=priority, key=key,
+                    trace=self._start_trace(request, trace_parent, start=now),
                 )
                 if key is not None and self.config.collapse_duplicates:
                     self._inflight[key] = []
@@ -277,9 +316,50 @@ class MappingServer:
                     self._dispatch_wake.notify()
         if cached_response is not None:
             # Outside the lock: set_result runs client done-callbacks,
-            # which must be free to call back into this server.
+            # which must be free to call back into this server.  A cache
+            # hit gets a trivial (already-finished) trace: zero admission
+            # wait, no compute spans.
+            handle = self._start_trace(
+                request, trace_parent, start=now, cache_hit=True
+            )
+            if handle is not None:
+                handle.record("admission", now, now, stage="admission_wait_s")
+                handle.finish(end=now)
+                cached_response = replace(
+                    cached_response,
+                    trace_id=handle.trace_id,
+                    stages=dict(handle.stages),
+                )
+            self._label_served(request)
             _resolve_future(future, value=cached_response)
         return future
+
+    def _start_trace(
+        self,
+        request: MappingRequest,
+        trace_parent: Optional[Tuple[str, str]] = None,
+        start: Optional[float] = None,
+        **attrs: object,
+    ) -> Optional[TraceHandle]:
+        # Backdate the root to the admission timestamp so the retroactive
+        # admission span nests inside it.
+        return self.tracer.start_trace(
+            "serve.request",
+            parent=trace_parent,
+            start=start,
+            problem=request.problem.name,
+            searcher=request.searcher,
+            tag=request.tag,
+            **attrs,
+        )
+
+    def _label_served(self, request: MappingRequest, count: int = 1) -> None:
+        self.metrics.inc_label(
+            "served_by_algorithm", request.problem.algorithm, count
+        )
+        self.metrics.inc_label(
+            "served_by_problem", problem_fingerprint(request.problem), count
+        )
 
     def map(
         self,
@@ -406,6 +486,16 @@ class MappingServer:
             extra["registry_watcher"] = self._watcher.snapshot()
         return self.metrics.snapshot(queue_depth=depth, extra=extra)
 
+    def trace_snapshot(self, trace_id: str) -> Optional[Dict[str, object]]:
+        """The span tree the gateway serves at ``/v1/trace/<id>``."""
+        return self.tracer.snapshot(trace_id)
+
+    def events_snapshot(
+        self, kind: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[Dict[str, object]]:
+        """Recent structured events (swap published, 429s, ...)."""
+        return obs_events.snapshot(kind=kind, limit=limit)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -498,10 +588,28 @@ class MappingServer:
         started = self._clock()
         items = batch.items
         self.metrics.observe_batch(len(items))
+        handles = [item.trace for item in items]
+        for item in items:
+            handle = item.trace
+            if isinstance(handle, TraceHandle):
+                # Queue time is only known once a worker picks the batch
+                # up, so both wait spans are recorded retroactively.
+                handle.record(
+                    "admission", item.enqueued_at, batch.flushed_at,
+                    stage="admission_wait_s", trigger=batch.trigger,
+                )
+                handle.record(
+                    "batch.wait", batch.flushed_at, started,
+                    stage="batch_wait_s", batch=len(items),
+                )
         try:
-            responses = self._runner(
-                self.engine, [item.request for item in items]
-            )
+            # The ambient context is index-aligned with the runner's
+            # request list; the cohort and the oracle's kernel spans
+            # attribute work to the right member through it.
+            with activate(handles):
+                responses = self._runner(
+                    self.engine, [item.request for item in items]
+                )
         except BaseException as error:  # noqa: BLE001 — isolate, then report
             if len(items) == 1:
                 self._fail_item(items[0], error)
@@ -528,7 +636,8 @@ class MappingServer:
 
     def _execute_solo(self, item: PendingRequest) -> None:
         try:
-            [response] = self._runner(self.engine, [item.request])
+            with activate([item.trace]):
+                [response] = self._runner(self.engine, [item.request])
         except BaseException as error:  # noqa: BLE001 — per-item fate
             self._fail_item(item, error)
         else:
@@ -537,26 +646,65 @@ class MappingServer:
     def _finish_item(
         self, item: PendingRequest, response: MappingResponse, finished: float
     ) -> None:
+        followers = self._pop_followers(item.key)
+        handle = item.trace
+        if isinstance(handle, TraceHandle) and not handle.closed:
+            handle.finish(end=finished)
+            # ``replace`` shares mutable fields, so every re-stamp below
+            # must carry its own fresh ``stages`` dict.  (Stub runners in
+            # tests may return non-dataclass sentinels — skip those.)
+            if isinstance(response, MappingResponse):
+                response = replace(
+                    response,
+                    trace_id=handle.trace_id,
+                    stages=dict(handle.stages),
+                )
         self.metrics.inc("served")
         self.metrics.observe_latency(finished - item.enqueued_at)
-        followers = self._pop_followers(item.key)
+        self._label_served(item.request, 1 + len(followers))
         self._cache_response(item.key, response)
         _resolve_future(item.future, value=response)
-        for tag, future, enqueued_at in followers:
+        for tag, future, enqueued_at, fhandle in followers:
             self.metrics.inc("served")
             self.metrics.observe_latency(finished - enqueued_at)
-            _resolve_future(future, value=replace(response, tag=tag))
+            follower_response = replace(response, tag=tag)
+            if fhandle is not None and not fhandle.closed:
+                # A follower shares the leader's compute (its trace links
+                # to the leader's kernel/search spans) but waited out the
+                # whole service in admission — its own span records that,
+                # and its stage breakdown sums to its own wall latency.
+                fhandle.record(
+                    "admission", enqueued_at, finished,
+                    stage="admission_wait_s",
+                )
+                if isinstance(handle, TraceHandle):
+                    fhandle.link(handle.trace_id)
+                    fhandle.annotate(leader_trace=handle.trace_id)
+                fhandle.finish(end=finished)
+                if isinstance(response, MappingResponse):
+                    follower_response = replace(
+                        response, tag=tag, trace_id=fhandle.trace_id,
+                        stages=dict(fhandle.stages),
+                    )
+            _resolve_future(future, value=follower_response)
 
     def _fail_item(self, item: PendingRequest, error: BaseException) -> None:
         self.metrics.inc("errors")
+        handle = item.trace
+        if isinstance(handle, TraceHandle) and not handle.closed:
+            handle.annotate(error=type(error).__name__)
+            handle.finish()
         _resolve_future(item.future, error=error)
-        for _tag, future, _enqueued_at in self._pop_followers(item.key):
+        for _tag, future, _enqueued_at, fhandle in self._pop_followers(item.key):
             self.metrics.inc("errors")
+            if fhandle is not None and not fhandle.closed:
+                fhandle.annotate(error=type(error).__name__)
+                fhandle.finish()
             _resolve_future(future, error=error)
 
     def _pop_followers(
         self, key: Optional[Hashable]
-    ) -> List[Tuple[str, Future, float]]:
+    ) -> List[Tuple[str, Future, float, Optional[TraceHandle]]]:
         if key is None:
             return []
         with self._lock:

@@ -1,0 +1,74 @@
+"""Regenerate the frozen ``MetricsRegistry.snapshot()`` schema fixture.
+
+Run from the repository root after an *intentional* snapshot-shape change
+(and only then — dashboards, the Prometheus renderer, and the cluster
+fleet aggregator all consume this shape, so accidental drift is exactly
+what the fixture exists to catch):
+
+    PYTHONPATH=src python tests/golden/generate_metrics_schema.py
+
+A registry on a fake clock is populated with one canonical observation
+set (every counter touched, both label dimensions, enough latencies for
+quantiles, two batch sizes for two histogram buckets) and the snapshot's
+*type tree* — not its values — is frozen to ``metrics_schema.json``.
+``tests/test_serve_metrics.py`` re-derives the schema from an identically
+populated registry and asserts it matches.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import FakeClock
+from repro.serve.metrics import MetricsRegistry
+
+SCHEMA_PATH = Path(__file__).parent / "metrics_schema.json"
+
+
+def canonical_snapshot() -> dict:
+    """One fixed observation set; bucket/label keys stay deterministic."""
+    clock = FakeClock(0.0)
+    registry = MetricsRegistry(clock=clock)
+    clock.advance(30.0)
+    for counter in MetricsRegistry.COUNTERS:
+        registry.inc(counter)
+    registry.observe_batch(2)
+    registry.observe_batch(5)
+    for ms in (10, 20, 30):
+        registry.observe_latency(ms / 1e3)
+    registry.inc_label("served_by_algorithm", "conv1d", 2)
+    registry.inc_label("served_by_problem", "f" * 16, 2)
+    return registry.snapshot(
+        queue_depth=1, extra={"oracle_cache": {"hits": 1, "misses": 2}}
+    )
+
+
+def derive_schema(value):
+    """Collapse a snapshot into its type tree (bool before int: bools
+    are ints in Python but not in the exposition contract)."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if isinstance(value, dict):
+        return {str(k): derive_schema(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [derive_schema(v) for v in value]
+    return type(value).__name__
+
+
+def main() -> None:
+    schema = derive_schema(canonical_snapshot())
+    SCHEMA_PATH.write_text(json.dumps(schema, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {SCHEMA_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,12 +7,13 @@ import textwrap
 import pytest
 
 from repro.analysis import analyze
-from repro.analysis.selftest import FIXTURES
+from repro.analysis.selftest import FIXTURE_PATHS, FIXTURES
 from repro.analysis.suppress import RPR900
 
 
 def run(tmp_path, source, select=None, name="case.py"):
     case = tmp_path / name
+    case.parent.mkdir(parents=True, exist_ok=True)
     case.write_text(textwrap.dedent(source), encoding="utf-8")
     result = analyze([case], select=select, root=tmp_path)
     return [f.rule_id for f in result.findings], result
@@ -21,15 +22,29 @@ def run(tmp_path, source, select=None, name="case.py"):
 @pytest.mark.parametrize("rule_id", sorted(FIXTURES))
 def test_rule_fires_on_bad_fixture(tmp_path, rule_id):
     bad, _good = FIXTURES[rule_id]
-    fired, _ = run(tmp_path, bad, select=[rule_id])
+    name = FIXTURE_PATHS.get(rule_id, "case.py")
+    fired, _ = run(tmp_path, bad, select=[rule_id], name=name)
     assert rule_id in fired
 
 
 @pytest.mark.parametrize("rule_id", sorted(FIXTURES))
 def test_rule_silent_on_good_fixture(tmp_path, rule_id):
     _bad, good = FIXTURES[rule_id]
-    fired, _ = run(tmp_path, good, select=[rule_id])
+    name = FIXTURE_PATHS.get(rule_id, "case.py")
+    fired, _ = run(tmp_path, good, select=[rule_id], name=name)
     assert rule_id not in fired
+
+
+def test_rpr105_is_scoped_to_observability_paths(tmp_path):
+    # The same direct clock read outside repro/obs/ and serve/metrics.py
+    # is RPR102's business (wall clock only), not RPR105's.
+    bad, _good = FIXTURES["RPR105"]
+    fired, _ = run(tmp_path, bad, select=["RPR105"], name="repro/util.py")
+    assert fired == []
+    fired, _ = run(
+        tmp_path, bad, select=["RPR105"], name="repro/serve/metrics.py"
+    )
+    assert fired != []
 
 
 def test_every_rule_has_a_fixture_pair():

@@ -1,0 +1,86 @@
+"""Unit tests for the bounded structured-event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import events
+from repro.obs.trace import FakeClock
+
+
+@pytest.fixture
+def log():
+    return events.EventLog(capacity=4, clock=FakeClock(10.0))
+
+
+class TestEventLog:
+    def test_emit_shapes_the_event(self, log):
+        event = log.emit("swap_published", algorithm="conv1d", version=3)
+        assert event["kind"] == "swap_published"
+        assert event["ts_s"] == 10.0
+        assert event["seq"] == 1
+        assert event["fields"] == {"algorithm": "conv1d", "version": 3}
+
+    def test_capacity_bounds_retention(self, log):
+        for i in range(10):
+            log.emit("overloaded", depth=i)
+        assert len(log) == 4
+        depths = [e["fields"]["depth"] for e in log.snapshot()]
+        assert depths == [6, 7, 8, 9]  # oldest-first, newest retained
+
+    def test_snapshot_filters_by_kind(self, log):
+        log.emit("failover", shard=1)
+        log.emit("overloaded", depth=2)
+        log.emit("failover", shard=0)
+        shards = [e["fields"]["shard"] for e in log.snapshot(kind="failover")]
+        assert shards == [1, 0]
+
+    def test_snapshot_limit_keeps_newest(self, log):
+        for i in range(4):
+            log.emit("overloaded", depth=i)
+        depths = [e["fields"]["depth"] for e in log.snapshot(limit=2)]
+        assert depths == [2, 3]
+        assert log.snapshot(limit=0) == []
+
+    def test_snapshot_copies_are_isolated(self, log):
+        log.emit("failover", shard=1)
+        snap = log.snapshot()
+        snap[0]["fields"]["shard"] = 999
+        assert log.snapshot()[0]["fields"]["shard"] == 1
+
+    def test_seq_is_monotonic(self, log):
+        seqs = [log.emit("overloaded")["seq"] for _ in range(3)]
+        assert seqs == [1, 2, 3]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            events.EventLog(capacity=0)
+
+    def test_unknown_kind_is_refused(self, log):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            log.emit("made_up_kind", anything=1)
+
+
+class TestDefaultLog:
+    def test_module_level_emit_goes_to_default(self):
+        previous = events.set_default_log(
+            events.EventLog(capacity=8, clock=FakeClock())
+        )
+        try:
+            events.emit("gate_rejected", algorithm="conv1d")
+            kinds = [e["kind"] for e in events.snapshot()]
+            assert kinds == ["gate_rejected"]
+        finally:
+            events.set_default_log(previous)
+
+    def test_set_default_log_returns_previous(self):
+        current = events.default_log()
+        replacement = events.EventLog(clock=FakeClock())
+        assert events.set_default_log(replacement) is current
+        assert events.set_default_log(current) is replacement
+
+    def test_known_kinds_catalog_is_sorted_and_complete(self):
+        assert list(events.KNOWN_KINDS) == sorted(events.KNOWN_KINDS)
+        for kind in ("swap_published", "gate_rejected", "failover",
+                     "overloaded", "shard_respawned", "shard_down"):
+            assert kind in events.KNOWN_KINDS

@@ -1,0 +1,344 @@
+"""End-to-end trace propagation: server, followers, failures, router.
+
+These tests drive real engines through the serving stack (no fake clocks:
+propagation is about *which* spans land in *whose* trace, not durations)
+plus router failover paths on injected fake RPC pools — no processes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.costmodel.accelerator import small_accelerator
+from repro.engine import EngineConfig, MappingEngine, MappingRequest
+from repro.serve import MappingServer, ServeConfig
+from repro.serve.codec import response_to_dict
+from repro.workloads import make_conv1d
+
+PROBLEM = make_conv1d("obs_prop", w=32, r=5)
+PROBLEM_B = make_conv1d("obs_prop_b", w=48, r=3)
+
+
+@pytest.fixture()
+def engine():
+    return MappingEngine(small_accelerator(), EngineConfig())
+
+
+@pytest.fixture(autouse=True)
+def fresh_event_log():
+    """Isolate the process-default event log: earlier tests in the same
+    process (real cluster failovers, overload probes) leave events behind."""
+    from repro.obs import events
+
+    previous = events.set_default_log(events.EventLog())
+    try:
+        yield
+    finally:
+        events.set_default_log(previous)
+
+
+def _request(problem=PROBLEM, seed=0, tag="", searcher="random",
+             iterations=20):
+    return MappingRequest(
+        problem, searcher=searcher, iterations=iterations, seed=seed, tag=tag
+    )
+
+
+def _span_names(snapshot):
+    return [s["name"] for s in snapshot["spans"]]
+
+
+def _well_nested(snapshot):
+    """Every non-root span's parent exists; same-pid children sit inside
+    their parent's interval."""
+    spans = {s["span_id"]: s for s in snapshot["spans"]}
+    for s in snapshot["spans"]:
+        parent = s["parent_id"]
+        if parent is None:
+            continue
+        assert parent in spans, f"orphan span {s['name']}"
+        p = spans[parent]
+        if p["pid"] == s["pid"]:
+            assert s["start"] >= p["start"] - 1e-9
+            if s["end"] is not None and p["end"] is not None:
+                assert s["end"] <= p["end"] + 1e-9
+    return True
+
+
+class TestServerTraces:
+    def test_response_carries_a_complete_trace(self, engine):
+        server = MappingServer(
+            engine, ServeConfig(max_batch=4, max_wait_s=0.005, workers=1)
+        )
+        try:
+            response = server.submit(_request(seed=1, tag="t")).result(
+                timeout=30
+            )
+            assert response.trace_id
+            snap = server.trace_snapshot(response.trace_id)
+            assert snap is not None
+            names = _span_names(snap)
+            assert names[0] == "serve.request"
+            assert "admission" in names
+            assert "batch.wait" in names
+            assert "finalize" in names
+            assert _well_nested(snap)
+            # The sealed stage breakdown equals what the response carries.
+            assert snap["stages"] == response.stages
+            root = snap["spans"][0]
+            wall = root["end"] - root["start"]
+            total = sum(response.stages.values())
+            assert total <= wall + 1e-6
+            assert total >= 0.5 * wall  # breakdown accounts for the bulk
+        finally:
+            server.shutdown(timeout=10.0)
+
+    def test_cohort_rounds_and_kernel_spans_attributed(self, engine):
+        # Two coalescible searches in one batch: each trace gets its own
+        # cohort.round spans; the shared prewarm kernel lands in both.
+        server = MappingServer(
+            engine, ServeConfig(max_batch=8, max_wait_s=0.25, workers=1)
+        )
+        try:
+            futures = [
+                server.submit(_request(problem, seed=7, tag=f"m{i}"))
+                for i, problem in enumerate((PROBLEM, PROBLEM_B))
+            ]
+            responses = [f.result(timeout=30) for f in futures]
+            for response in responses:
+                snap = server.trace_snapshot(response.trace_id)
+                names = _span_names(snap)
+                assert "cohort.round" in names
+                assert "megabatch.kernel" in names
+                assert _well_nested(snap)
+                assert response.stages.get("kernel_s", 0.0) > 0.0
+                kernel = next(
+                    s for s in snap["spans"]
+                    if s["name"] == "megabatch.kernel"
+                )
+                assert kernel["attrs"]["lanes"] >= 2  # megabatched union
+        finally:
+            server.shutdown(timeout=10.0)
+
+    def test_follower_records_admission_and_links_leader(self, engine):
+        server = MappingServer(
+            engine,
+            ServeConfig(
+                max_batch=8, max_wait_s=0.25, workers=1,
+                response_cache_size=0,
+            ),
+        )
+        try:
+            leader_future = server.submit(_request(seed=3, tag="leader"))
+            follower_future = server.submit(_request(seed=3, tag="dup"))
+            leader = leader_future.result(timeout=30)
+            follower = follower_future.result(timeout=30)
+            assert follower.tag == "dup"
+            assert follower.trace_id
+            assert follower.trace_id != leader.trace_id
+            snap = server.trace_snapshot(follower.trace_id)
+            names = _span_names(snap)
+            # The follower's own trace is just its root + admission wait;
+            # the leader's kernel/search spans are shared via the link.
+            assert "admission" in names
+            assert "cohort.round" not in names
+            assert snap["links"] == [leader.trace_id]
+            leader_names = [
+                s["name"] for s in snap["linked_spans"][leader.trace_id]
+            ]
+            assert "finalize" in leader_names
+            assert set(follower.stages) == {"admission_wait_s"}
+        finally:
+            server.shutdown(timeout=10.0)
+
+    def test_failed_request_finishes_trace_with_error(self, engine):
+        def exploding_runner(engine_, requests):
+            raise RuntimeError("boom")
+
+        server = MappingServer(
+            engine,
+            ServeConfig(max_batch=1, max_wait_s=0.0, workers=1),
+            runner=exploding_runner,
+        )
+        try:
+            future = server.submit(_request(seed=5, tag="doomed"))
+            with pytest.raises(RuntimeError):
+                future.result(timeout=30)
+            # The trace is sealed, queryable, and carries the error class.
+            [trace_id] = server.tracer.trace_ids()
+            snap = server.trace_snapshot(trace_id)
+            root = snap["spans"][0]
+            assert root["end"] is not None
+            assert root["attrs"]["error"] == "RuntimeError"
+        finally:
+            server.shutdown(timeout=10.0)
+
+    def test_tracing_off_yields_no_trace(self, engine):
+        server = MappingServer(
+            engine, ServeConfig(max_batch=4, max_wait_s=0.005, tracing=False)
+        )
+        try:
+            response = server.submit(_request(seed=2)).result(timeout=30)
+            assert response.trace_id == ""
+            assert response.stages == {}
+            assert server.tracer.trace_ids() == []
+        finally:
+            server.shutdown(timeout=10.0)
+
+    def test_cache_hit_gets_its_own_trivial_trace(self, engine):
+        server = MappingServer(
+            engine, ServeConfig(max_batch=4, max_wait_s=0.005, workers=1)
+        )
+        try:
+            first = server.submit(_request(seed=9, tag="a")).result(
+                timeout=30
+            )
+            second = server.submit(_request(seed=9, tag="b")).result(
+                timeout=30
+            )
+            assert second.trace_id
+            assert second.trace_id != first.trace_id
+            snap = server.trace_snapshot(second.trace_id)
+            assert _span_names(snap)[0] == "serve.request"
+            assert snap["spans"][0]["attrs"].get("cache_hit") is True
+        finally:
+            server.shutdown(timeout=10.0)
+
+
+class _FakePool:
+    """Stands in for a ConnectionPool; scripted reply or failure."""
+
+    def __init__(self, reply=None, error=None):
+        self.reply = reply
+        self.error = error
+        self.calls = []
+
+    def call(self, payload, timeout_s=None):
+        self.calls.append(payload)
+        if self.error is not None:
+            raise self.error
+        return self.reply
+
+    def close(self):
+        pass
+
+
+def _router_without_processes(num_shards=2):
+    from repro.cluster import ClusterConfig, ClusterRouter
+
+    config = ClusterConfig(
+        num_shards=num_shards,
+        accelerator=small_accelerator(),
+        respawn=False,
+    )
+    return ClusterRouter(config)
+
+
+def _ok_reply(engine, request, trace_payload):
+    """A canned shard reply: a real response traced by a real server."""
+    server = MappingServer(
+        engine, ServeConfig(max_batch=1, max_wait_s=0.0, workers=1)
+    )
+    try:
+        trace_parent = (
+            (trace_payload["trace_id"], trace_payload.get("parent_span", ""))
+            if trace_payload
+            else None
+        )
+        response = server.submit(
+            request, trace_parent=trace_parent
+        ).result(timeout=30)
+        return {
+            "ok": True,
+            "response": response_to_dict(response),
+            "spans": server.tracer.export_spans(response.trace_id),
+        }
+    finally:
+        server.shutdown(timeout=10.0)
+
+
+class TestRouterTraces:
+    def test_failover_attempts_are_sibling_spans(self, engine):
+        router = _router_without_processes(num_shards=2)
+        try:
+            request = _request(seed=11, tag="fo")
+            primary = router.shard_for(request)
+            backup = 1 - primary
+
+            class _ServingPool(_FakePool):
+                def call(self, payload, timeout_s=None):
+                    self.calls.append(payload)
+                    return _ok_reply(engine, request, payload.get("trace"))
+
+            dead = _FakePool(error=ConnectionError("shard gone"))
+            alive = _ServingPool()
+            for shard_id, pool in ((primary, dead), (backup, alive)):
+                handle = router._handles[shard_id]
+                handle.pool = pool
+                handle.live = True
+            router._accepting = True
+            response = router.submit(request).result(timeout=60)
+            assert response.trace_id
+            assert router.counters["failovers"].value == 1
+            snap = router.trace_snapshot(response.trace_id)
+            [tree] = snap["tree"]
+            assert tree["span"]["name"] == "cluster.request"
+            rpc_nodes = [
+                c for c in tree["children"]
+                if c["span"]["name"] == "shard.rpc"
+            ]
+            assert len(rpc_nodes) == 2  # failed + served, side by side
+            by_attempt = sorted(
+                rpc_nodes, key=lambda n: n["span"]["attrs"]["attempt"]
+            )
+            assert by_attempt[0]["span"]["attrs"]["shard"] == primary
+            assert (
+                by_attempt[0]["span"]["attrs"]["error"] == "ConnectionError"
+            )
+            assert by_attempt[1]["span"]["attrs"]["shard"] == backup
+            # The shard's own spans merged in under the served attempt.
+            child_names = [
+                c["span"]["name"] for c in by_attempt[1]["children"]
+            ]
+            assert "serve.request" in child_names
+            # Failover surfaced as an event too.
+            kinds = [
+                e["kind"] for e in router.events_snapshot(kind="failover")
+            ]
+            assert kinds == ["failover"]
+        finally:
+            router._accepting = False
+            router._executor.shutdown(wait=False)
+
+    def test_router_merges_shard_stages_plus_overhead(self, engine):
+        router = _router_without_processes(num_shards=1)
+        try:
+            request = _request(seed=13, tag="merge")
+
+            class _ServingPool(_FakePool):
+                def call(self, payload, timeout_s=None):
+                    self.calls.append(payload)
+                    return _ok_reply(engine, request, payload.get("trace"))
+
+            handle = router._handles[0]
+            handle.pool = _ServingPool()
+            handle.live = True
+            router._accepting = True
+            response = router.submit(request).result(timeout=60)
+            assert "router_overhead_s" in response.stages
+            assert response.stages["router_overhead_s"] >= 0.0
+            assert "admission_wait_s" in response.stages
+            snap = router.trace_snapshot(response.trace_id)
+            assert _well_nested(snap)
+            # The shard adopted the router's trace id end-to-end.
+            pids = {s["pid"] for s in snap["spans"]}
+            assert len(pids) == 1  # same process here, but one merged tree
+            names = _span_names(snap)
+            assert "cluster.request" in names
+            assert "serve.request" in names
+        finally:
+            router._accepting = False
+            router._executor.shutdown(wait=False)

@@ -1,0 +1,244 @@
+"""Unit tests for repro.obs.trace on a fully fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import (
+    FakeClock,
+    Span,
+    Tracer,
+    activate,
+    current_handles,
+    span,
+    span_tree,
+)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock(100.0)
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+class TestFakeClock:
+    def test_advance(self, clock):
+        assert clock() == 100.0
+        clock.advance(2.5)
+        assert clock() == 102.5
+
+    def test_rejects_negative(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestSpans:
+    def test_root_span_opens_at_start(self, tracer, clock):
+        handle = tracer.start_trace("serve.request", problem="conv")
+        snap = tracer.snapshot(handle.trace_id)
+        [root] = snap["spans"]
+        assert root["name"] == "serve.request"
+        assert root["start"] == 100.0
+        assert root["end"] is None
+        assert root["attrs"]["problem"] == "conv"
+
+    def test_nesting_follows_the_stack(self, tracer, clock):
+        handle = tracer.start_trace("root")
+        outer = handle.open_span("outer")
+        clock.advance(1.0)
+        inner = handle.open_span("inner")
+        clock.advance(1.0)
+        handle.close_span(inner)
+        handle.close_span(outer)
+        handle.finish()
+        snap = tracer.snapshot(handle.trace_id)
+        [tree] = snap["tree"]
+        assert tree["span"]["name"] == "root"
+        [outer_node] = tree["children"]
+        assert outer_node["span"]["name"] == "outer"
+        [inner_node] = outer_node["children"]
+        assert inner_node["span"]["name"] == "inner"
+        assert inner_node["span"]["start"] >= outer_node["span"]["start"]
+        assert inner_node["span"]["end"] <= outer_node["span"]["end"]
+
+    def test_close_span_accrues_stage(self, tracer, clock):
+        handle = tracer.start_trace("root")
+        sid = handle.open_span("kernel")
+        clock.advance(0.5)
+        handle.close_span(sid, stage="kernel_s")
+        assert handle.stages == {"kernel_s": 0.5}
+
+    def test_record_retroactive_span(self, tracer, clock):
+        handle = tracer.start_trace("root")
+        clock.advance(3.0)
+        handle.record("admission", 100.0, 101.5, stage="admission_wait_s")
+        assert handle.stages["admission_wait_s"] == 1.5
+        snap = tracer.snapshot(handle.trace_id)
+        admission = next(
+            s for s in snap["spans"] if s["name"] == "admission"
+        )
+        assert admission["parent_id"] == handle.root_id
+        assert admission["end"] == 101.5
+
+    def test_finish_closes_open_spans_and_seals(self, tracer, clock):
+        handle = tracer.start_trace("root")
+        handle.open_span("dangling")
+        clock.advance(1.0)
+        handle.add_stage("kernel_s", 0.25)
+        handle.finish()
+        assert handle.closed
+        snap = tracer.snapshot(handle.trace_id)
+        assert all(s["end"] is not None for s in snap["spans"])
+        assert snap["stages"] == {"kernel_s": 0.25}
+
+    def test_closed_handle_is_inert(self, tracer, clock):
+        handle = tracer.start_trace("root")
+        handle.finish()
+        before = tracer.snapshot(handle.trace_id)["spans"]
+        assert handle.open_span("late") is None
+        handle.record("late", 0.0, 1.0, stage="kernel_s")
+        handle.add_stage("kernel_s", 9.0)
+        handle.annotate(extra=True)
+        handle.link("t-whatever")
+        assert handle.stages == {}
+        assert tracer.snapshot(handle.trace_id)["spans"] == before
+
+    def test_duration_property(self):
+        s = Span(trace_id="t", span_id="s", parent_id=None, name="n",
+                 start=1.0, end=3.5)
+        assert s.duration_s == 2.5
+        assert Span(trace_id="t", span_id="s2", parent_id=None, name="n",
+                    start=1.0).duration_s is None
+
+
+class TestTracer:
+    def test_disabled_tracer_returns_none(self, clock):
+        tracer = Tracer(clock=clock, enabled=False)
+        assert tracer.start_trace("root") is None
+        assert tracer.ingest([{"trace_id": "t"}]) == 0
+
+    def test_ids_are_unique_and_deterministic_in_form(self, tracer):
+        a = tracer.start_trace("a")
+        b = tracer.start_trace("b")
+        assert a.trace_id != b.trace_id
+        assert a.trace_id.startswith("t")
+        assert a.root_id.startswith("s")
+
+    def test_lru_eviction_bounds_memory(self, clock):
+        tracer = Tracer(clock=clock, max_traces=2)
+        handles = [tracer.start_trace(f"r{i}") for i in range(3)]
+        ids = tracer.trace_ids()
+        assert len(ids) == 2
+        assert handles[0].trace_id not in ids
+        # The evicted handle degrades gracefully: spans are dropped.
+        assert handles[0].open_span("late") is None
+        assert tracer.snapshot(handles[0].trace_id) is None
+
+    def test_adopting_a_remote_parent(self, tracer):
+        handle = tracer.start_trace(
+            "serve.request", parent=("t-remote", "s-remote")
+        )
+        assert handle.trace_id == "t-remote"
+        snap = tracer.snapshot("t-remote")
+        [root] = snap["spans"]
+        assert root["parent_id"] == "s-remote"
+
+    def test_ingest_merges_remote_spans(self, tracer, clock):
+        handle = tracer.start_trace("cluster.request")
+        rpc = handle.open_span("shard.rpc")
+        remote = [
+            {
+                "trace_id": handle.trace_id,
+                "span_id": "sdead.1",
+                "parent_id": rpc,
+                "name": "serve.request",
+                "start": 0.0,
+                "end": 1.0,
+                "pid": 4242,
+            },
+            {"malformed": True},
+        ]
+        assert tracer.ingest(remote) == 1
+        handle.close_span(rpc)
+        handle.finish()
+        snap = tracer.snapshot(handle.trace_id)
+        names = {s["name"] for s in snap["spans"]}
+        assert "serve.request" in names
+        [tree] = snap["tree"]
+        rpc_node = next(
+            c for c in tree["children"] if c["span"]["name"] == "shard.rpc"
+        )
+        assert [c["span"]["name"] for c in rpc_node["children"]] == [
+            "serve.request"
+        ]
+
+    def test_links_surface_linked_spans(self, tracer):
+        leader = tracer.start_trace("leader")
+        follower = tracer.start_trace("follower")
+        follower.link(leader.trace_id)
+        snap = tracer.snapshot(follower.trace_id)
+        assert snap["links"] == [leader.trace_id]
+        assert leader.trace_id in snap["linked_spans"]
+
+
+class TestAmbient:
+    def test_span_is_noop_without_context(self, tracer):
+        with span("kernel") as recorded:
+            assert recorded is False
+        assert current_handles() == ()
+
+    def test_span_fans_out_to_live_handles(self, tracer, clock):
+        a = tracer.start_trace("a")
+        b = tracer.start_trace("b")
+        b.finish()
+        with activate([a, None, b]):
+            assert current_handles() == (a, None, b)
+            with span("kernel", stage="kernel_s", lanes=3) as recorded:
+                assert recorded is True
+                clock.advance(0.25)
+        assert a.stages == {"kernel_s": 0.25}
+        assert b.stages == {}
+        kernel = next(
+            s for s in tracer.snapshot(a.trace_id)["spans"]
+            if s["name"] == "kernel"
+        )
+        assert kernel["attrs"]["lanes"] == 3
+
+    def test_attrs_fn_only_called_when_listening(self, tracer):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"lanes": 1}
+
+        with span("kernel", attrs_fn=build):
+            pass
+        assert calls == []
+        handle = tracer.start_trace("a")
+        with activate([handle]):
+            with span("kernel", attrs_fn=build):
+                pass
+        assert calls == [1]
+
+    def test_activation_nests_and_restores(self, tracer):
+        a = tracer.start_trace("a")
+        b = tracer.start_trace("b")
+        with activate([a]):
+            with activate([b]):
+                assert current_handles() == (b,)
+            assert current_handles() == (a,)
+        assert current_handles() == ()
+
+
+class TestSpanTree:
+    def test_orphans_become_roots(self):
+        spans = [
+            {"span_id": "s1", "parent_id": "missing", "start": 1.0},
+            {"span_id": "s2", "parent_id": None, "start": 0.0},
+        ]
+        roots = span_tree(spans)
+        assert [r["span"]["span_id"] for r in roots] == ["s2", "s1"]

@@ -1,6 +1,9 @@
 """Metrics primitives: P² quantiles vs exact, histograms, registry snapshot."""
 
+import importlib.util
+import json
 import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -12,6 +15,20 @@ from repro.serve.metrics import (
     P2Quantile,
     SizeHistogram,
 )
+
+_GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _load_schema_tools():
+    """The generator script owns both the canonical population and the
+    schema derivation; load it by path so the test can't drift from it."""
+    spec = importlib.util.spec_from_file_location(
+        "generate_metrics_schema",
+        _GOLDEN_DIR / "generate_metrics_schema.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 class TestP2Quantile:
@@ -35,6 +52,32 @@ class TestP2Quantile:
 
     def test_empty_returns_none(self):
         assert P2Quantile(0.5).value() is None
+
+    # Pinned nearest-rank order statistics for every n the P² estimator
+    # handles exactly (its marker state only engages from the 6th sample):
+    # rank = max(ceil(q*n), 1) over [10, 20, ...][:n], matching numpy's
+    # ``inverted_cdf`` percentile method.
+    @pytest.mark.parametrize("n, expected", [
+        (0, {0.5: None, 0.95: None, 0.99: None}),
+        (1, {0.5: 10.0, 0.95: 10.0, 0.99: 10.0}),
+        (2, {0.5: 10.0, 0.95: 20.0, 0.99: 20.0}),
+        (3, {0.5: 20.0, 0.95: 30.0, 0.99: 30.0}),
+        (4, {0.5: 20.0, 0.95: 40.0, 0.99: 40.0}),
+        (5, {0.5: 30.0, 0.95: 50.0, 0.99: 50.0}),
+    ])
+    def test_small_samples_are_exact_order_statistics(self, n, expected):
+        values = [10.0, 20.0, 30.0, 40.0, 50.0][:n]
+        for q, want in expected.items():
+            estimator = P2Quantile(q)
+            # Feed in a scrambled order: exactness must not depend on it.
+            for value in reversed(values):
+                estimator.observe(value)
+            assert estimator.value() == want, f"q={q} n={n}"
+            if n:
+                exact = float(np.percentile(
+                    values, q * 100, method="inverted_cdf"
+                ))
+                assert estimator.value() == exact
 
     def test_rejects_degenerate_quantile(self):
         with pytest.raises(ValueError):
@@ -111,6 +154,26 @@ class TestLatencyTracker:
         snapshot = LatencyTracker().snapshot()
         assert snapshot["count"] == 0
         assert snapshot["p50_ms"] is None
+
+
+class TestSnapshotSchemaGolden:
+    """``snapshot()``'s shape is a public contract (dashboards, the
+    Prometheus renderer, the fleet aggregator); drift must be loud."""
+
+    def test_snapshot_matches_frozen_schema(self):
+        tools = _load_schema_tools()
+        frozen = json.loads((_GOLDEN_DIR / "metrics_schema.json").read_text())
+        derived = tools.derive_schema(tools.canonical_snapshot())
+        assert derived == frozen, (
+            "MetricsRegistry.snapshot() schema drifted; if intentional, "
+            "rerun tests/golden/generate_metrics_schema.py"
+        )
+
+    def test_schema_covers_every_counter_and_label(self):
+        tools = _load_schema_tools()
+        frozen = json.loads((_GOLDEN_DIR / "metrics_schema.json").read_text())
+        assert set(frozen["counters"]) == set(MetricsRegistry.COUNTERS)
+        assert set(frozen["labels"]) == set(MetricsRegistry.LABELS)
 
 
 class TestRegistry:
