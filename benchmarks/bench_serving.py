@@ -30,10 +30,20 @@ min-time per arm.  The open-loop arms cannot resolve a 5% budget: their
 run-to-run spread is +-10-15% of batching/scheduling luck on the long
 annealing requests.  Results land in ``BENCH_serving.json`` under
 ``tracing_overhead``.
+
+The continuous sampling profiler gets the same paired-min treatment with
+a tighter budget (>= 0.97, i.e. < 3%): ``serve_batch`` with a
+``SamplingProfiler`` running at its default 5ms cadence vs without.
+On a single usable core every thread shares one core and scheduler
+jitter alone swings the paired-min ratio a few percent, so *both*
+overhead gates degrade to a 10% bound there (the same convention as
+the cluster bench's core-starved scaling floor).  Results land under
+``profiler_overhead``.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import Future
@@ -60,6 +70,23 @@ CLIENTS = 32
 #: loop must offer more than the batcher can absorb for the measured
 #: throughput to be the batcher's, not the generator's.
 OVERLOAD = 8.0
+
+#: Overhead gates: tracing must cost < 5% and sampling < 3% throughput
+#: on any multi-core host (the CI shape).  Core-starved, the
+#: measurement floor is set by scheduler jitter (paired-min runs swing
+#: several percent run to run when every thread shares one core), not
+#: by the instrument — both gates degrade to a 10% overhead bound.
+TRACING_BUDGET_MULTI_CORE = 0.95
+PROFILER_BUDGET_MULTI_CORE = 0.97
+SINGLE_CORE_BUDGET = 0.90
+
+
+def usable_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def _catalog() -> List[MappingRequest]:
@@ -153,6 +180,60 @@ def _tracing_overhead_ratio(
     }
 
 
+def _profiler_overhead_ratio(
+    requests_per_run: int = 24, repeats: int = 7, interval_s: float = 0.005
+) -> Tuple[float, dict]:
+    """Sampling-profiler cost through the full cohort hot path.
+
+    Same paired-min protocol as :func:`_tracing_overhead_ratio`: the
+    fixed seeded batch through ``serve_batch`` with a
+    ``SamplingProfiler`` running at its default cadence vs without, fresh
+    engine each run, interleaved, min-time per arm.  Returns the on/off
+    throughput ratio (unprofiled time / profiled time) plus detail.
+    """
+    from repro.obs.profile import SamplingProfiler
+    from repro.serve.cohort import serve_batch
+
+    requests = _distinct_stream(requests_per_run)
+    samples = 0
+
+    def run(profiled: bool) -> float:
+        nonlocal samples
+        engine = _fresh_engine()
+        profiler = SamplingProfiler(interval_s=interval_s) if profiled else None
+        if profiler is not None:
+            profiler.start()
+        try:
+            started = time.perf_counter()
+            serve_batch(engine, requests)
+            elapsed = time.perf_counter() - started
+        finally:
+            if profiler is not None:
+                profiler.stop()
+                samples += profiler.snapshot(limit=0)["samples"]
+        return elapsed
+
+    run(True), run(False)  # warmup pair (imports, numpy dispatch, caches)
+    samples = 0
+    profiled_times: List[float] = []
+    unprofiled_times: List[float] = []
+    for _ in range(repeats):
+        profiled_times.append(run(True))
+        unprofiled_times.append(run(False))
+    profiled_best = min(profiled_times)
+    unprofiled_best = min(unprofiled_times)
+    return unprofiled_best / profiled_best, {
+        "requests_per_run": requests_per_run,
+        "repeats": repeats,
+        "interval_s": interval_s,
+        "samples_total": samples,
+        "profiled_rps": requests_per_run / profiled_best,
+        "unprofiled_rps": requests_per_run / unprofiled_best,
+        "profiled_times_s": profiled_times,
+        "unprofiled_times_s": unprofiled_times,
+    }
+
+
 def _baseline_throughput(requests: Sequence[MappingRequest]) -> float:
     engine = _fresh_engine()
     started = time.perf_counter()
@@ -238,8 +319,14 @@ def test_serving_throughput_vs_per_request_map(benchmark):
     # Context row: the distinct stream once more with the tracer off.
     untraced_rps, _ = _serve_throughput(distinct, rate, tracing=False)
 
-    # The overhead *gate* is measured paired (see module docstring).
+    # The overhead *gates* are measured paired (see module docstring).
     tracing_ratio, tracing_detail = _tracing_overhead_ratio()
+    profiler_ratio, profiler_detail = _profiler_overhead_ratio()
+    cores = usable_cores()
+    tracing_budget = (TRACING_BUDGET_MULTI_CORE if cores >= 2
+                      else SINGLE_CORE_BUDGET)
+    profiler_budget = (PROFILER_BUDGET_MULTI_CORE if cores >= 2
+                       else SINGLE_CORE_BUDGET)
 
     def once():
         return _serve_throughput(_zipf_stream(rng, 64), rate)
@@ -276,7 +363,15 @@ def test_serving_throughput_vs_per_request_map(benchmark):
         + (
             f"\ntracing overhead (paired serve_batch, min of "
             f"{tracing_detail['repeats']}): on/off throughput ratio "
-            f"{tracing_ratio:.3f} (budget >= 0.95)"
+            f"{tracing_ratio:.3f} "
+            f"(budget >= {tracing_budget:.2f} on {cores} usable cores)"
+        )
+        + (
+            f"\nprofiler overhead (paired serve_batch, min of "
+            f"{profiler_detail['repeats']}, "
+            f"{profiler_detail['interval_s'] * 1e3:.0f}ms cadence): "
+            f"on/off throughput ratio {profiler_ratio:.3f} "
+            f"(budget >= {profiler_budget:.2f} on {cores} usable cores)"
         ),
     )
 
@@ -306,9 +401,16 @@ def test_serving_throughput_vs_per_request_map(benchmark):
         "counters": snapshot["counters"],
         "tracing_overhead": {
             "throughput_ratio": tracing_ratio,
-            "budget": 0.95,
+            "budget": tracing_budget,
+            "usable_cores": cores,
             "open_loop_untraced_rps": untraced_rps,
             **tracing_detail,
+        },
+        "profiler_overhead": {
+            "throughput_ratio": profiler_ratio,
+            "budget": profiler_budget,
+            "usable_cores": cores,
+            **profiler_detail,
         },
     })
 
@@ -325,8 +427,17 @@ def test_serving_throughput_vs_per_request_map(benchmark):
     )
     # Coalescing alone must never cost throughput.
     assert distinct_ratio >= 0.9
-    # Observability budget: span capture costs < 5% throughput.
-    assert tracing_ratio >= 0.95, (
+    # Observability budget: span capture costs < 5% throughput
+    # (multi-core; single-core degrades to the 10% overhead bound).
+    assert tracing_ratio >= tracing_budget, (
         f"tracing-on throughput is {tracing_ratio:.3f} of tracing-off "
-        f"(budget >= 0.95): span capture has grown too expensive"
+        f"(budget >= {tracing_budget:.2f} on {cores} usable cores): "
+        f"span capture has grown too expensive"
+    )
+    # Profiler budget: continuous stack sampling costs < 3% throughput
+    # (multi-core; single-core degrades to the 10% overhead bound).
+    assert profiler_ratio >= profiler_budget, (
+        f"profiler-on throughput is {profiler_ratio:.3f} of profiler-off "
+        f"(budget >= {profiler_budget:.2f} on {cores} usable cores): "
+        f"stack sampling has grown too expensive"
     )

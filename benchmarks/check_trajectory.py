@@ -1,0 +1,186 @@
+"""Diff fresh ``BENCH_*.json`` runs against the committed trajectory.
+
+``benchmarks/trajectory/`` holds committed nightly benchmark snapshots —
+the performance trajectory the repo promises not to regress.  This
+script compares a directory of freshly produced ``BENCH_*.json`` files
+(``$BENCH_JSON_DIR`` or ``--fresh``) against the committed ones,
+direction-aware and with explicit noise bands:
+
+* **higher-is-better** metrics (``*_rps``, ``speedup``, ``*ratio``,
+  ``rho``, ``hit_rate``) must not drop below ``committed * (1 - band)``;
+* **lower-is-better** metrics (``*_ms``, ``*latency*``, ``*_s`` scalars
+  named like durations) must not rise above ``committed * (1 + band)``;
+* everything else (counters, configs, timestamps, raw sample lists) is
+  context, not a gate — benchmark noise on shared CI boxes is real, so
+  only clearly directional metrics participate, and the default band is
+  a deliberately loose 25%.
+
+Exit status is 1 when any gated metric regresses beyond its band.
+``--update`` instead copies the fresh files over the committed ones
+(the "ratchet" a maintainer runs after a legitimate perf change).
+
+Usage::
+
+    BENCH_JSON_DIR=bench-artifacts python -m pytest -q benchmarks/bench_serving.py
+    python benchmarks/check_trajectory.py --fresh bench-artifacts
+    python benchmarks/check_trajectory.py --fresh bench-artifacts --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Key-name fragments that mark a metric "higher is better".
+HIGHER_IS_BETTER = ("rps", "speedup", "ratio", "rho", "hit_rate")
+
+#: Key-name fragments that mark a metric "lower is better".
+LOWER_IS_BETTER = ("latency", "_ms", "p50", "p95", "p99", "overhead_s",
+                   "time_s", "elapsed_s")
+
+#: Keys never compared: timestamps vary run to run by construction, and
+#: "iterations" is a config constant that merely *contains* "ratio".
+SKIPPED_KEYS = ("unix_time", "iteration")
+
+#: Default relative noise band (25%): wide enough for shared-runner
+#: scheduling jitter, tight enough to catch a real 2x regression.
+DEFAULT_BAND = 0.25
+
+
+def _direction(key: str) -> Optional[str]:
+    """``"up"``/``"down"``/None for the leaf key's gating direction.
+
+    Lower-is-better wins ties (``latency_ratio`` reads as a latency), so
+    a mixed name never silently gates in the wrong direction — except
+    the overhead throughput ratios, which are explicitly throughput.
+    """
+    lowered = key.lower()
+    if any(fragment in lowered for fragment in SKIPPED_KEYS):
+        return None
+    if "throughput_ratio" in lowered:
+        return "up"
+    if any(fragment in lowered for fragment in LOWER_IS_BETTER):
+        return "down"
+    if any(fragment in lowered for fragment in HIGHER_IS_BETTER):
+        return "up"
+    return None
+
+
+def _numeric_leaves(node: object, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, value)`` for every numeric scalar leaf.
+
+    Lists are skipped: in these documents they hold raw per-repeat
+    samples, which are detail rather than headline metrics.
+    """
+    if isinstance(node, dict):
+        for key in sorted(node):
+            yield from _numeric_leaves(node[key],
+                                       f"{prefix}.{key}" if prefix else key)
+    elif isinstance(node, bool):
+        return
+    elif isinstance(node, (int, float)):
+        yield prefix, float(node)
+
+
+def compare_documents(
+    committed: Dict[str, object], fresh: Dict[str, object], band: float
+) -> Tuple[List[str], List[str]]:
+    """Returns ``(regressions, checked)`` message lists for one pair."""
+    fresh_values = dict(_numeric_leaves(fresh))
+    regressions: List[str] = []
+    checked: List[str] = []
+    for path, committed_value in _numeric_leaves(committed):
+        direction = _direction(path.rsplit(".", 1)[-1]) or _direction(path)
+        if direction is None or path not in fresh_values:
+            continue
+        fresh_value = fresh_values[path]
+        if direction == "up":
+            floor = committed_value * (1.0 - band)
+            ok = fresh_value >= floor
+            bound_text = f">= {floor:.4g}"
+        else:
+            ceiling = committed_value * (1.0 + band)
+            ok = fresh_value <= ceiling
+            bound_text = f"<= {ceiling:.4g}"
+        line = (f"{path}: committed {committed_value:.4g}, "
+                f"fresh {fresh_value:.4g} (gate {bound_text})")
+        checked.append(line)
+        if not ok:
+            regressions.append(line)
+    return regressions, checked
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate fresh BENCH_*.json files against the committed "
+                    "benchmarks/trajectory/ snapshots.",
+    )
+    parser.add_argument("--fresh", type=Path, default=Path("."),
+                        help="directory holding freshly produced "
+                             "BENCH_*.json files (default: cwd)")
+    parser.add_argument("--committed", type=Path,
+                        default=Path(__file__).parent / "trajectory",
+                        help="committed trajectory directory")
+    parser.add_argument("--band", type=float, default=DEFAULT_BAND,
+                        help=f"relative noise band (default {DEFAULT_BAND})")
+    parser.add_argument("--update", action="store_true",
+                        help="copy fresh files over the committed snapshots "
+                             "instead of gating (the perf ratchet)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every gated comparison, not just "
+                             "regressions")
+    args = parser.parse_args(argv)
+
+    fresh_files = sorted(args.fresh.glob("BENCH_*.json"))
+    if not fresh_files:
+        print(f"check_trajectory: no BENCH_*.json under {args.fresh}",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        args.committed.mkdir(parents=True, exist_ok=True)
+        for path in fresh_files:
+            shutil.copyfile(path, args.committed / path.name)
+            print(f"updated {args.committed / path.name}")
+        return 0
+
+    failures = 0
+    compared = 0
+    for path in fresh_files:
+        committed_path = args.committed / path.name
+        if not committed_path.exists():
+            print(f"SKIP {path.name}: no committed snapshot "
+                  f"(run with --update to add one)")
+            continue
+        committed = json.loads(committed_path.read_text())
+        fresh = json.loads(path.read_text())
+        regressions, checked = compare_documents(committed, fresh, args.band)
+        compared += 1
+        if args.verbose:
+            for line in checked:
+                print(f"     {path.name}: {line}")
+        if regressions:
+            failures += len(regressions)
+            for line in regressions:
+                print(f"FAIL {path.name}: {line}")
+        else:
+            print(f"ok   {path.name}: {len(checked)} gated metric(s) "
+                  f"within the {args.band:.0%} band")
+    if not compared:
+        print("check_trajectory: nothing to compare (no matching committed "
+              "snapshots)", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"check_trajectory: {failures} regression(s) beyond the "
+              f"{args.band:.0%} band")
+        return 1
+    print(f"check_trajectory: {compared} benchmark(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Observability rules: the clock-injection contract of the tracing stack.
+"""Observability rules: the contracts of the tracing + events stack.
 
 * **RPR105** — a direct ``time.*`` clock read inside the observability
   modules (``repro/obs/`` and ``serve/metrics.py``).  Those modules must
@@ -8,17 +8,23 @@
   ``MonotonicClock.__call__`` under an explained pragma.  RPR102 already
   bans *wall-clock* reads everywhere — this rule additionally bans the
   monotonic family, but only where the Clock seam exists.
+* **RPR106** — an ``events.emit(...)`` call site whose ``kind`` is not a
+  string literal present in :data:`repro.obs.events.KNOWN_KINDS`.
+  ``emit`` raises on unknown kinds at runtime, but only when the code
+  path runs; this rule moves the catalog/call-site drift check to lint
+  time so an uncatalogued kind can never ship.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Optional, Set
 
 from repro.analysis.base import Rule, register_rule
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
-from repro.analysis.rules.determinism import _all_calls, _receiver
+from repro.analysis.rules.determinism import _all_calls, _dotted, _receiver
+from repro.obs.events import KNOWN_KINDS
 
 #: Every ``time`` module function that reads a clock.
 _CLOCK_READS = {
@@ -81,4 +87,105 @@ class UninjectedClockRead(Rule):
             )
 
 
-__all__ = ["UninjectedClockRead"]
+#: Module paths whose ``emit`` is the catalogued event emitter.
+_EVENTS_MODULES = ("repro.obs.events", "repro.obs")
+
+
+def _emit_bindings(tree: ast.Module) -> "tuple[Set[str], Set[str]]":
+    """Names bound to the events module / to its ``emit`` by imports.
+
+    Returns ``(module_names, function_names)``: dotted receiver names
+    that denote :mod:`repro.obs.events` (``events``, ``obs_events``,
+    ``repro.obs.events``, ...) and bare names that denote its ``emit``
+    (``emit``, or an ``import ... as`` alias).  Only import statements
+    bind — a local ``def emit`` or an unrelated ``log.emit`` attribute
+    never matches, so e.g. a dataset callback named ``emit`` stays out
+    of scope.
+    """
+    modules: Set[str] = set()
+    functions: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in _EVENTS_MODULES:
+                    modules.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                full = f"{node.module}.{alias.name}"
+                if full in _EVENTS_MODULES:
+                    modules.add(alias.asname or alias.name)
+                elif (node.module in _EVENTS_MODULES
+                      and alias.name == "emit"):
+                    functions.add(alias.asname or alias.name)
+    return modules, functions
+
+
+def _kind_argument(call: ast.Call) -> Optional[ast.expr]:
+    if call.args:
+        first = call.args[0]
+        return None if isinstance(first, ast.Starred) else first
+    for keyword in call.keywords:
+        if keyword.arg == "kind":
+            return keyword.value
+    return None
+
+
+@register_rule
+class UncataloguedEventKind(Rule):
+    rule_id = "RPR106"
+    name = "event-kind-catalog"
+    summary = "events.emit() with a kind not in KNOWN_KINDS"
+    rationale = (
+        "repro.obs.events.KNOWN_KINDS is the event catalog operators and "
+        "docs rely on; emit() raises on unlisted kinds at runtime, but a "
+        "rarely-exercised emitter (a failover path, an alert transition) "
+        "would only blow up in production.  Every emit call site must "
+        "pass a string literal from KNOWN_KINDS so the catalog and the "
+        "emitters provably cannot drift apart."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        modules, functions = _emit_bindings(ctx.tree)
+        if not modules and not functions:
+            return
+        for call in _all_calls(ctx.tree):
+            func = call.func
+            if isinstance(func, ast.Attribute):
+                if func.attr != "emit" or _dotted(func.value) not in modules:
+                    continue
+            elif isinstance(func, ast.Name):
+                if func.id not in functions:
+                    continue
+            else:
+                continue
+            kind_node = _kind_argument(call)
+            if kind_node is None:
+                message = (
+                    "events.emit() without an inspectable kind argument; "
+                    "pass the kind as a string literal from KNOWN_KINDS"
+                )
+            elif not (isinstance(kind_node, ast.Constant)
+                      and isinstance(kind_node.value, str)):
+                message = (
+                    "events.emit() kind must be a string literal from "
+                    "KNOWN_KINDS (a computed kind defeats the lint-time "
+                    "catalog check)"
+                )
+            elif kind_node.value not in KNOWN_KINDS:
+                message = (
+                    f"events.emit() kind {kind_node.value!r} is not in "
+                    f"KNOWN_KINDS {tuple(KNOWN_KINDS)}; add it to the "
+                    "catalog (and docs/OBSERVABILITY.md) or fix the typo"
+                )
+            else:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.relpath,
+                line=call.lineno,
+                col=call.col_offset,
+                message=message,
+            )
+
+
+__all__ = ["UncataloguedEventKind", "UninjectedClockRead"]

@@ -255,6 +255,31 @@ class LatencyTracker:
         return self._clock() - self._started
 ''',
     ),
+    "RPR106": (
+        '''\
+from repro.obs import events as obs_events
+
+
+def on_shard_death(shard_id):
+    obs_events.emit("shard_died", shard=shard_id)
+''',
+        '''\
+from repro.obs import events as obs_events
+
+
+def on_shard_death(shard_id):
+    obs_events.emit("shard_down", shard=shard_id)
+
+
+def emit(problem, bound):
+    # A local callable named emit is not the event emitter.
+    return (problem, bound)
+
+
+def notify(problem):
+    emit(problem, 1.0)
+''',
+    ),
     "RPR201": (
         '''\
 __all__ = ["frobnicate"]

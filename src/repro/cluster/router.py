@@ -37,12 +37,15 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.costmodel.accelerator import Accelerator
 from repro.engine.engine import EngineConfig, MappingRequest, MappingResponse
 from repro.engine.registry import resolve_searcher
 from repro.obs import events as obs_events
+from repro.obs.profile import span_hotspots
+from repro.obs.slo import DEFAULT_SLOS, SLOSpec, SLOTracker, worst_state
+from repro.obs.timeseries import MetricsSampler, TimeseriesRing
 from repro.obs.trace import TraceHandle, Tracer
 from repro.serve.batcher import Priority
 from repro.serve.codec import request_to_dict, response_from_dict, trace_to_dict
@@ -93,8 +96,30 @@ class ClusterConfig:
     #: spans are merged back in (shards trace per their own ServeConfig).
     tracing: bool = True
     trace_capacity: int = 512
+    #: Router-side SLOs, evaluated against *end-to-end* latency (queueing
+    #: + RPC + shard service) and router counters; shards also run their
+    #: own per their ServeConfig.
+    slos: Tuple[SLOSpec, ...] = DEFAULT_SLOS
+    timeseries_interval_s: float = 1.0
+    timeseries_capacity: int = 180
+    sample_interval_s: float = 0.5
 
     def __post_init__(self) -> None:
+        self.slos = tuple(self.slos)
+        if self.timeseries_interval_s <= 0:
+            raise ValueError(
+                f"timeseries_interval_s must be > 0, "
+                f"got {self.timeseries_interval_s}"
+            )
+        if self.timeseries_capacity < 2:
+            raise ValueError(
+                f"timeseries_capacity must be >= 2, "
+                f"got {self.timeseries_capacity}"
+            )
+        if self.sample_interval_s <= 0:
+            raise ValueError(
+                f"sample_interval_s must be > 0, got {self.sample_interval_s}"
+            )
         if self.trace_capacity < 1:
             raise ValueError(
                 f"trace_capacity must be >= 1, got {self.trace_capacity}"
@@ -180,6 +205,17 @@ class ClusterRouter:
             enabled=self.config.tracing,
             max_traces=self.config.trace_capacity,
         )
+        self.timeseries = TimeseriesRing(
+            interval_s=self.config.timeseries_interval_s,
+            capacity=self.config.timeseries_capacity,
+        )
+        self.slo = SLOTracker(self.config.slos, self.timeseries)
+        self._sampler = MetricsSampler(
+            self._observability_sample,
+            self.timeseries,
+            listeners=[self.slo.evaluate],
+            interval_s=self.config.sample_interval_s,
+        )
         self._started = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -212,6 +248,7 @@ class ClusterRouter:
             target=self._monitor_loop, name="cluster-monitor", daemon=True
         )
         self._monitor.start()
+        self._sampler.start()
         return self
 
     def _spawn_shard(self, handle: ShardHandle) -> None:
@@ -281,6 +318,7 @@ class ClusterRouter:
         """Drain, gracefully stop every shard, join processes and threads."""
         finished = self.drain(timeout=timeout)
         self._stopping = True
+        self._sampler.stop()
         self._monitor_wake.set()
         if self._monitor is not None:
             self._monitor.join(timeout=5.0)
@@ -484,7 +522,9 @@ class ClusterRouter:
                 trace.finish()
             raise
         finally:
-            self.latency.observe(time.monotonic() - enqueued)
+            elapsed = time.monotonic() - enqueued
+            self.latency.observe(elapsed)
+            self.timeseries.observe_latency(elapsed)
             with self._lock:
                 self._inflight -= 1
                 self._idle.notify_all()
@@ -638,6 +678,98 @@ class ClusterRouter:
             "shards": shards,
         }
 
+    def _observability_sample(
+        self,
+    ) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """The router sampler's pull: cumulative counters + gauges."""
+        counters = {name: float(counter.value)
+                    for name, counter in self.counters.items()}
+        gauges = {"queue_depth": float(self.queue_depth)}
+        return counters, gauges
+
+    def sample_observability(self) -> None:
+        """Force one sampler pull + SLO evaluation on the router's ring."""
+        self._sampler.sample()
+
+    def timeseries_snapshot(
+        self, metric: Optional[str] = None, windows: Optional[int] = None
+    ) -> Dict[str, object]:
+        """The router's rolling-window view (end-to-end latency digests +
+        router counter rates) for ``/v1/timeseries`` on a fleet gateway.
+        Per-shard rings stay one ``timeseries`` RPC away."""
+        self.sample_observability()
+        return self.timeseries.snapshot(metric=metric, windows=windows)
+
+    def slo_snapshot(self) -> Dict[str, object]:
+        """Fleet SLO view: router burn + every shard's, rolled up.
+
+        ``fleet.by_slo`` maps each objective name to its worst state
+        across the fleet and the per-shard states behind it;
+        ``fleet.burning_shards`` names the shards whose own trackers are
+        in ``warning``/``page`` — the attribution an operator needs
+        *before* a burning shard dies."""
+        self.sample_observability()
+        router_view = self.slo.snapshot()
+        shards: Dict[str, object] = {}
+        by_slo: Dict[str, Dict[str, object]] = {}
+        burning: List[str] = []
+        states: List[str] = [str(router_view["worst_state"])]
+        for slo_entry in router_view["slos"]:  # type: ignore[index]
+            name = str(slo_entry["name"])  # type: ignore[index]
+            by_slo.setdefault(name, {"per_shard": {}})
+            by_slo[name]["router"] = slo_entry["state"]  # type: ignore[index]
+        for shard_id, handle in sorted(self._handles.items()):
+            reply = self._shard_call(handle, {"op": "slo"}, timeout_s=10.0)
+            if reply is None or not reply.get("ok"):
+                shards[str(shard_id)] = {"status": "unreachable"}
+                continue
+            view = reply["slo"]
+            shards[str(shard_id)] = view
+            shard_state = str(view.get("worst_state", "ok"))
+            states.append(shard_state)
+            if shard_state != "ok":
+                burning.append(str(shard_id))
+            for slo_entry in view.get("slos", []):
+                name = str(slo_entry.get("name"))
+                per = by_slo.setdefault(name, {"per_shard": {}})
+                per["per_shard"][str(shard_id)] = slo_entry.get("state")  # type: ignore[index]
+        for name, entry in by_slo.items():
+            entry["worst_state"] = worst_state(
+                [str(entry.get("router", "ok"))]
+                + [str(state) for state in entry["per_shard"].values()]  # type: ignore[union-attr]
+            )
+        return {
+            "router": router_view,
+            "shards": shards,
+            "fleet": {
+                "by_slo": {name: by_slo[name] for name in sorted(by_slo)},
+                "burning_shards": burning,
+            },
+            "worst_state": worst_state(states),
+        }
+
+    def profile_snapshot(self, limit: Optional[int] = 50) -> Dict[str, object]:
+        """Fleet profile view: the router's span-derived hotspots plus
+        every reachable shard's ``profile_snapshot()`` (collapsed stacks
+        when that shard runs with ``profiling=True``)."""
+        shards: Dict[str, object] = {}
+        enabled = False
+        for shard_id, handle in sorted(self._handles.items()):
+            reply = self._shard_call(
+                handle, {"op": "profile", "limit": limit}, timeout_s=10.0
+            )
+            if reply is None or not reply.get("ok"):
+                shards[str(shard_id)] = {"status": "unreachable"}
+                continue
+            view = reply["profile"]
+            shards[str(shard_id)] = view
+            enabled = enabled or bool(view.get("enabled"))
+        return {
+            "enabled": enabled,
+            "hotspots": span_hotspots(self.tracer),
+            "shards": shards,
+        }
+
     def trace_snapshot(self, trace_id: str) -> Optional[Dict[str, object]]:
         """One routed request's merged tree (router spans + shard spans)."""
         return self.tracer.snapshot(trace_id)
@@ -668,17 +800,29 @@ class ClusterRouter:
         shard_health: Dict[str, object] = {}
         versions: Dict[str, Dict[str, Optional[int]]] = {}
         live = 0
+        slo_states: List[str] = []
+        burning: List[str] = []
         for shard_id, handle in sorted(self._handles.items()):
             reply = self._shard_call(handle, {"op": "health"}, timeout_s=5.0)
             if reply is None or not reply.get("ok"):
                 shard_health[str(shard_id)] = {"status": "unreachable"}
                 continue
             live += 1
-            shard_health[str(shard_id)] = {
+            entry: Dict[str, object] = {
                 "status": reply.get("status"),
                 "queue_depth": reply.get("queue_depth"),
                 "pid": reply.get("pid"),
             }
+            shard_slo = reply.get("slo")
+            if isinstance(shard_slo, dict):
+                # A burning shard is annotated right where an operator
+                # looks first, not just in the /v1/slo deep dive.
+                entry["slo"] = shard_slo
+                state = str(shard_slo.get("worst_state", "ok"))
+                slo_states.append(state)
+                if state != "ok":
+                    burning.append(str(shard_id))
+            shard_health[str(shard_id)] = entry
             for algorithm, info in reply.get("surrogate_versions", {}).items():
                 versions.setdefault(algorithm, {})[str(shard_id)] = info.get(
                     "version"
@@ -691,6 +835,8 @@ class ClusterRouter:
             status = "degraded"
         else:
             status = "down"
+        router_states = self.slo.states()
+        slo_states.extend(router_states.values())
         return {
             "status": status,
             "queue_depth": self.queue_depth,
@@ -698,6 +844,11 @@ class ClusterRouter:
             "shards_total": len(self._handles),
             "shards": shard_health,
             "surrogate_versions": versions,
+            "slo": {
+                "worst_state": worst_state(slo_states),
+                "router": router_states,
+                "burning_shards": burning,
+            },
         }
 
 

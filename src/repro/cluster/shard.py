@@ -23,8 +23,11 @@ RPC operations (all framed by :mod:`repro.cluster.rpc`):
 ``ping``    liveness probe (the router's health check)
 ``map``     one ``MappingRequest`` through the shard's ``MappingServer``
 ``metrics`` the shard's full ``metrics_snapshot()``
-``health``  ``health_snapshot()``: drain state + surrogate versions
+``health``  ``health_snapshot()``: drain state, surrogate versions, SLO state
 ``events``  the shard's structured event log (swaps, 429s, gate verdicts)
+``slo``     the shard's ``slo_snapshot()``: burn rates, budgets, alerts
+``timeseries``  the shard's rolling-window ``timeseries_snapshot()``
+``profile``  the shard's ``profile_snapshot()``: stacks + span hotspots
 ``drain``   stop admission (in-flight requests still complete)
 ``shutdown``  acknowledge, then drain and exit the process
 ==========  ==========================================================
@@ -145,6 +148,38 @@ class ShardService:
                 "ok": True,
                 "shard_id": self.spec.shard_id,
                 "events": obs_events.snapshot(),
+            }
+        if op == "slo":
+            return {
+                "ok": True,
+                "shard_id": self.spec.shard_id,
+                "slo": self.server.slo_snapshot(),
+            }
+        if op == "timeseries":
+            try:
+                snapshot = self.server.timeseries_snapshot(
+                    metric=payload.get("metric"),
+                    windows=payload.get("windows"),
+                )
+            except (KeyError, ValueError) as exc:
+                return {
+                    "ok": False,
+                    "kind": "bad_request",
+                    "error": str(exc),
+                }
+            return {
+                "ok": True,
+                "shard_id": self.spec.shard_id,
+                "timeseries": snapshot,
+            }
+        if op == "profile":
+            limit = payload.get("limit")
+            return {
+                "ok": True,
+                "shard_id": self.spec.shard_id,
+                "profile": self.server.profile_snapshot(
+                    limit=50 if limit is None else int(limit)
+                ),
             }
         if op == "drain":
             self.server.begin_drain()

@@ -1,15 +1,19 @@
-"""repro.obs — tracing, events, and Prometheus exposition.
+"""repro.obs — tracing, events, time-series, SLOs, profiling, Prometheus.
 
 The observability substrate for the serving stack: per-request span trees
 with stage-attributed latency (:mod:`repro.obs.trace`), a bounded buffer
-of structured operational events (:mod:`repro.obs.events`), and Prometheus
+of structured operational events (:mod:`repro.obs.events`), rolling
+fixed-interval telemetry windows (:mod:`repro.obs.timeseries`),
+declarative SLOs with burn-rate alerting (:mod:`repro.obs.slo`), a
+continuous sampling profiler (:mod:`repro.obs.profile`), and Prometheus
 text rendering of the JSON metrics snapshots (:mod:`repro.obs.prom`).
 
 This package deliberately imports **nothing** from the rest of ``repro``
 so every layer — costmodel kernels, serve, cluster, learn — can
 instrument itself without import cycles.  ``python -m repro.obs
 --selftest`` proves a traced request through a real server (and a real
-2-shard cluster) produces a complete, well-nested span tree.
+2-shard cluster) produces a complete, well-nested span tree and that a
+latency SLO breach drives the burn-rate state machine to page.
 """
 
 from repro.obs.events import (
@@ -20,7 +24,10 @@ from repro.obs.events import (
     set_default_log,
     snapshot,
 )
+from repro.obs.profile import SamplingProfiler, span_hotspots
 from repro.obs.prom import render_prometheus
+from repro.obs.slo import DEFAULT_SLOS, SLOSpec, SLOTracker, worst_state
+from repro.obs.timeseries import MetricsSampler, TimeseriesRing
 from repro.obs.trace import (
     Clock,
     FakeClock,
@@ -36,11 +43,17 @@ from repro.obs.trace import (
 
 __all__ = [
     "Clock",
+    "DEFAULT_SLOS",
     "EventLog",
     "FakeClock",
     "KNOWN_KINDS",
+    "MetricsSampler",
     "MonotonicClock",
+    "SLOSpec",
+    "SLOTracker",
+    "SamplingProfiler",
     "Span",
+    "TimeseriesRing",
     "TraceHandle",
     "Tracer",
     "activate",
@@ -51,5 +64,6 @@ __all__ = [
     "set_default_log",
     "snapshot",
     "span",
+    "span_hotspots",
     "span_tree",
 ]

@@ -30,6 +30,9 @@ KNOWN_KINDS = (
     "overloaded",
     "shard_down",
     "shard_respawned",
+    "slo_page",
+    "slo_recovered",
+    "slo_warning",
     "swap_published",
 )
 

@@ -13,6 +13,12 @@ text format 0.0.4 so a scraper can hit ``/v1/metrics?format=prom``:
 * fleet snapshots -> every per-shard series re-rendered under a
   ``{shard="N"}`` label — per-shard behavior stays visible instead of
   being flattened into fleet sums.
+* SLO state -> ``repro_slo_alert_state{slo="..."}`` (0/1/2 for
+  ok/warning/page), ``repro_slo_error_budget_remaining{slo="..."}``, and
+  ``repro_slo_burn_rate{slo="...",window="fast"|"slow"}``.
+* latest complete time-series window -> non-cumulative
+  ``repro_window_rate{counter="served"}`` per-second gauges and
+  ``repro_window_latency_p99_seconds``.
 
 Rendering is pure (snapshot dict in, text out): no clocks, no state, so
 the module trivially satisfies the RPR105 clock-injection rule.
@@ -147,6 +153,55 @@ def _label_dimension_samples(label_dims: Dict[str, object],
     return samples
 
 
+#: Alert state -> numeric gauge value (``repro_slo_alert_state``).
+_STATE_VALUES = {"ok": 0, "warning": 1, "page": 2}
+
+
+def _slo_samples(slo: Dict[str, object],
+                 labels: Dict[str, str]) -> List[Sample]:
+    """The ``slo`` snapshot section -> per-objective burn/budget gauges."""
+    samples: List[Sample] = []
+    entries = slo.get("slos")
+    if not isinstance(entries, list):
+        return samples
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        slo_labels = dict(labels, slo=str(entry.get("name")))
+        state = _STATE_VALUES.get(str(entry.get("state")))
+        if state is not None:
+            samples.append(("slo_alert_state", slo_labels, state))
+        budget = entry.get("budget_remaining")
+        if isinstance(budget, (int, float)):
+            samples.append(("slo_error_budget_remaining", slo_labels, budget))
+        for window, key in (("fast", "burn_fast"), ("slow", "burn_slow")):
+            burn = entry.get(key)
+            if isinstance(burn, (int, float)):
+                samples.append(("slo_burn_rate",
+                                dict(slo_labels, window=window), burn))
+    return samples
+
+
+def _timeseries_samples(window: Dict[str, object],
+                        labels: Dict[str, str]) -> List[Sample]:
+    """The latest-window ``timeseries`` section -> per-counter rate gauges
+    (non-cumulative: the newest complete window's deltas per second)."""
+    samples: List[Sample] = []
+    rates = window.get("rates")
+    if isinstance(rates, dict):
+        for name in sorted(rates):
+            value = rates[name]
+            if isinstance(value, (int, float)):
+                samples.append(("window_rate",
+                                dict(labels, counter=str(name)), value))
+    latency = window.get("latency")
+    if isinstance(latency, dict):
+        p99 = latency.get("p99_ms")
+        if isinstance(p99, (int, float)):
+            samples.append(("window_latency_p99_seconds", labels, p99 / 1e3))
+    return samples
+
+
 def server_samples(snapshot: Dict[str, object],
                    labels: Optional[Dict[str, str]] = None) -> List[Sample]:
     """Samples for a single-server (MetricsRegistry-shaped) snapshot."""
@@ -178,6 +233,12 @@ def server_samples(snapshot: Dict[str, object],
                 metric = ("oracle_cache_size" if key == "size"
                           else f"oracle_cache_{key}_total")
                 samples.append((metric, labels, value))
+    slo = snapshot.get("slo")
+    if isinstance(slo, dict):
+        samples.extend(_slo_samples(slo, labels))
+    window = snapshot.get("timeseries")
+    if isinstance(window, dict):
+        samples.extend(_timeseries_samples(window, labels))
     return samples
 
 

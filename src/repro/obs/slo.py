@@ -1,0 +1,290 @@
+"""Declarative service-level objectives with burn-rate alerting.
+
+An :class:`SLOSpec` declares *what good means* — "99% of requests under
+250ms over the last hour", "error rate below 0.1%", "99.9% of
+submissions admitted" — and an :class:`SLOTracker` turns the window ring
+from :mod:`repro.obs.timeseries` into
+
+* a **rolling error budget**: over ``window_s``, the objective allows
+  ``total * (1 - objective)`` bad events; the budget remaining is the
+  fraction of that allowance still unspent;
+* **multi-window burn rates** (the SRE alerting pattern): burn is
+  ``bad_fraction / (1 - objective)`` — 1.0 means spending the budget
+  exactly at the rate that exhausts it at the end of the window.  A page
+  requires the *fast* **and** *slow* windows to both burn hot, so a
+  brief spike (fast hot, slow cool) warns at most, while a sustained
+  burn escalates to page;
+* an **ok → warning → page state machine** with hysteresis: escalation
+  is immediate, de-escalation only after ``clear_evals`` consecutive
+  calmer evaluations, so an alert flickering around its threshold does
+  not flap.
+
+Alert transitions are emitted into the event ring
+(:mod:`repro.obs.events`) under the catalogued kinds ``slo_warning``,
+``slo_page``, and ``slo_recovered``.  Specs are frozen dataclasses so
+they pickle across the cluster's spawn boundary unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import events as obs_events
+from repro.obs.timeseries import TimeseriesRing
+
+#: Alert states, calm to critical; index is the severity rank.
+STATES = ("ok", "warning", "page")
+
+#: SLO kinds and the (total, bad) counter pairs they consume.
+KINDS = ("latency", "error_rate", "availability")
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective.
+
+    ``kind`` selects what counts as total/bad over a horizon:
+
+    * ``"latency"`` — total = requests with an observed latency, bad =
+      those above ``threshold_s`` (exact per-window counts via the
+      ring's registered thresholds);
+    * ``"error_rate"`` — total = served + errors, bad = errors;
+    * ``"availability"`` — total = submitted, bad = rejected (429s).
+
+    ``objective`` is the target good fraction (0.99 → 1% error budget).
+    Burn thresholds follow the multiwindow convention: ``warning_burn``
+    and ``page_burn`` apply to *both* the ``fast_window_s`` and
+    ``slow_window_s`` burn rates (AND-gated).  ``clear_evals`` is the
+    de-escalation hysteresis: that many consecutive evaluations below a
+    threshold before stepping down.
+    """
+
+    name: str
+    kind: str = "latency"
+    objective: float = 0.99
+    threshold_s: Optional[float] = None
+    window_s: float = 3600.0
+    fast_window_s: float = 60.0
+    slow_window_s: float = 600.0
+    warning_burn: float = 2.0
+    page_burn: float = 10.0
+    clear_evals: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("SLOSpec.name must be non-empty")
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown SLO kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.kind == "latency" and (self.threshold_s is None
+                                       or self.threshold_s <= 0):
+            raise ValueError(
+                f"latency SLO {self.name!r} needs threshold_s > 0, "
+                f"got {self.threshold_s}"
+            )
+        if not (0 < self.fast_window_s <= self.slow_window_s <= self.window_s):
+            raise ValueError(
+                f"windows must satisfy 0 < fast <= slow <= budget, got "
+                f"fast={self.fast_window_s} slow={self.slow_window_s} "
+                f"budget={self.window_s}"
+            )
+        if not (0 < self.warning_burn <= self.page_burn):
+            raise ValueError(
+                f"burn thresholds must satisfy 0 < warning <= page, got "
+                f"warning={self.warning_burn} page={self.page_burn}"
+            )
+        if self.clear_evals < 1:
+            raise ValueError(
+                f"clear_evals must be >= 1, got {self.clear_evals}"
+            )
+
+
+#: Default objectives wired into a server unless overridden.  Loose on
+#: purpose — they page only when something is genuinely wrong.
+DEFAULT_SLOS: Tuple[SLOSpec, ...] = (
+    SLOSpec(name="latency_p99", kind="latency", objective=0.99,
+            threshold_s=2.0),
+    SLOSpec(name="error_rate", kind="error_rate", objective=0.999),
+    SLOSpec(name="availability", kind="availability", objective=0.999),
+)
+
+
+class _AlertState:
+    """Mutable per-SLO alert state (guarded by the tracker lock)."""
+
+    __slots__ = ("state", "calm_streak", "transitions")
+
+    def __init__(self) -> None:
+        self.state = "ok"
+        self.calm_streak = 0
+        self.transitions = 0
+
+
+def _severity(burn_fast: float, burn_slow: float, spec: SLOSpec) -> str:
+    """Instantaneous severity from the two burn rates (AND-gated)."""
+    if burn_fast >= spec.page_burn and burn_slow >= spec.page_burn:
+        return "page"
+    if burn_fast >= spec.warning_burn and burn_slow >= spec.warning_burn:
+        return "warning"
+    return "ok"
+
+
+def worst_state(states: Sequence[str]) -> str:
+    """The most severe of a set of alert states (``ok`` when empty)."""
+    worst = 0
+    for state in states:
+        if state in STATES:
+            worst = max(worst, STATES.index(state))
+    return STATES[worst]
+
+
+class SLOTracker:
+    """Evaluates a set of :class:`SLOSpec` against a window ring.
+
+    The tracker registers every latency threshold on the ring at
+    construction (so windows count exact over-threshold events from the
+    first observation), then each :meth:`evaluate` reads the ring's
+    fast/slow/budget horizons, updates burn rates and the per-SLO state
+    machine, and emits transition events.  Deterministic: time comes
+    from the ring's injected clock, and evaluation happens only when
+    called (the sampler calls it as a listener).
+    """
+
+    def __init__(self, specs: Sequence[SLOSpec],
+                 ring: TimeseriesRing) -> None:
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names in {names}")
+        self.specs: Tuple[SLOSpec, ...] = tuple(specs)
+        self.ring = ring
+        self._lock = threading.Lock()
+        self._alerts: Dict[str, _AlertState] = {
+            spec.name: _AlertState() for spec in self.specs
+        }
+        self._last: Dict[str, Dict[str, object]] = {}
+        for spec in self.specs:
+            if spec.kind == "latency":
+                ring.register_threshold(spec.name, float(spec.threshold_s))
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _bad_total(spec: SLOSpec,
+                   totals: Mapping[str, object]) -> Tuple[float, float]:
+        counters: Mapping[str, float] = totals["counters"]  # type: ignore[assignment]
+        over: Mapping[str, int] = totals["over_threshold"]  # type: ignore[assignment]
+        if spec.kind == "latency":
+            return float(over.get(spec.name, 0)), float(totals["latency_count"])
+        if spec.kind == "error_rate":
+            bad = float(counters.get("errors", 0.0))
+            return bad, bad + float(counters.get("served", 0.0))
+        # availability: rejected out of submitted
+        return (float(counters.get("rejected", 0.0)),
+                float(counters.get("submitted", 0.0)))
+
+    def _burn(self, spec: SLOSpec, horizon_s: float, now: float) -> float:
+        bad, total = self._bad_total(spec, self.ring.totals(horizon_s, now=now))
+        if total <= 0:
+            return 0.0
+        return (bad / total) / (1.0 - spec.objective)
+
+    def evaluate(self) -> Dict[str, object]:
+        """One evaluation pass: recompute burns, step state machines,
+        emit transitions.  Returns the same payload as :meth:`snapshot`."""
+        now = self.ring.clock()
+        per_slo: List[Dict[str, object]] = []
+        emitted: List[Tuple[str, Dict[str, object]]] = []
+        with self._lock:
+            for spec in self.specs:
+                burn_fast = self._burn(spec, spec.fast_window_s, now)
+                burn_slow = self._burn(spec, spec.slow_window_s, now)
+                bad, total = self._bad_total(
+                    spec, self.ring.totals(spec.window_s, now=now)
+                )
+                allowance = total * (1.0 - spec.objective)
+                budget = (1.0 if allowance <= 0
+                          else max(1.0 - bad / allowance, 0.0))
+                alert = self._alerts[spec.name]
+                target = _severity(burn_fast, burn_slow, spec)
+                previous = alert.state
+                if STATES.index(target) > STATES.index(alert.state):
+                    alert.state = target       # escalate immediately
+                    alert.calm_streak = 0
+                elif STATES.index(target) < STATES.index(alert.state):
+                    alert.calm_streak += 1     # de-escalate with hysteresis
+                    if alert.calm_streak >= spec.clear_evals:
+                        alert.state = target
+                        alert.calm_streak = 0
+                else:
+                    alert.calm_streak = 0
+                if alert.state != previous:
+                    alert.transitions += 1
+                    fields = {
+                        "slo": spec.name,
+                        "from_state": previous,
+                        "to_state": alert.state,
+                        "burn_fast": round(burn_fast, 4),
+                        "burn_slow": round(burn_slow, 4),
+                        "budget_remaining": round(budget, 4),
+                    }
+                    emitted.append((alert.state, fields))
+                entry: Dict[str, object] = {
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "objective": spec.objective,
+                    "threshold_s": spec.threshold_s,
+                    "state": alert.state,
+                    "burn_fast": burn_fast,
+                    "burn_slow": burn_slow,
+                    "budget_remaining": budget,
+                    "bad": bad,
+                    "total": total,
+                    "window_s": spec.window_s,
+                    "transitions": alert.transitions,
+                }
+                per_slo.append(entry)
+                self._last[spec.name] = entry
+        # Emit outside the lock — the event log has its own.  Transitions
+        # to the calmer state (including page → warning) land as
+        # ``slo_recovered`` with the explicit from/to states in the fields.
+        for state, fields in emitted:
+            if state == "page":
+                obs_events.emit("slo_page", **fields)
+            elif state == "warning" and fields["from_state"] == "ok":
+                obs_events.emit("slo_warning", **fields)
+            else:
+                obs_events.emit("slo_recovered", **fields)
+        return {"slos": per_slo,
+                "worst_state": worst_state([e["state"] for e in per_slo])}
+
+    def snapshot(self) -> Dict[str, object]:
+        """Last evaluated view (without advancing the state machine)."""
+        with self._lock:
+            per_slo = [dict(self._last[spec.name]) for spec in self.specs
+                       if spec.name in self._last]
+        if len(per_slo) < len(self.specs):
+            return self.evaluate()
+        return {"slos": per_slo,
+                "worst_state": worst_state([e["state"] for e in per_slo])}
+
+    def states(self) -> Dict[str, str]:
+        with self._lock:
+            return {name: self._alerts[name].state
+                    for name in sorted(self._alerts)}
+
+
+__all__ = [
+    "DEFAULT_SLOS",
+    "KINDS",
+    "SLOSpec",
+    "SLOTracker",
+    "STATES",
+    "worst_state",
+]

@@ -12,8 +12,15 @@ serving endpoint:
   ``?format=prom`` renders Prometheus text exposition instead of JSON.
 * ``GET /v1/healthz`` (alias ``/healthz``) — liveness + queue depth.
 * ``GET /v1/trace/<trace_id>`` — one request's span tree + stage breakdown.
-* ``GET /v1/events`` — recent structured events (``?kind=`` filters,
+* ``GET /v1/events`` — recent structured events (``?kind=`` filters —
+  unknown kinds are a ``400`` carrying the ``KNOWN_KINDS`` catalog —
   ``?limit=`` truncates to the most recent N).
+* ``GET /v1/timeseries`` — rolling per-window rates/latency digests
+  (``?metric=rates.served`` projects one dotted path, ``?windows=N``
+  keeps the newest N windows).
+* ``GET /v1/slo`` — objectives, burn rates, error budgets, alert states.
+* ``GET /v1/profile`` — collapsed profiler stacks + span-derived
+  hotspot tables (``?limit=N`` caps the stack table).
 
 Backpressure maps onto HTTP: :class:`ServerOverloaded` becomes ``429 Too
 Many Requests`` with a ``Retry-After`` header, drain becomes ``503``,
@@ -28,6 +35,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import events as obs_events
 from repro.obs import prom
 from repro.serve.batcher import Priority
 from repro.serve.codec import request_from_dict
@@ -93,6 +101,15 @@ class GatewayHandler(BaseHTTPRequestHandler):
                 self._reply(404, {"error": "server exposes no event log"})
                 return
             kind = query.get("kind", [None])[-1]
+            if kind is not None and kind not in obs_events.KNOWN_KINDS:
+                # An unknown kind would filter to an empty list
+                # indistinguishable from "no events" — reject it with the
+                # catalog so typos surface immediately.
+                self._reply(400, {
+                    "error": f"unknown event kind {kind!r}",
+                    "known_kinds": list(obs_events.KNOWN_KINDS),
+                })
+                return
             limit = None
             try:
                 raw_limit = query.get("limit", [None])[-1]
@@ -102,6 +119,46 @@ class GatewayHandler(BaseHTTPRequestHandler):
                 self._reply(400, {"error": "limit must be an integer"})
                 return
             self._reply(200, {"events": events_fn(kind=kind, limit=limit)})
+        elif path in ("/slo", "/v1/slo"):
+            slo_fn = getattr(server, "slo_snapshot", None)
+            if not callable(slo_fn):
+                self._reply(404, {"error": "server exposes no SLO tracker"})
+                return
+            self._reply(200, slo_fn())
+        elif path in ("/timeseries", "/v1/timeseries"):
+            series_fn = getattr(server, "timeseries_snapshot", None)
+            if not callable(series_fn):
+                self._reply(404, {"error": "server exposes no time-series"})
+                return
+            metric = query.get("metric", [None])[-1]
+            windows = None
+            try:
+                raw_windows = query.get(
+                    "windows", query.get("window", [None])
+                )[-1]
+                if raw_windows is not None:
+                    windows = max(int(raw_windows), 0)
+            except ValueError:
+                self._reply(400, {"error": "windows must be an integer"})
+                return
+            try:
+                self._reply(200, series_fn(metric=metric, windows=windows))
+            except KeyError as exc:
+                self._reply(400, {"error": str(exc).strip("'\"")})
+        elif path in ("/profile", "/v1/profile"):
+            profile_fn = getattr(server, "profile_snapshot", None)
+            if not callable(profile_fn):
+                self._reply(404, {"error": "server exposes no profiler"})
+                return
+            limit = 50
+            try:
+                raw_limit = query.get("limit", [None])[-1]
+                if raw_limit is not None:
+                    limit = max(int(raw_limit), 0)
+            except ValueError:
+                self._reply(400, {"error": "limit must be an integer"})
+                return
+            self._reply(200, profile_fn(limit=limit))
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 

@@ -47,6 +47,9 @@ from repro.costmodel.cache import problem_fingerprint
 from repro.engine.engine import MappingEngine, MappingRequest, MappingResponse
 from repro.engine.registry import resolve_searcher
 from repro.obs import events as obs_events
+from repro.obs.profile import SamplingProfiler, span_hotspots
+from repro.obs.slo import DEFAULT_SLOS, SLOSpec, SLOTracker, worst_state
+from repro.obs.timeseries import MetricsSampler, TimeseriesRing
 from repro.obs.trace import TraceHandle, Tracer, activate
 from repro.serve.batcher import (
     Batch,
@@ -115,6 +118,22 @@ class ServeConfig:
     tracing: bool = True
     #: Finished/in-flight traces kept queryable at ``/v1/trace/<id>``.
     trace_capacity: int = 256
+    #: Width of one time-series window (``/v1/timeseries``).
+    timeseries_interval_s: float = 1.0
+    #: Windows retained in the telemetry ring (oldest evicted).
+    timeseries_capacity: int = 180
+    #: Cadence of the background counter sampler feeding the ring (and
+    #: driving SLO evaluation).
+    sample_interval_s: float = 0.5
+    #: Service-level objectives evaluated against the ring (a tuple so
+    #: the config stays picklable across the cluster's spawn boundary).
+    slos: Tuple[SLOSpec, ...] = DEFAULT_SLOS
+    #: Continuous sampling profiler (``/v1/profile``).  Opt-in: the
+    #: nightly bench gates its throughput cost under 3%, but a stack walk
+    #: per interval is never literally free.
+    profiling: bool = False
+    #: Seconds between profiler stack samples when ``profiling`` is on.
+    profile_interval_s: float = 0.005
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -129,6 +148,25 @@ class ServeConfig:
             raise ValueError(
                 f"trace_capacity must be >= 1, got {self.trace_capacity}"
             )
+        if self.timeseries_interval_s <= 0:
+            raise ValueError(
+                f"timeseries_interval_s must be > 0, "
+                f"got {self.timeseries_interval_s}"
+            )
+        if self.timeseries_capacity < 2:
+            raise ValueError(
+                f"timeseries_capacity must be >= 2, "
+                f"got {self.timeseries_capacity}"
+            )
+        if self.sample_interval_s <= 0:
+            raise ValueError(
+                f"sample_interval_s must be > 0, got {self.sample_interval_s}"
+            )
+        if self.profile_interval_s <= 0:
+            raise ValueError(
+                f"profile_interval_s must be > 0, got {self.profile_interval_s}"
+            )
+        self.slos = tuple(self.slos)
 
 
 @dataclass(order=True)
@@ -168,6 +206,24 @@ class MappingServer:
             enabled=self.config.tracing,
             max_traces=self.config.trace_capacity,
         )
+        self.timeseries = TimeseriesRing(
+            interval_s=self.config.timeseries_interval_s,
+            capacity=self.config.timeseries_capacity,
+            clock=clock,
+        )
+        self.slo = SLOTracker(self.config.slos, self.timeseries)
+        self._sampler = MetricsSampler(
+            self._observability_sample,
+            self.timeseries,
+            listeners=[self.slo.evaluate],
+            interval_s=self.config.sample_interval_s,
+            clock=clock,
+        )
+        self.profiler: Optional[SamplingProfiler] = None
+        if self.config.profiling:
+            self.profiler = SamplingProfiler(
+                interval_s=self.config.profile_interval_s, clock=clock
+            )
         self._learner = learner
         self._watcher = None
         self._runner = runner or serve_batch
@@ -208,6 +264,9 @@ class MappingServer:
         self._dispatcher.start()
         for worker in self._workers:
             worker.start()
+        self._sampler.start()
+        if self.profiler is not None:
+            self.profiler.start()
 
     # ------------------------------------------------------------------
     # Admission
@@ -252,6 +311,7 @@ class MappingServer:
                     self.metrics.inc("response_cache_hits")
                     self.metrics.inc("served")
                     self.metrics.observe_latency(0.0)
+                    self.timeseries.observe_latency(0.0, now=now)
                     cached_response = replace(cached, tag=request.tag)
             if cached_response is None:
                 if key is not None and self.config.collapse_duplicates:
@@ -409,7 +469,7 @@ class MappingServer:
         return True
 
     def shutdown(self, timeout: Optional[float] = None) -> bool:
-        """Drain, then stop and join dispatcher and workers."""
+        """Drain, then stop and join dispatcher, workers, and samplers."""
         finished = self.drain(timeout=timeout)
         with self._lock:
             self._stopping = True
@@ -418,6 +478,9 @@ class MappingServer:
         self._dispatcher.join(timeout=5.0)
         for worker in self._workers:
             worker.join(timeout=5.0)
+        self._sampler.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
         return finished
 
     def __enter__(self) -> "MappingServer":
@@ -453,13 +516,20 @@ class MappingServer:
 
     def health_snapshot(self) -> Dict[str, object]:
         """The liveness dict the gateway serves at ``/v1/healthz``:
-        drain state, queue depth, and the installed surrogate registry
-        version per (algorithm, accelerator fingerprint) — the signal a
-        fleet operator watches to confirm a swap propagated everywhere."""
+        drain state, queue depth, the installed surrogate registry
+        version per (algorithm, accelerator fingerprint), and the SLO
+        alert summary — the signals a fleet operator watches to confirm
+        a swap propagated everywhere and nothing is burning budget."""
+        states = self.slo.states()
         return {
             "status": "ok" if self.accepting else "draining",
             "queue_depth": self.queue_depth,
             "surrogate_versions": self.engine.surrogate_versions(),
+            "slo": {
+                "worst_state": worst_state(list(states.values())),
+                "alerting": [name for name in sorted(states)
+                             if states[name] != "ok"],
+            },
         }
 
     def metrics_snapshot(self) -> Dict[str, object]:
@@ -484,6 +554,8 @@ class MappingServer:
             extra["learning"] = self._learner.metrics_snapshot()
         if self._watcher is not None:
             extra["registry_watcher"] = self._watcher.snapshot()
+        extra["slo"] = self.slo.snapshot()
+        extra["timeseries"] = self.timeseries.latest_rates()
         return self.metrics.snapshot(queue_depth=depth, extra=extra)
 
     def trace_snapshot(self, trace_id: str) -> Optional[Dict[str, object]]:
@@ -495,6 +567,47 @@ class MappingServer:
     ) -> List[Dict[str, object]]:
         """Recent structured events (swap published, 429s, ...)."""
         return obs_events.snapshot(kind=kind, limit=limit)
+
+    def _observability_sample(
+        self,
+    ) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """The sampler's pull: cumulative counters + point-in-time gauges."""
+        counters = {name: float(self.metrics.count(name))
+                    for name in self.metrics.COUNTERS}
+        gauges = {"queue_depth": float(self.queue_depth)}
+        return counters, gauges
+
+    def sample_observability(self) -> None:
+        """Force one sampler pull + SLO evaluation (tests, selftest, and
+        snapshot freshness — the background cadence still runs)."""
+        self._sampler.sample()
+
+    def timeseries_snapshot(
+        self, metric: Optional[str] = None, windows: Optional[int] = None
+    ) -> Dict[str, object]:
+        """The rolling-window view the gateway serves at
+        ``/v1/timeseries`` (fresh: pulls the counters first so the
+        current window reflects everything served so far)."""
+        self.sample_observability()
+        return self.timeseries.snapshot(metric=metric, windows=windows)
+
+    def slo_snapshot(self) -> Dict[str, object]:
+        """The objective/burn/alert view the gateway serves at
+        ``/v1/slo`` (fresh: samples + evaluates before reporting)."""
+        self.sample_observability()
+        return self.slo.snapshot()
+
+    def profile_snapshot(self, limit: Optional[int] = 50) -> Dict[str, object]:
+        """The profiler view the gateway serves at ``/v1/profile``:
+        collapsed stacks (when ``profiling`` is on) + span-derived
+        hotspot tables (always available while tracing)."""
+        payload: Dict[str, object] = {
+            "enabled": self.profiler is not None,
+            "hotspots": span_hotspots(self.tracer),
+        }
+        if self.profiler is not None:
+            payload["profiler"] = self.profiler.snapshot(limit)
+        return payload
 
     # ------------------------------------------------------------------
     # Internals
@@ -588,6 +701,7 @@ class MappingServer:
         started = self._clock()
         items = batch.items
         self.metrics.observe_batch(len(items))
+        self.timeseries.observe_batch(len(items), now=started)
         handles = [item.trace for item in items]
         for item in items:
             handle = item.trace
@@ -661,12 +775,16 @@ class MappingServer:
                 )
         self.metrics.inc("served")
         self.metrics.observe_latency(finished - item.enqueued_at)
+        self.timeseries.observe_latency(finished - item.enqueued_at,
+                                        now=finished)
         self._label_served(item.request, 1 + len(followers))
         self._cache_response(item.key, response)
         _resolve_future(item.future, value=response)
         for tag, future, enqueued_at, fhandle in followers:
             self.metrics.inc("served")
             self.metrics.observe_latency(finished - enqueued_at)
+            self.timeseries.observe_latency(finished - enqueued_at,
+                                            now=finished)
             follower_response = replace(response, tag=tag)
             if fhandle is not None and not fhandle.closed:
                 # A follower shares the leader's compute (its trace links

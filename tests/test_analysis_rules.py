@@ -47,6 +47,97 @@ def test_rpr105_is_scoped_to_observability_paths(tmp_path):
     assert fired != []
 
 
+def test_rpr106_sees_through_import_aliases(tmp_path):
+    # `import ... as` and `from ... import emit as ...` both bind the
+    # catalogued emitter; an unlisted kind must fire through either.
+    fired, _ = run(
+        tmp_path,
+        """\
+        import repro.obs.events as oe
+
+        oe.emit("not_a_kind", shard=3)
+        """,
+        select=["RPR106"],
+    )
+    assert fired == ["RPR106"]
+    fired, _ = run(
+        tmp_path,
+        """\
+        from repro.obs.events import emit as record
+
+        record("not_a_kind", shard=3)
+        """,
+        select=["RPR106"],
+    )
+    assert fired == ["RPR106"]
+
+
+def test_rpr106_computed_and_missing_kinds_fire(tmp_path):
+    fired, result = run(
+        tmp_path,
+        """\
+        from repro.obs import events
+
+        def relay(kind):
+            events.emit(kind, shard=1)          # computed
+            events.emit(**{"kind": "failover"})  # uninspectable
+            events.emit(kind="slo_page" + "")    # still computed
+        """,
+        select=["RPR106"],
+    )
+    assert fired == ["RPR106"] * 3
+    messages = sorted(f.message for f in result.findings)
+    assert any("computed kind" in m for m in messages)
+    assert any("without an inspectable kind" in m for m in messages)
+
+
+def test_rpr106_ignores_unrelated_emit_names(tmp_path):
+    # A local def emit / an unrelated receiver's .emit are out of scope:
+    # only names bound by imports of repro.obs.events participate.
+    fired, _ = run(
+        tmp_path,
+        """\
+        from repro.obs import events
+
+        def emit(kind):
+            return kind
+
+        class Logger:
+            def emit(self, kind):
+                return kind
+
+        emit("not_a_kind")
+        Logger().emit("not_a_kind")
+        events.emit("slo_warning", slo="lat", burn_fast=2.0)
+        """,
+        select=["RPR106"],
+    )
+    assert fired == []
+
+
+def test_rpr106_kwarg_kind_literal_is_checked(tmp_path):
+    fired, _ = run(
+        tmp_path,
+        """\
+        from repro.obs import events
+
+        events.emit(kind="definitely_wrong")
+        """,
+        select=["RPR106"],
+    )
+    assert fired == ["RPR106"]
+    fired, _ = run(
+        tmp_path,
+        """\
+        from repro.obs import events
+
+        events.emit(kind="shard_down", shard=2)
+        """,
+        select=["RPR106"],
+    )
+    assert fired == []
+
+
 def test_every_rule_has_a_fixture_pair():
     from repro.analysis import all_rules
 

@@ -1,0 +1,121 @@
+"""Unit tests for the benchmark-trajectory gate's comparison logic."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_trajectory",
+    Path(__file__).parent.parent / "benchmarks" / "check_trajectory.py",
+)
+check_trajectory = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_trajectory)
+
+
+class TestDirection:
+    @pytest.mark.parametrize("key,expected", [
+        ("served_rps", "up"),
+        ("speedup", "up"),
+        ("hit_rate", "up"),
+        ("p99_ms", "down"),
+        ("mean_latency_s", "down"),
+        ("throughput_ratio", "up"),   # explicitly throughput, not latency
+        ("latency_ratio", "down"),    # lower-is-better wins mixed names
+        ("unix_time", None),
+        ("iterations_per_request", None),  # config constant, not a metric
+        ("collapsed", None),          # undirected counter: context only
+    ])
+    def test_key_directions(self, key, expected):
+        assert check_trajectory._direction(key) == expected
+
+
+class TestCompare:
+    def _docs(self, committed_value, fresh_value, key="served_rps"):
+        return ({"results": {key: committed_value}},
+                {"results": {key: fresh_value}})
+
+    def test_within_band_passes(self):
+        committed, fresh = self._docs(100.0, 80.0)
+        regressions, checked = check_trajectory.compare_documents(
+            committed, fresh, band=0.25
+        )
+        assert regressions == [] and len(checked) == 1
+
+    def test_regression_beyond_band_fails(self):
+        committed, fresh = self._docs(100.0, 70.0)
+        regressions, _ = check_trajectory.compare_documents(
+            committed, fresh, band=0.25
+        )
+        assert len(regressions) == 1
+        assert "served_rps" in regressions[0]
+
+    def test_lower_is_better_gates_the_other_way(self):
+        committed, fresh = self._docs(100.0, 130.0, key="p99_ms")
+        regressions, _ = check_trajectory.compare_documents(
+            committed, fresh, band=0.25
+        )
+        assert len(regressions) == 1
+        committed, fresh = self._docs(100.0, 120.0, key="p99_ms")
+        regressions, _ = check_trajectory.compare_documents(
+            committed, fresh, band=0.25
+        )
+        assert regressions == []
+
+    def test_improvements_never_fail(self):
+        committed, fresh = self._docs(100.0, 500.0)
+        regressions, _ = check_trajectory.compare_documents(
+            committed, fresh, band=0.25
+        )
+        assert regressions == []
+
+    def test_lists_and_bools_are_not_gated(self):
+        committed = {"times_s": [1.0, 2.0], "enabled": True,
+                     "served_rps": 10.0}
+        fresh = {"times_s": [9.0, 9.0], "enabled": False,
+                 "served_rps": 10.0}
+        regressions, checked = check_trajectory.compare_documents(
+            committed, fresh, band=0.25
+        )
+        assert regressions == [] and len(checked) == 1
+
+    def test_missing_fresh_leaf_is_skipped(self):
+        regressions, checked = check_trajectory.compare_documents(
+            {"served_rps": 10.0}, {"other_rps": 10.0}, band=0.25
+        )
+        assert regressions == [] and checked == []
+
+
+class TestMain:
+    def _write(self, directory, value):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "BENCH_demo.json").write_text(
+            json.dumps({"results": {"served_rps": value}})
+        )
+
+    def test_exit_codes(self, tmp_path, capsys):
+        fresh, committed = tmp_path / "fresh", tmp_path / "committed"
+        self._write(fresh, 95.0)
+        self._write(committed, 100.0)
+        argv = ["--fresh", str(fresh), "--committed", str(committed)]
+        assert check_trajectory.main(argv) == 0
+        self._write(fresh, 10.0)
+        assert check_trajectory.main(argv) == 1
+        assert check_trajectory.main(
+            ["--fresh", str(tmp_path / "empty"), "--committed",
+             str(committed)]
+        ) == 2
+        capsys.readouterr()
+
+    def test_update_ratchets_the_snapshot(self, tmp_path, capsys):
+        fresh, committed = tmp_path / "fresh", tmp_path / "committed"
+        self._write(fresh, 10.0)
+        self._write(committed, 100.0)
+        argv = ["--fresh", str(fresh), "--committed", str(committed)]
+        assert check_trajectory.main(argv) == 1
+        assert check_trajectory.main(argv + ["--update"]) == 0
+        assert check_trajectory.main(argv) == 0
+        capsys.readouterr()

@@ -1,0 +1,274 @@
+"""Unit tests for SLO specs, burn rates, and the alert state machine.
+
+Everything runs on a FakeClock-driven ring — no sleeps, no threads: the
+state machine advances exactly when ``evaluate()`` is called, so every
+transition in these tests is deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import events as obs_events
+from repro.obs.events import EventLog, set_default_log
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    SLOSpec,
+    SLOTracker,
+    worst_state,
+)
+from repro.obs.timeseries import TimeseriesRing
+from repro.obs.trace import FakeClock
+
+
+@pytest.fixture
+def clock():
+    return FakeClock(0.0)
+
+
+@pytest.fixture
+def ring(clock):
+    return TimeseriesRing(interval_s=1.0, capacity=64, clock=clock)
+
+
+@pytest.fixture
+def capture_events():
+    """Swap the process-default event log for an isolated one."""
+    log = EventLog(capacity=64, clock=FakeClock(0.0))
+    previous = set_default_log(log)
+    yield log
+    set_default_log(previous)
+
+
+def latency_spec(**overrides) -> SLOSpec:
+    base = dict(
+        name="lat", kind="latency", objective=0.9, threshold_s=0.1,
+        window_s=20.0, fast_window_s=2.0, slow_window_s=10.0,
+        warning_burn=1.5, page_burn=8.0, clear_evals=2,
+    )
+    base.update(overrides)
+    return SLOSpec(**base)
+
+
+class TestSpecValidation:
+    def test_defaults_are_valid(self):
+        assert len(DEFAULT_SLOS) == 3
+        assert {spec.kind for spec in DEFAULT_SLOS} == {
+            "latency", "error_rate", "availability"
+        }
+
+    @pytest.mark.parametrize("overrides", [
+        {"name": ""},
+        {"kind": "throughput"},
+        {"objective": 0.0},
+        {"objective": 1.0},
+        {"threshold_s": None},
+        {"threshold_s": 0.0},
+        {"fast_window_s": 0.0},
+        {"fast_window_s": 30.0},            # fast > slow
+        {"slow_window_s": 50.0},            # slow > budget window
+        {"warning_burn": 0.0},
+        {"warning_burn": 9.0},              # warning > page
+        {"clear_evals": 0},
+    ])
+    def test_invalid_specs_raise(self, overrides):
+        with pytest.raises(ValueError):
+            latency_spec(**overrides)
+
+    def test_non_latency_kinds_need_no_threshold(self):
+        spec = SLOSpec(name="errs", kind="error_rate", objective=0.99)
+        assert spec.threshold_s is None
+
+    def test_duplicate_names_rejected(self, ring):
+        with pytest.raises(ValueError):
+            SLOTracker([latency_spec(), latency_spec()], ring)
+
+
+class TestWorstState:
+    def test_ranking(self):
+        assert worst_state([]) == "ok"
+        assert worst_state(["ok", "ok"]) == "ok"
+        assert worst_state(["ok", "warning"]) == "warning"
+        assert worst_state(["warning", "page", "ok"]) == "page"
+        assert worst_state(["nonsense"]) == "ok"  # unknown states ignored
+
+
+class TestBurnRates:
+    def test_all_good_traffic_burns_nothing(self, ring, capture_events):
+        tracker = SLOTracker([latency_spec()], ring)
+        for _ in range(10):
+            ring.observe_latency(0.01)
+        [entry] = tracker.evaluate()["slos"]
+        assert entry["state"] == "ok"
+        assert entry["burn_fast"] == 0.0
+        assert entry["burn_slow"] == 0.0
+        assert entry["budget_remaining"] == 1.0
+
+    def test_burn_is_bad_fraction_over_error_budget(self, ring,
+                                                    capture_events):
+        tracker = SLOTracker([latency_spec()], ring)
+        for _ in range(8):
+            ring.observe_latency(0.01)
+        for _ in range(2):
+            ring.observe_latency(0.5)  # 20% bad, 10% budget -> burn 2.0
+        [entry] = tracker.evaluate()["slos"]
+        assert entry["burn_fast"] == pytest.approx(2.0)
+        assert entry["burn_slow"] == pytest.approx(2.0)
+        assert entry["state"] == "warning"
+
+    def test_and_gate_requires_both_windows_hot(self, ring, clock,
+                                                capture_events):
+        tracker = SLOTracker([latency_spec()], ring)
+        # Old good traffic fills the slow window...
+        for _ in range(50):
+            ring.observe_latency(0.01)
+        clock.advance(5.0)
+        # ...then a brief spike: the fast window is all-bad (burn 10),
+        # the slow window is still mostly good (burn < 1.5).
+        for _ in range(2):
+            ring.observe_latency(0.5)
+        [entry] = tracker.evaluate()["slos"]
+        assert entry["burn_fast"] == pytest.approx(10.0)
+        assert entry["burn_slow"] < 1.5
+        assert entry["state"] == "ok"  # a spike alone must not alert
+
+    def test_empty_windows_burn_zero(self, ring, capture_events):
+        tracker = SLOTracker([latency_spec()], ring)
+        [entry] = tracker.evaluate()["slos"]
+        assert entry["burn_fast"] == 0.0
+        assert entry["state"] == "ok"
+
+    def test_error_rate_kind_reads_counters(self, ring, capture_events):
+        spec = SLOSpec(name="errs", kind="error_rate", objective=0.9,
+                       window_s=20.0, fast_window_s=2.0, slow_window_s=10.0,
+                       warning_burn=1.5, page_burn=8.0)
+        tracker = SLOTracker([spec], ring)
+        ring.record_counters({"served": 8.0, "errors": 2.0})
+        [entry] = tracker.evaluate()["slos"]
+        assert entry["burn_fast"] == pytest.approx(2.0)
+        assert entry["bad"] == 2.0
+        assert entry["total"] == 10.0
+
+    def test_availability_kind_reads_counters(self, ring, capture_events):
+        spec = SLOSpec(name="avail", kind="availability", objective=0.9,
+                       window_s=20.0, fast_window_s=2.0, slow_window_s=10.0,
+                       warning_burn=1.5, page_burn=8.0)
+        tracker = SLOTracker([spec], ring)
+        ring.record_counters({"submitted": 10.0, "rejected": 10.0})
+        [entry] = tracker.evaluate()["slos"]
+        assert entry["burn_fast"] == pytest.approx(10.0)
+        assert entry["state"] == "page"
+
+
+class TestStateMachine:
+    def test_escalation_is_immediate(self, ring, capture_events):
+        tracker = SLOTracker([latency_spec()], ring)
+        for _ in range(10):
+            ring.observe_latency(0.5)  # 100% bad -> burn 10 >= page 8
+        assert tracker.evaluate()["worst_state"] == "page"
+        assert tracker.states() == {"lat": "page"}
+
+    def test_deescalation_needs_clear_evals(self, ring, clock,
+                                            capture_events):
+        tracker = SLOTracker([latency_spec(clear_evals=2)], ring)
+        for _ in range(10):
+            ring.observe_latency(0.5)
+        tracker.evaluate()
+        # Bad traffic ages out of every window.
+        clock.advance(30.0)
+        assert tracker.evaluate()["worst_state"] == "page"  # calm #1: hold
+        assert tracker.evaluate()["worst_state"] == "ok"    # calm #2: clear
+
+    def test_calm_streak_resets_on_reescalation(self, ring, clock,
+                                                capture_events):
+        tracker = SLOTracker([latency_spec(clear_evals=2)], ring)
+        for _ in range(10):
+            ring.observe_latency(0.5)
+        tracker.evaluate()
+        clock.advance(30.0)
+        tracker.evaluate()                     # calm #1
+        for _ in range(10):
+            ring.observe_latency(0.5)          # burn again
+        tracker.evaluate()                     # hot: streak resets
+        clock.advance(30.0)
+        assert tracker.evaluate()["worst_state"] == "page"  # calm #1 again
+        assert tracker.evaluate()["worst_state"] == "ok"
+
+    def test_budget_exhaustion_and_recovery(self, ring, clock,
+                                            capture_events):
+        tracker = SLOTracker([latency_spec()], ring)
+        for _ in range(9):
+            ring.observe_latency(0.01)
+        ring.observe_latency(0.5)  # exactly the 10% allowance
+        [entry] = tracker.evaluate()["slos"]
+        assert entry["budget_remaining"] == pytest.approx(0.0)
+        ring.observe_latency(0.5)  # over the allowance: clamped at zero
+        [entry] = tracker.evaluate()["slos"]
+        assert entry["budget_remaining"] == 0.0
+        clock.advance(25.0)        # everything ages past window_s
+        [entry] = tracker.evaluate()["slos"]
+        assert entry["budget_remaining"] == 1.0
+
+    def test_snapshot_does_not_advance_the_machine(self, ring,
+                                                   capture_events):
+        tracker = SLOTracker([latency_spec()], ring)
+        tracker.evaluate()
+        for _ in range(10):
+            ring.observe_latency(0.5)
+        assert tracker.snapshot()["worst_state"] == "ok"  # last eval's view
+        assert tracker.evaluate()["worst_state"] == "page"
+
+
+class TestTransitionEvents:
+    def test_page_and_recovery_events(self, ring, clock, capture_events):
+        tracker = SLOTracker([latency_spec(clear_evals=1)], ring)
+        for _ in range(10):
+            ring.observe_latency(0.5)
+        tracker.evaluate()
+        clock.advance(30.0)
+        tracker.evaluate()
+        kinds = [(e["kind"], e["fields"]["from_state"],
+                  e["fields"]["to_state"])
+                 for e in capture_events.snapshot()]
+        assert kinds == [("slo_page", "ok", "page"),
+                         ("slo_recovered", "page", "ok")]
+
+    def test_warning_event_only_from_ok(self, ring, clock, capture_events):
+        tracker = SLOTracker([latency_spec(clear_evals=1)], ring)
+        for _ in range(8):
+            ring.observe_latency(0.01)
+        for _ in range(2):
+            ring.observe_latency(0.5)  # burn 2.0: warning band
+        tracker.evaluate()
+        [event] = capture_events.snapshot()
+        assert event["kind"] == "slo_warning"
+        assert event["fields"]["slo"] == "lat"
+        assert event["fields"]["burn_fast"] == pytest.approx(2.0)
+
+    def test_page_to_warning_lands_as_recovered(self, ring, clock,
+                                                capture_events):
+        tracker = SLOTracker([latency_spec(clear_evals=1)], ring)
+        for _ in range(10):
+            ring.observe_latency(0.5)
+        tracker.evaluate()                      # ok -> page
+        clock.advance(12.0)                     # past slow, inside window
+        for _ in range(8):
+            ring.observe_latency(0.01)
+        for _ in range(2):
+            ring.observe_latency(0.5)           # warning-band burn
+        tracker.evaluate()                      # page -> warning
+        kinds = [e["kind"] for e in capture_events.snapshot()]
+        assert kinds == ["slo_page", "slo_recovered"]
+        last = capture_events.snapshot()[-1]["fields"]
+        assert (last["from_state"], last["to_state"]) == ("page", "warning")
+
+    def test_steady_state_emits_nothing(self, ring, capture_events):
+        tracker = SLOTracker([latency_spec()], ring)
+        for _ in range(5):
+            ring.observe_latency(0.01)
+            tracker.evaluate()
+        assert capture_events.snapshot() == []
+
+    def test_emitted_kinds_are_catalogued(self):
+        for kind in ("slo_warning", "slo_page", "slo_recovered"):
+            assert kind in obs_events.KNOWN_KINDS

@@ -85,6 +85,75 @@ class TestSmoke:
         assert status == 200
 
 
+class TestObservabilityEndpoints:
+    def _serve_one(self, gateway, seed=11):
+        request = MappingRequest(
+            PROBLEM, searcher="random", iterations=10, seed=seed, tag="obs"
+        )
+        _post(f"{gateway.address}/v1/map", {"request": request_to_dict(request)})
+
+    def test_slo_snapshot_smoke(self, stack):
+        _engine, _server, gateway = stack
+        self._serve_one(gateway)
+        status, snap = _get(f"{gateway.address}/v1/slo")
+        assert status == 200
+        assert snap["worst_state"] in ("ok", "warning", "page")
+        names = {entry["name"] for entry in snap["slos"]}
+        assert names  # the default SLO set is attached
+        for entry in snap["slos"]:
+            assert {"state", "burn_fast", "burn_slow",
+                    "budget_remaining"} <= set(entry)
+
+    def test_timeseries_projection_matches_counters(self, stack):
+        _engine, _server, gateway = stack
+        self._serve_one(gateway)
+        status, snap = _get(
+            f"{gateway.address}/v1/timeseries?metric=counters.served"
+        )
+        assert status == 200
+        _status, metrics = _get(f"{gateway.address}/v1/metrics")
+        total = sum(point["value"] for point in snap["series"])
+        assert total == pytest.approx(metrics["counters"]["served"])
+
+    def test_timeseries_bad_metric_is_400(self, stack):
+        _engine, _server, gateway = stack
+        self._serve_one(gateway)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{gateway.address}/v1/timeseries?metric=bogus.path")
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{gateway.address}/v1/timeseries?windows=soon")
+        assert excinfo.value.code == 400
+
+    def test_profile_reports_disabled_but_serves_hotspots(self, stack):
+        _engine, _server, gateway = stack
+        self._serve_one(gateway)
+        status, snap = _get(f"{gateway.address}/v1/profile")
+        assert status == 200
+        assert snap["enabled"] is False  # profiling is opt-in
+        assert "profiler" not in snap
+        assert isinstance(snap["hotspots"], list) and snap["hotspots"]
+        assert {"name", "problem", "self_s", "count"} <= set(snap["hotspots"][0])
+
+    def test_unknown_event_kind_is_400_with_catalog(self, stack):
+        from repro.obs.events import KNOWN_KINDS
+
+        _engine, _server, gateway = stack
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{gateway.address}/v1/events?kind=bogus")
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert "bogus" in body["error"]
+        assert body["known_kinds"] == list(KNOWN_KINDS)
+
+    def test_known_event_kind_filters_cleanly(self, stack):
+        _engine, _server, gateway = stack
+        self._serve_one(gateway)
+        status, body = _get(f"{gateway.address}/v1/events?kind=slo_page")
+        assert status == 200
+        assert body["events"] == []  # healthy server: nothing paged
+
+
 class TestErrors:
     def test_invalid_json_is_400(self, stack):
         _engine, _server, gateway = stack
