@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import shutil
 import sys
 from pathlib import Path
@@ -42,13 +43,28 @@ HIGHER_IS_BETTER = ("rps", "speedup", "ratio", "rho", "hit_rate")
 LOWER_IS_BETTER = ("latency", "_ms", "p50", "p95", "p99", "overhead_s",
                    "time_s", "elapsed_s")
 
-#: Keys never compared: timestamps vary run to run by construction, and
-#: "iterations" is a config constant that merely *contains* "ratio".
-SKIPPED_KEYS = ("unix_time", "iteration")
+#: Leaf keys never compared: timestamps vary run to run by construction,
+#: "iterations" is a config constant, and "count"/"samples" are volumes
+#: (a digest's ``count`` under a ``latency_ms`` dict is a request count,
+#: not a latency — more samples is not a regression in either direction).
+SKIPPED_KEYS = ("unix_time", "iteration", "iterations", "count", "samples")
 
 #: Default relative noise band (25%): wide enough for shared-runner
 #: scheduling jitter, tight enough to catch a real 2x regression.
 DEFAULT_BAND = 0.25
+
+
+def _fragment_in(fragment: str, key: str) -> bool:
+    """Word-boundary-aware fragment match within a snake_case key.
+
+    ``"_ms"`` must match ``p99_ms`` and ``latency_ms`` but not ``mse``;
+    boundaries are the start/end of the key or any non-alphanumeric
+    separator, so a fragment never matches inside a longer word.
+    """
+    token = fragment.strip("_")
+    return re.search(
+        rf"(?<![a-z0-9]){re.escape(token)}(?![a-z0-9])", key
+    ) is not None
 
 
 def _direction(key: str) -> Optional[str]:
@@ -59,13 +75,13 @@ def _direction(key: str) -> Optional[str]:
     the overhead throughput ratios, which are explicitly throughput.
     """
     lowered = key.lower()
-    if any(fragment in lowered for fragment in SKIPPED_KEYS):
+    if any(_fragment_in(fragment, lowered) for fragment in SKIPPED_KEYS):
         return None
     if "throughput_ratio" in lowered:
         return "up"
-    if any(fragment in lowered for fragment in LOWER_IS_BETTER):
+    if any(_fragment_in(fragment, lowered) for fragment in LOWER_IS_BETTER):
         return "down"
-    if any(fragment in lowered for fragment in HIGHER_IS_BETTER):
+    if any(_fragment_in(fragment, lowered) for fragment in HIGHER_IS_BETTER):
         return "up"
     return None
 
@@ -94,7 +110,10 @@ def compare_documents(
     regressions: List[str] = []
     checked: List[str] = []
     for path, committed_value in _numeric_leaves(committed):
-        direction = _direction(path.rsplit(".", 1)[-1]) or _direction(path)
+        # Gate on the leaf key alone: a parent dict named ``latency_ms``
+        # must not drag non-directional children (``count``) into the
+        # lower-is-better gate just because the *path* mentions latency.
+        direction = _direction(path.rsplit(".", 1)[-1])
         if direction is None or path not in fresh_values:
             continue
         fresh_value = fresh_values[path]

@@ -378,6 +378,13 @@ class ClusterRouter:
             "include_trace": include_trace,
         }
         with self._lock:
+            # Every admission attempt counts as submitted — the
+            # availability SLO reads bad=rejected over total=submitted,
+            # so a rejection that never counted as a submission would be
+            # invisible to burn-rate accounting (a full outage would
+            # read as 0/0 = healthy).  Same semantics as the
+            # single-server path in ``MappingServer.submit``.
+            self.counters["submitted"].inc()
             if self._inflight >= self.config.max_inflight:
                 self.counters["rejected"].inc()
                 retry_after = max(
@@ -394,7 +401,6 @@ class ClusterRouter:
                 retry_after_s=retry_after,
             )
             raise ServerOverloaded(retry_after_s=retry_after, depth=depth)
-        self.counters["submitted"].inc()
         handle = self.tracer.start_trace(
             "cluster.request",
             problem=request.problem.name,

@@ -16,8 +16,11 @@ from :mod:`repro.obs.timeseries` into
   burn escalates to page;
 * an **ok → warning → page state machine** with hysteresis: escalation
   is immediate, de-escalation only after ``clear_evals`` consecutive
-  calmer evaluations, so an alert flickering around its threshold does
-  not flap.
+  calmer evaluations *in distinct ring windows*, so an alert flickering
+  around its threshold does not flap — and because the streak advances
+  at most once per window, a gateway scraper polling ``/v1/slo`` in a
+  tight loop (every read evaluates) cannot clear an active page any
+  faster than ``clear_evals`` windows of genuinely calm time.
 
 Alert transitions are emitted into the event ring
 (:mod:`repro.obs.events`) under the catalogued kinds ``slo_warning``,
@@ -57,8 +60,10 @@ class SLOSpec:
     Burn thresholds follow the multiwindow convention: ``warning_burn``
     and ``page_burn`` apply to *both* the ``fast_window_s`` and
     ``slow_window_s`` burn rates (AND-gated).  ``clear_evals`` is the
-    de-escalation hysteresis: that many consecutive evaluations below a
-    threshold before stepping down.
+    de-escalation hysteresis: that many consecutive calm evaluations,
+    each landing in a distinct ring window, before stepping down —
+    time-based in effect (at least ``clear_evals`` windows of calm), so
+    evaluation *frequency* cannot shortcut it.
     """
 
     name: str
@@ -119,11 +124,15 @@ DEFAULT_SLOS: Tuple[SLOSpec, ...] = (
 class _AlertState:
     """Mutable per-SLO alert state (guarded by the tracker lock)."""
 
-    __slots__ = ("state", "calm_streak", "transitions")
+    __slots__ = ("state", "calm_streak", "calm_window", "transitions")
 
     def __init__(self) -> None:
         self.state = "ok"
         self.calm_streak = 0
+        #: Ring window index of the last calm-streak advance, or None.
+        #: The streak moves at most once per window, so hysteresis is
+        #: bounded by elapsed windows, not evaluation count.
+        self.calm_window: Optional[int] = None
         self.transitions = 0
 
 
@@ -214,16 +223,26 @@ class SLOTracker:
                 alert = self._alerts[spec.name]
                 target = _severity(burn_fast, burn_slow, spec)
                 previous = alert.state
+                window = self.ring.window_index(now)
                 if STATES.index(target) > STATES.index(alert.state):
                     alert.state = target       # escalate immediately
                     alert.calm_streak = 0
+                    alert.calm_window = None
                 elif STATES.index(target) < STATES.index(alert.state):
-                    alert.calm_streak += 1     # de-escalate with hysteresis
+                    # De-escalate with hysteresis.  The streak advances
+                    # at most once per ring window: evaluate() runs on
+                    # every gateway read, so calm must *persist across
+                    # windows* — a tight scrape loop cannot clear a page.
+                    if alert.calm_window is None or window > alert.calm_window:
+                        alert.calm_streak += 1
+                        alert.calm_window = window
                     if alert.calm_streak >= spec.clear_evals:
                         alert.state = target
                         alert.calm_streak = 0
+                        alert.calm_window = None
                 else:
                     alert.calm_streak = 0
+                    alert.calm_window = None
                 if alert.state != previous:
                     alert.transitions += 1
                     fields = {

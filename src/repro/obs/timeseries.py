@@ -376,6 +376,7 @@ class MetricsSampler:
         self.interval_s = float(interval_s)
         self.clock: Clock = clock if clock is not None else MonotonicClock()
         self._samples = 0
+        self._sample_lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -387,13 +388,22 @@ class MetricsSampler:
         self._listeners.append(listener)
 
     def sample(self) -> None:
-        """One pull: record counters + gauges, then notify listeners."""
-        now = self.clock()
-        counters, gauges = self._sample_fn()
-        self._ring.record_counters(counters, now=now)
-        if gauges:
-            self._ring.record_gauges(gauges, now=now)
-        self._samples += 1
+        """One pull: record counters + gauges, then notify listeners.
+
+        The pull-and-record pair runs under a sampler lock: the
+        background thread and gateway reads both call this, and an
+        interleaved stale snapshot recorded *after* a newer one would
+        rewind the ring's cumulative baseline and re-count the same
+        increment into the next delta.  Listeners run outside the lock
+        (they serialize on their own locks).
+        """
+        with self._sample_lock:
+            now = self.clock()
+            counters, gauges = self._sample_fn()
+            self._ring.record_counters(counters, now=now)
+            if gauges:
+                self._ring.record_gauges(gauges, now=now)
+            self._samples += 1
         for listener in self._listeners:
             listener()
 

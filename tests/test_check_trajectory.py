@@ -28,6 +28,10 @@ class TestDirection:
         ("unix_time", None),
         ("iterations_per_request", None),  # config constant, not a metric
         ("collapsed", None),          # undirected counter: context only
+        ("count", None),              # a volume, not a latency
+        ("sample_count", None),
+        ("train_mse", None),          # "_ms" must not match inside "mse"
+        ("surrogate_mse", None),
     ])
     def test_key_directions(self, key, expected):
         assert check_trajectory._direction(key) == expected
@@ -87,6 +91,20 @@ class TestCompare:
             {"served_rps": 10.0}, {"other_rps": 10.0}, band=0.25
         )
         assert regressions == [] and checked == []
+
+    def test_count_under_a_latency_dict_is_context_not_a_gate(self):
+        """Direction comes from the leaf key alone: ``latency_ms.count``
+        is a request count, and serving *more* requests must never read
+        as a latency regression just because the parent dict says
+        latency."""
+        committed = {"latency_ms": {"count": 100, "p99_ms": 5.0}}
+        fresh = {"latency_ms": {"count": 200, "p99_ms": 5.0}}
+        regressions, checked = check_trajectory.compare_documents(
+            committed, fresh, band=0.25
+        )
+        assert regressions == []
+        assert checked == [c for c in checked if "p99_ms" in c]
+        assert len(checked) == 1
 
 
 class TestMain:

@@ -225,6 +225,10 @@ class TestLifecycle:
                     overloaded += 1
             assert overloaded >= 1, "in-flight bound never tripped"
             assert router.counters["rejected"].value == overloaded
+            # Every attempt counts as submitted — rejected included — so
+            # the availability SLO's bad/total stays meaningful under
+            # overload (a full outage must read 100% bad, not 0/0).
+            assert router.counters["submitted"].value == 10
             for future in futures:
                 future.result(timeout=120)
         finally:

@@ -177,7 +177,24 @@ class TestStateMachine:
         # Bad traffic ages out of every window.
         clock.advance(30.0)
         assert tracker.evaluate()["worst_state"] == "page"  # calm #1: hold
+        clock.advance(1.0)                                  # next window
         assert tracker.evaluate()["worst_state"] == "ok"    # calm #2: clear
+
+    def test_rapid_scrapes_cannot_shortcut_hysteresis(self, ring, clock,
+                                                      capture_events):
+        """evaluate() runs on every gateway read (/v1/slo, /v1/timeseries),
+        so a scraper hammering the endpoint within one ring window must
+        not rack up the calm streak and clear an active page early —
+        calm has to persist across clear_evals distinct windows."""
+        tracker = SLOTracker([latency_spec(clear_evals=2)], ring)
+        for _ in range(10):
+            ring.observe_latency(0.5)
+        tracker.evaluate()
+        clock.advance(30.0)
+        for _ in range(50):  # tight scrape loop, all in the same window
+            assert tracker.evaluate()["worst_state"] == "page"
+        clock.advance(1.0)   # calm persists into a second window
+        assert tracker.evaluate()["worst_state"] == "ok"
 
     def test_calm_streak_resets_on_reescalation(self, ring, clock,
                                                 capture_events):
@@ -192,6 +209,7 @@ class TestStateMachine:
         tracker.evaluate()                     # hot: streak resets
         clock.advance(30.0)
         assert tracker.evaluate()["worst_state"] == "page"  # calm #1 again
+        clock.advance(1.0)                     # next window
         assert tracker.evaluate()["worst_state"] == "ok"
 
     def test_budget_exhaustion_and_recovery(self, ring, clock,
